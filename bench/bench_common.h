@@ -1,0 +1,124 @@
+// Shared generators and helpers for the experiment benches (E1–E10).
+// Every bench binary prints a verification table first (the "rows the paper
+// reports"), then runs google-benchmark timings.
+#ifndef GDLOG_BENCH_BENCH_COMMON_H_
+#define GDLOG_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "gdatalog/engine.h"
+#include "util/rng.h"
+
+namespace gdlog_bench {
+
+inline constexpr const char* kNetworkProgram = R"(
+  infected(Y, flip<0.1>[X, Y]) :- infected(X, 1), connected(X, Y).
+  uninfected(X) :- router(X), not infected(X, 1).
+  :- uninfected(X), uninfected(Y), connected(X, Y).
+)";
+
+/// Network program with a configurable infection probability.
+inline std::string NetworkProgram(double rate) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), R"(
+  infected(Y, flip<%g>[X, Y]) :- infected(X, 1), connected(X, Y).
+  uninfected(X) :- router(X), not infected(X, 1).
+  :- uninfected(X), uninfected(Y), connected(X, Y).
+)",
+                rate);
+  return buf;
+}
+
+/// Fully connected n-router network, router 1 infected (Example 3.6).
+inline std::string Clique(int n) {
+  std::string db;
+  for (int i = 1; i <= n; ++i) db += "router(" + std::to_string(i) + ").\n";
+  for (int i = 1; i <= n; ++i) {
+    for (int j = 1; j <= n; ++j) {
+      if (i != j) {
+        db += "connected(" + std::to_string(i) + "," + std::to_string(j) +
+              ").\n";
+      }
+    }
+  }
+  db += "infected(1, 1).\n";
+  return db;
+}
+
+/// Ring topology.
+inline std::string Ring(int n) {
+  std::string db;
+  for (int i = 1; i <= n; ++i) db += "router(" + std::to_string(i) + ").\n";
+  for (int i = 1; i <= n; ++i) {
+    int j = i % n + 1;
+    db += "connected(" + std::to_string(i) + "," + std::to_string(j) + ").\n";
+    db += "connected(" + std::to_string(j) + "," + std::to_string(i) + ").\n";
+  }
+  db += "infected(1, 1).\n";
+  return db;
+}
+
+/// Random symmetric network (deterministic in the seed).
+inline std::string RandomNetwork(int n, double edge_prob, uint64_t seed) {
+  gdlog::Rng rng(seed);
+  std::string db;
+  for (int i = 1; i <= n; ++i) db += "router(" + std::to_string(i) + ").\n";
+  for (int i = 1; i <= n; ++i) {
+    for (int j = i + 1; j <= n; ++j) {
+      if (rng.NextDouble() < edge_prob) {
+        db += "connected(" + std::to_string(i) + "," + std::to_string(j) +
+              ").\n";
+        db += "connected(" + std::to_string(j) + "," + std::to_string(i) +
+              ").\n";
+      }
+    }
+  }
+  db += "infected(1, 1).\n";
+  return db;
+}
+
+inline constexpr const char* kDimeQuarterProgram = R"(
+  dimetail(X, flip<0.5>[X]) :- dime(X).
+  somedimetail :- dimetail(X, 1).
+  quartertail(X, flip<0.5>[X]) :- quarter(X), not somedimetail.
+)";
+
+/// n dimes, one quarter.
+inline std::string DimeDb(int dimes) {
+  std::string db;
+  for (int i = 1; i <= dimes; ++i) db += "dime(" + std::to_string(i) + ").\n";
+  db += "quarter(" + std::to_string(dimes + 1) + ").\n";
+  return db;
+}
+
+inline gdlog::GDatalog MustCreate(const std::string& program,
+                                  const std::string& db,
+                                  gdlog::GrounderKind kind =
+                                      gdlog::GrounderKind::kAuto) {
+  gdlog::GDatalog::Options options;
+  options.grounder = kind;
+  auto engine = gdlog::GDatalog::Create(program, db, std::move(options));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "bench setup failed: %s\n",
+                 engine.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(engine).value();
+}
+
+inline gdlog::OutcomeSpace MustInfer(const gdlog::GDatalog& engine,
+                                     const gdlog::ChaseOptions& options =
+                                         gdlog::ChaseOptions{}) {
+  auto space = engine.Infer(options);
+  if (!space.ok()) {
+    std::fprintf(stderr, "bench inference failed: %s\n",
+                 space.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(space).value();
+}
+
+}  // namespace gdlog_bench
+
+#endif  // GDLOG_BENCH_BENCH_COMMON_H_

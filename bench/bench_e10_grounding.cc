@@ -1,0 +1,101 @@
+// E10 — Grounding throughput: ground rules per second for the simple and
+// perfect grounders as the database grows, plus the non-probabilistic
+// Datalog¬ substrate (transitive closure) as a pure-grounding baseline.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace gdlog_bench;
+
+std::string ChainDb(int n) {
+  std::string db;
+  for (int i = 1; i <= n; ++i) db += "node(" + std::to_string(i) + ").\n";
+  for (int i = 1; i < n; ++i) {
+    db += "edge(" + std::to_string(i) + "," + std::to_string(i + 1) + ").\n";
+  }
+  return db;
+}
+
+constexpr const char* kTransitiveClosure = R"(
+  path(X, Y) :- edge(X, Y).
+  path(X, Z) :- path(X, Y), edge(Y, Z).
+  unreachable(X, Y) :- node(X), node(Y), not path(X, Y).
+)";
+
+void VerificationTable() {
+  std::printf("=== E10: grounding throughput ===\n");
+  std::printf("%-16s %-10s %-14s\n", "workload", "db-size", "ground-rules");
+  for (int n : {16, 64, 128}) {
+    auto engine = MustCreate(kTransitiveClosure, ChainDb(n),
+                             gdlog::GrounderKind::kPerfect);
+    gdlog::GroundRuleSet out;
+    gdlog::ChoiceSet empty;
+    if (!engine.grounder().Ground(empty, &out).ok()) std::abort();
+    std::printf("%-16s %-10d %-14zu\n", "trans-closure", n, out.size());
+  }
+  for (int dimes : {16, 64, 256}) {
+    auto engine = MustCreate(kDimeQuarterProgram, DimeDb(dimes),
+                             gdlog::GrounderKind::kSimple);
+    gdlog::GroundRuleSet out;
+    gdlog::ChoiceSet empty;
+    if (!engine.grounder().Ground(empty, &out).ok()) std::abort();
+    std::printf("%-16s %-10d %-14zu\n", "dime(simple)", dimes, out.size());
+  }
+  std::printf("\n");
+}
+
+void BM_Ground_TransitiveClosure(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto engine = MustCreate(kTransitiveClosure, ChainDb(n),
+                           gdlog::GrounderKind::kPerfect);
+  gdlog::ChoiceSet empty;
+  size_t rules = 0;
+  for (auto _ : state) {
+    gdlog::GroundRuleSet out;
+    benchmark::DoNotOptimize(engine.grounder().Ground(empty, &out));
+    rules = out.size();
+  }
+  state.counters["rules"] = static_cast<double>(rules);
+  state.counters["rules/s"] = benchmark::Counter(
+      static_cast<double>(rules),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Ground_TransitiveClosure)->Arg(16)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Ground_NetworkSimple(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto engine = MustCreate(kNetworkProgram, RandomNetwork(n, 0.3, 17),
+                           gdlog::GrounderKind::kSimple);
+  gdlog::ChoiceSet empty;
+  for (auto _ : state) {
+    gdlog::GroundRuleSet out;
+    benchmark::DoNotOptimize(engine.grounder().Ground(empty, &out));
+  }
+}
+BENCHMARK(BM_Ground_NetworkSimple)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Ground_NetworkPerfect(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto engine = MustCreate(kNetworkProgram, RandomNetwork(n, 0.3, 17),
+                           gdlog::GrounderKind::kPerfect);
+  gdlog::ChoiceSet empty;
+  for (auto _ : state) {
+    gdlog::GroundRuleSet out;
+    benchmark::DoNotOptimize(engine.grounder().Ground(empty, &out));
+  }
+}
+BENCHMARK(BM_Ground_NetworkPerfect)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  VerificationTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

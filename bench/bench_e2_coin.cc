@@ -1,0 +1,71 @@
+// E2 — §3 coin program Π_coin: two possible outcomes with mass 1/2 each;
+// one induces the empty stable-model set, the other the two-model set
+// {{Aux1, Coin(1)}, {Aux2, Coin(1)}}. Also measures solver cost as the
+// number of even negation cycles (and hence stable models) grows.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace gdlog_bench;
+
+constexpr const char* kCoin = R"(
+  coin(flip<0.5>).
+  :- coin(0).
+  aux1 :- coin(1), not aux2.
+  aux2 :- coin(1), not aux1.
+)";
+
+void VerificationTable() {
+  std::printf("=== E2: coin program (paper: outcomes 1/2 each; P(sms!=0)=1/2) ===\n");
+  auto engine = MustCreate(kCoin, "");
+  auto space = MustInfer(engine);
+  std::printf("outcomes=%zu finite_mass=%s\n", space.outcomes.size(),
+              space.finite_mass.ToString().c_str());
+  for (const gdlog::PossibleOutcome& o : space.outcomes) {
+    std::printf("  Pr=%-5s |sms|=%zu\n", o.prob.ToString().c_str(),
+                o.models.size());
+  }
+  std::printf("P(has stable model) = %s (expect 1/2)\n",
+              space.ProbConsistent().ToString().c_str());
+  std::printf("events = %zu (expect 2)\n\n", space.Events().size());
+}
+
+// k coins, each flipped and (if tails) spawning an even negation cycle:
+// stable-model count doubles per tails coin.
+std::string MultiCoin(int k) {
+  std::string prog;
+  for (int i = 0; i < k; ++i) {
+    std::string c = "coin" + std::to_string(i);
+    prog += c + "(flip<0.5>).\n";
+    prog += "a" + std::to_string(i) + " :- " + c + "(1), not b" +
+            std::to_string(i) + ".\n";
+    prog += "b" + std::to_string(i) + " :- " + c + "(1), not a" +
+            std::to_string(i) + ".\n";
+  }
+  return prog;
+}
+
+void BM_CoinExact(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  auto engine = MustCreate(MultiCoin(k), "");
+  size_t outcomes = 0;
+  for (auto _ : state) {
+    auto space = MustInfer(engine);
+    outcomes = space.outcomes.size();
+    benchmark::DoNotOptimize(space.finite_mass);
+  }
+  state.counters["outcomes"] = static_cast<double>(outcomes);
+}
+BENCHMARK(BM_CoinExact)->Arg(1)->Arg(2)->Arg(4)->Arg(6)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  VerificationTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

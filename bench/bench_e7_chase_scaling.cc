@@ -1,0 +1,80 @@
+// E7 — Exact inference scaling: outcome-space growth and chase wall-clock
+// as the network and the infection probability grow. The outcome count
+// grows exponentially in the reachable edge set; the bench quantifies
+// where exact inference stops being feasible (motivating the sampler, E9).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace gdlog_bench;
+
+void VerificationTable() {
+  std::printf("=== E7: exact chase scaling ===\n");
+  std::printf("%-10s %-6s %-10s %-12s %-14s\n", "topology", "n", "outcomes",
+              "P(dominated)", "grounds/outcome");
+  for (int n : {2, 3, 4}) {
+    auto engine = MustCreate(kNetworkProgram, Clique(n));
+    auto space = MustInfer(engine);
+    std::printf("%-10s %-6d %-10zu %-12s\n", "clique", n,
+                space.outcomes.size(),
+                space.ProbConsistent().ToString().c_str());
+  }
+  for (int n : {4, 6, 8}) {
+    auto engine = MustCreate(kNetworkProgram, Ring(n));
+    auto space = MustInfer(engine);
+    std::printf("%-10s %-6d %-10zu %-12s\n", "ring", n, space.outcomes.size(),
+                space.ProbConsistent().ToString().c_str());
+  }
+  std::printf("\n");
+}
+
+void BM_ExactChase_Ring(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto engine = MustCreate(kNetworkProgram, Ring(n));
+  size_t outcomes = 0;
+  for (auto _ : state) {
+    auto space = MustInfer(engine);
+    outcomes = space.outcomes.size();
+  }
+  state.counters["outcomes"] = static_cast<double>(outcomes);
+  state.counters["outcomes/s"] = benchmark::Counter(
+      static_cast<double>(outcomes), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ExactChase_Ring)->DenseRange(3, 8)->Unit(benchmark::kMillisecond);
+
+void BM_ExactChase_InfectionRate(benchmark::State& state) {
+  // Rate scaled by 1/100; higher rates do not change the outcome count
+  // (supports stay {0,1}) but exercise different model-solving paths.
+  double rate = static_cast<double>(state.range(0)) / 100.0;
+  auto engine = MustCreate(NetworkProgram(rate), Clique(3));
+  for (auto _ : state) {
+    auto space = MustInfer(engine);
+    benchmark::DoNotOptimize(space.finite_mass);
+  }
+}
+BENCHMARK(BM_ExactChase_InfectionRate)->Arg(10)->Arg(50)->Arg(90)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExactChase_ModelsOnVsOff(benchmark::State& state) {
+  bool compute_models = state.range(0) != 0;
+  auto engine = MustCreate(kNetworkProgram, Clique(4));
+  gdlog::ChaseOptions options;
+  options.compute_models = compute_models;
+  for (auto _ : state) {
+    auto space = MustInfer(engine, options);
+    benchmark::DoNotOptimize(space.finite_mass);
+  }
+}
+BENCHMARK(BM_ExactChase_ModelsOnVsOff)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  VerificationTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: the fair-coin program from §3 of "Generative Datalog with
+// Stable Negation" end to end — parse, infer, inspect outcomes and events.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "gdatalog/engine.h"
+
+int main() {
+  // A GDatalog¬ program: flip a fair coin; heads (0) is forbidden by a
+  // constraint; tails (1) leaves two stable models via an even negation
+  // cycle.
+  const char* program = R"(
+    coin(flip<0.5>).
+    :- coin(0).
+    aux1 :- coin(1), not aux2.
+    aux2 :- coin(1), not aux1.
+  )";
+
+  auto engine = gdlog::GDatalog::Create(program, /*database_text=*/"");
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine error: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("program:\n%s\n", engine->program().ToString().c_str());
+  std::printf("stratified: %s, grounder: %.*s\n\n",
+              engine->stratified() ? "yes" : "no",
+              static_cast<int>(engine->grounder().name().size()),
+              engine->grounder().name().data());
+
+  // Exact inference: explore the chase tree exhaustively.
+  auto space = engine->Infer();
+  if (!space.ok()) {
+    std::fprintf(stderr, "inference error: %s\n",
+                 space.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("possible outcomes: %zu (total mass %s)\n",
+              space->outcomes.size(), space->finite_mass.ToString().c_str());
+  const gdlog::Interner* names = engine->program().interner();
+  for (const gdlog::PossibleOutcome& outcome : space->outcomes) {
+    std::printf("- outcome with probability %s, %zu stable model(s)\n",
+                outcome.prob.ToString().c_str(), outcome.models.size());
+    std::printf("  choices:\n");
+    for (const auto& [active, value] : outcome.choices.entries()) {
+      std::printf("    %s -> %s\n", active.ToString(names).c_str(),
+                  value.ToString(names).c_str());
+    }
+    for (const gdlog::StableModel& model : outcome.models) {
+      std::printf("  stable model:");
+      for (const gdlog::GroundAtom& atom :
+           gdlog::OutcomeSpace::StripAuxiliary(model, engine->translated())) {
+        std::printf(" %s", atom.ToString(names).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\nP(program has a stable model) = %s\n",
+              space->ProbConsistent().ToString().c_str());
+  std::printf("P(no stable model)            = %s\n",
+              space->ProbInconsistent().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,286 @@
+#include <set>
+
+#include "ast/atom.h"
+#include "ast/program.h"
+#include "ast/rule.h"
+#include "ast/term.h"
+#include "util/interner.h"
+
+namespace gdlog {
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+std::string Term::ToString(const Interner* interner) const {
+  if (is_constant()) return constant_.ToString(interner);
+  if (interner != nullptr) return interner->Name(var_id_);
+  return "V" + std::to_string(var_id_);
+}
+
+std::string DeltaTerm::ToString(const Interner* interner) const {
+  std::string out =
+      interner != nullptr ? interner->Name(dist_id) : "d" + std::to_string(dist_id);
+  out += "<";
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += params[i].ToString(interner);
+  }
+  out += ">";
+  if (!events.empty()) {
+    out += "[";
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += events[i].ToString(interner);
+    }
+    out += "]";
+  }
+  return out;
+}
+
+std::string HeadArg::ToString(const Interner* interner) const {
+  return is_delta_ ? delta_.ToString(interner) : term_.ToString(interner);
+}
+
+std::string Atom::ToString(const Interner* interner) const {
+  std::string out =
+      interner != nullptr ? interner->Name(predicate) : "p" + std::to_string(predicate);
+  if (args.empty()) return out;
+  out += "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString(interner);
+  }
+  out += ")";
+  return out;
+}
+
+std::string Literal::ToString(const Interner* interner) const {
+  return (negated ? "not " : "") + atom.ToString(interner);
+}
+
+std::string HeadAtom::ToString(const Interner* interner) const {
+  std::string out =
+      interner != nullptr ? interner->Name(predicate) : "p" + std::to_string(predicate);
+  if (args.empty()) return out;
+  out += "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString(interner);
+  }
+  out += ")";
+  return out;
+}
+
+bool Rule::IsFact() const {
+  if (is_constraint || !body.empty()) return false;
+  for (const HeadArg& a : head.args) {
+    if (a.is_delta() || !a.term().is_constant()) return false;
+  }
+  return true;
+}
+
+std::string Rule::ToString(const Interner* interner) const {
+  std::string out;
+  if (!is_constraint) out += head.ToString(interner);
+  if (body.empty()) {
+    out += ".";
+    return out;
+  }
+  out += " :- ";
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += body[i].ToString(interner);
+  }
+  out += ".";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Program
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void CollectTermVars(const Term& t, std::set<uint32_t>* vars) {
+  if (t.is_variable()) vars->insert(t.var_id());
+}
+
+void CollectAtomVars(const Atom& a, std::set<uint32_t>* vars) {
+  for (const Term& t : a.args) CollectTermVars(t, vars);
+}
+
+void CollectHeadVars(const HeadAtom& h, std::set<uint32_t>* vars) {
+  for (const HeadArg& arg : h.args) {
+    if (arg.is_delta()) {
+      for (const Term& t : arg.delta().params) CollectTermVars(t, vars);
+      for (const Term& t : arg.delta().events) CollectTermVars(t, vars);
+    } else {
+      CollectTermVars(arg.term(), vars);
+    }
+  }
+}
+
+}  // namespace
+
+Status Program::Validate() const {
+  std::map<uint32_t, size_t> arities;
+  auto check_arity = [&](uint32_t pred, size_t arity) -> Status {
+    auto [it, inserted] = arities.emplace(pred, arity);
+    if (!inserted && it->second != arity) {
+      return Status::InvalidArgument(
+          "predicate '" + interner_->Name(pred) + "' used with arities " +
+          std::to_string(it->second) + " and " + std::to_string(arity));
+    }
+    return Status::OK();
+  };
+
+  for (size_t ri = 0; ri < rules_.size(); ++ri) {
+    const Rule& rule = rules_[ri];
+    auto rule_err = [&](const std::string& what) {
+      return Status::UnsafeProgram("rule #" + std::to_string(ri) + " (" +
+                                   rule.ToString(interner_.get()) + "): " + what);
+    };
+
+    std::set<uint32_t> positive_vars;
+    for (const Literal& lit : rule.body) {
+      GDLOG_RETURN_IF_ERROR(check_arity(lit.atom.predicate, lit.atom.arity()));
+      if (!lit.negated) CollectAtomVars(lit.atom, &positive_vars);
+    }
+
+    // Safety of negative literals.
+    for (const Literal& lit : rule.body) {
+      if (!lit.negated) continue;
+      std::set<uint32_t> vars;
+      CollectAtomVars(lit.atom, &vars);
+      for (uint32_t v : vars) {
+        if (positive_vars.count(v) == 0) {
+          return rule_err("variable '" + interner_->Name(v) +
+                          "' in negative literal not bound by a positive "
+                          "body atom");
+        }
+      }
+    }
+
+    if (rule.is_constraint) {
+      if (!rule.head.args.empty() || rule.head.predicate != 0) {
+        // Constraints are represented with a default-constructed head.
+      }
+      if (rule.body.empty()) {
+        return rule_err("constraint with empty body");
+      }
+      continue;
+    }
+
+    GDLOG_RETURN_IF_ERROR(check_arity(rule.head.predicate, rule.head.arity()));
+
+    // Safety / range restriction of the head, including Δ-term internals.
+    std::set<uint32_t> head_vars;
+    CollectHeadVars(rule.head, &head_vars);
+    for (uint32_t v : head_vars) {
+      if (positive_vars.count(v) == 0) {
+        return rule_err("head variable '" + interner_->Name(v) +
+                        "' not bound by a positive body atom");
+      }
+    }
+
+    // Δ-terms must have non-empty parameter tuples.
+    for (const HeadArg& arg : rule.head.args) {
+      if (arg.is_delta() && arg.delta().params.empty()) {
+        return rule_err("Δ-term with empty parameter tuple");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::set<uint32_t> Program::Predicates() const {
+  std::set<uint32_t> out;
+  for (const Rule& rule : rules_) {
+    if (!rule.is_constraint) out.insert(rule.head.predicate);
+    for (const Literal& lit : rule.body) out.insert(lit.atom.predicate);
+  }
+  return out;
+}
+
+std::set<uint32_t> Program::IntensionalPredicates() const {
+  std::set<uint32_t> out;
+  for (const Rule& rule : rules_) {
+    if (!rule.is_constraint) out.insert(rule.head.predicate);
+  }
+  return out;
+}
+
+std::set<uint32_t> Program::ExtensionalPredicates() const {
+  std::set<uint32_t> all = Predicates();
+  for (uint32_t p : IntensionalPredicates()) all.erase(p);
+  return all;
+}
+
+std::map<uint32_t, size_t> Program::Arities() const {
+  std::map<uint32_t, size_t> out;
+  for (const Rule& rule : rules_) {
+    if (!rule.is_constraint) out.emplace(rule.head.predicate, rule.head.arity());
+    for (const Literal& lit : rule.body) {
+      out.emplace(lit.atom.predicate, lit.atom.arity());
+    }
+  }
+  return out;
+}
+
+bool Program::IsPositive() const {
+  for (const Rule& rule : rules_) {
+    for (const Literal& lit : rule.body) {
+      if (lit.negated) return false;
+    }
+  }
+  return true;
+}
+
+bool Program::IsPlain() const {
+  for (const Rule& rule : rules_) {
+    if (!rule.IsPlain()) return false;
+  }
+  return true;
+}
+
+std::pair<uint32_t, uint32_t> Program::DesugarConstraints() {
+  bool any = false;
+  for (const Rule& rule : rules_) {
+    if (rule.is_constraint) {
+      any = true;
+      break;
+    }
+  }
+  uint32_t fail = interner_->Intern("__fail");
+  uint32_t aux = interner_->Intern("__aux");
+  if (!any) return {fail, aux};
+
+  for (Rule& rule : rules_) {
+    if (!rule.is_constraint) continue;
+    rule.is_constraint = false;
+    rule.head = HeadAtom{fail, {}};
+  }
+  if (!has_fail_) {
+    // Fail, ¬Aux → Aux  — forces Fail to be false in every stable model.
+    Rule killer;
+    killer.head = HeadAtom{aux, {}};
+    killer.body.push_back(Literal{Atom{fail, {}}, /*negated=*/false});
+    killer.body.push_back(Literal{Atom{aux, {}}, /*negated=*/true});
+    rules_.push_back(std::move(killer));
+    has_fail_ = true;
+    fail_predicate_ = fail;
+  }
+  return {fail, aux};
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Rule& rule : rules_) {
+    out += rule.ToString(interner_.get());
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace gdlog

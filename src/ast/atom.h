@@ -1,0 +1,71 @@
+#ifndef GDLOG_AST_ATOM_H_
+#define GDLOG_AST_ATOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/term.h"
+
+namespace gdlog {
+
+/// A relational atom R(t1,...,tn) over ordinary terms; used in rule bodies
+/// and (when no Δ-term is present) in heads.
+struct Atom {
+  uint32_t predicate = 0;  ///< Interned predicate name.
+  std::vector<Term> args;
+
+  size_t arity() const { return args.size(); }
+
+  bool operator==(const Atom& other) const {
+    return predicate == other.predicate && args == other.args;
+  }
+
+  std::string ToString(const Interner* interner = nullptr) const;
+};
+
+/// A body literal: an atom or its stable negation ¬R(t̄).
+struct Literal {
+  Atom atom;
+  bool negated = false;
+
+  bool operator==(const Literal& other) const {
+    return negated == other.negated && atom == other.atom;
+  }
+
+  std::string ToString(const Interner* interner = nullptr) const;
+};
+
+/// A Δ-atom R(u1,...,un) where each position is an ordinary term or a
+/// Δ-term (§3). Appears only as a rule head.
+struct HeadAtom {
+  uint32_t predicate = 0;
+  std::vector<HeadArg> args;
+
+  size_t arity() const { return args.size(); }
+
+  /// True iff no argument is a Δ-term.
+  bool IsPlain() const {
+    for (const HeadArg& a : args) {
+      if (a.is_delta()) return false;
+    }
+    return true;
+  }
+
+  /// Number of Δ-term arguments.
+  size_t DeltaCount() const {
+    size_t n = 0;
+    for (const HeadArg& a : args) n += a.is_delta() ? 1 : 0;
+    return n;
+  }
+
+  bool operator==(const HeadAtom& other) const {
+    return predicate == other.predicate && args == other.args;
+  }
+
+  std::string ToString(const Interner* interner = nullptr) const;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_AST_ATOM_H_

@@ -1,0 +1,238 @@
+#include "ast/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace gdlog {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kVariable: return "variable";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kDouble: return "float";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLAngle: return "'<'";
+    case TokenKind::kRAngle: return "'>'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kImplies: return "':-'";
+    case TokenKind::kNot: return "'not'";
+    case TokenKind::kTrue: return "'true'";
+    case TokenKind::kFalse: return "'false'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+// Local helper: propagate a Status as the lexer's Result error.
+#define GDLOG_RETURN_IF_ERROR_RES(expr)                    \
+  do {                                                     \
+    ::gdlog::Status _st = (expr);                          \
+    if (!_st.ok()) return _st;                             \
+  } while (0)
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) break;
+      Token tok;
+      tok.line = line_;
+      tok.column = column_;
+      char c = Peek();
+      if (c == '(') { tok.kind = TokenKind::kLParen; Advance(); }
+      else if (c == ')') { tok.kind = TokenKind::kRParen; Advance(); }
+      else if (c == '[') { tok.kind = TokenKind::kLBracket; Advance(); }
+      else if (c == ']') { tok.kind = TokenKind::kRBracket; Advance(); }
+      else if (c == '<') { tok.kind = TokenKind::kLAngle; Advance(); }
+      else if (c == '>') { tok.kind = TokenKind::kRAngle; Advance(); }
+      else if (c == ',') { tok.kind = TokenKind::kComma; Advance(); }
+      else if (c == '.') {
+        // Distinguish end-of-rule '.' from a leading-dot float like ".5"
+        // (we do not support the latter; always a rule terminator).
+        tok.kind = TokenKind::kDot;
+        Advance();
+      } else if (c == ':') {
+        Advance();
+        if (AtEnd() || Peek() != '-') {
+          return Err(tok, "expected '-' after ':'");
+        }
+        Advance();
+        tok.kind = TokenKind::kImplies;
+      } else if (c == '-') {
+        tok.kind = TokenKind::kMinus;
+        Advance();
+      } else if (c == '"') {
+        GDLOG_RETURN_IF_ERROR_RES(LexString(&tok));
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        GDLOG_RETURN_IF_ERROR_RES(LexNumber(&tok));
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        LexIdent(&tok);
+      } else {
+        return Err(tok, std::string("unexpected character '") + c + "'");
+      }
+      tokens.push_back(std::move(tok));
+    }
+    Token eof;
+    eof.kind = TokenKind::kEof;
+    eof.line = line_;
+    eof.column = column_;
+    tokens.push_back(eof);
+    return tokens;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek() const { return src_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+  }
+
+  void Advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+      if (!AtEnd() && Peek() == '%') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  Status Err(const Token& tok, const std::string& msg) {
+    return Status::ParseError("line " + std::to_string(tok.line) + ":" +
+                              std::to_string(tok.column) + ": " + msg);
+  }
+
+  Status LexString(Token* tok) {
+    tok->kind = TokenKind::kString;
+    Advance();  // opening quote
+    std::string text;
+    while (!AtEnd() && Peek() != '"') {
+      if (Peek() == '\\') {
+        Advance();
+        if (AtEnd()) break;
+        char e = Peek();
+        switch (e) {
+          case 'n': text += '\n'; break;
+          case 't': text += '\t'; break;
+          case '\\': text += '\\'; break;
+          case '"': text += '"'; break;
+          default: text += e; break;
+        }
+        Advance();
+      } else {
+        text += Peek();
+        Advance();
+      }
+    }
+    if (AtEnd()) return Err(*tok, "unterminated string literal");
+    Advance();  // closing quote
+    tok->text = std::move(text);
+    return Status::OK();
+  }
+
+  Status LexNumber(Token* tok) {
+    size_t start = pos_;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+    bool is_double = false;
+    // A '.' is part of the number only when followed by a digit; otherwise
+    // it terminates the rule.
+    if (!AtEnd() && Peek() == '.' &&
+        std::isdigit(static_cast<unsigned char>(PeekAt(1)))) {
+      is_double = true;
+      Advance();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      size_t save_pos = pos_;
+      int save_line = line_, save_col = column_;
+      Advance();
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) Advance();
+      if (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        is_double = true;
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          Advance();
+        }
+      } else {
+        pos_ = save_pos;
+        line_ = save_line;
+        column_ = save_col;
+      }
+    }
+    std::string text(src_.substr(start, pos_ - start));
+    tok->text = text;
+    if (is_double) {
+      tok->kind = TokenKind::kDouble;
+      tok->double_value = std::strtod(text.c_str(), nullptr);
+    } else {
+      tok->kind = TokenKind::kInt;
+      tok->int_value = std::strtoll(text.c_str(), nullptr, 10);
+    }
+    return Status::OK();
+  }
+
+  void LexIdent(Token* tok) {
+    size_t start = pos_;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      Advance();
+    }
+    std::string text(src_.substr(start, pos_ - start));
+    if (text == "not") {
+      tok->kind = TokenKind::kNot;
+    } else if (text == "true") {
+      tok->kind = TokenKind::kTrue;
+    } else if (text == "false") {
+      tok->kind = TokenKind::kFalse;
+    } else if (text[0] == '_' || std::isupper(static_cast<unsigned char>(text[0]))) {
+      tok->kind = TokenKind::kVariable;
+    } else {
+      tok->kind = TokenKind::kIdent;
+    }
+    tok->text = std::move(text);
+  }
+
+#undef GDLOG_RETURN_IF_ERROR_RES
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  return LexerImpl(source).Run();
+}
+
+}  // namespace gdlog

@@ -1,0 +1,52 @@
+#ifndef GDLOG_AST_LEXER_H_
+#define GDLOG_AST_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gdlog {
+
+/// Token kinds of the gdlog surface syntax.
+enum class TokenKind : uint8_t {
+  kIdent,      ///< lowercase-initial identifier: predicate/symbol/distribution
+  kVariable,   ///< uppercase- or underscore-initial identifier
+  kInt,        ///< integer literal
+  kDouble,     ///< floating literal (contains '.' or exponent)
+  kString,     ///< double-quoted string
+  kLParen,     ///< (
+  kRParen,     ///< )
+  kLBracket,   ///< [
+  kRBracket,   ///< ]
+  kLAngle,     ///< <
+  kRAngle,     ///< >
+  kComma,      ///< ,
+  kDot,        ///< .
+  kImplies,    ///< :-
+  kNot,        ///< keyword `not`
+  kTrue,       ///< keyword `true`
+  kFalse,      ///< keyword `false`
+  kMinus,      ///< -
+  kEof,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;     ///< Identifier / literal text (unquoted for strings).
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes gdlog program text. `%` starts a line comment.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_AST_LEXER_H_

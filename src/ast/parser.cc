@@ -1,0 +1,208 @@
+#include "ast/parser.h"
+
+#include <utility>
+
+#include "ast/lexer.h"
+
+namespace gdlog {
+
+namespace {
+
+class ParserImpl {
+ public:
+  ParserImpl(std::vector<Token> tokens, std::shared_ptr<Interner> interner)
+      : tokens_(std::move(tokens)), program_(std::move(interner)) {}
+
+  Result<Program> Run() {
+    while (!Check(TokenKind::kEof)) {
+      Status st = ParseRule();
+      if (!st.ok()) return st;
+    }
+    return std::move(program_);
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekNext() const {
+    return pos_ + 1 < tokens_.size() ? tokens_[pos_ + 1] : tokens_.back();
+  }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+
+  Status Err(const std::string& msg) {
+    const Token& tok = Peek();
+    return Status::ParseError("line " + std::to_string(tok.line) + ":" +
+                              std::to_string(tok.column) + ": " + msg +
+                              " (got " + std::string(TokenKindName(tok.kind)) +
+                              (tok.text.empty() ? "" : " '" + tok.text + "'") +
+                              ")");
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (!Match(kind)) {
+      return Err(std::string("expected ") + what);
+    }
+    return Status::OK();
+  }
+
+  Interner* interner() { return program_.interner(); }
+
+  Status ParseRule() {
+    Rule rule;
+    if (Match(TokenKind::kImplies)) {
+      // Constraint ":- body."
+      rule.is_constraint = true;
+      GDLOG_RETURN_IF_ERROR(ParseBody(&rule.body));
+      GDLOG_RETURN_IF_ERROR(Expect(TokenKind::kDot, "'.' after constraint"));
+      program_.AddRule(std::move(rule));
+      return Status::OK();
+    }
+    GDLOG_RETURN_IF_ERROR(ParseHeadAtom(&rule.head));
+    if (Match(TokenKind::kImplies)) {
+      GDLOG_RETURN_IF_ERROR(ParseBody(&rule.body));
+    }
+    GDLOG_RETURN_IF_ERROR(Expect(TokenKind::kDot, "'.' after rule"));
+    program_.AddRule(std::move(rule));
+    return Status::OK();
+  }
+
+  Status ParseBody(std::vector<Literal>* body) {
+    for (;;) {
+      Literal lit;
+      if (Match(TokenKind::kNot)) lit.negated = true;
+      GDLOG_RETURN_IF_ERROR(ParseAtom(&lit.atom));
+      body->push_back(std::move(lit));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseAtom(Atom* atom) {
+    if (!Check(TokenKind::kIdent)) return Err("expected predicate name");
+    atom->predicate = interner()->Intern(Advance().text);
+    if (!Match(TokenKind::kLParen)) return Status::OK();  // 0-ary atom
+    for (;;) {
+      Term t;
+      GDLOG_RETURN_IF_ERROR(ParseTerm(&t));
+      atom->args.push_back(t);
+      if (!Match(TokenKind::kComma)) break;
+    }
+    return Expect(TokenKind::kRParen, "')' after atom arguments");
+  }
+
+  Status ParseHeadAtom(HeadAtom* head) {
+    if (!Check(TokenKind::kIdent)) return Err("expected predicate name");
+    head->predicate = interner()->Intern(Advance().text);
+    if (!Match(TokenKind::kLParen)) return Status::OK();
+    for (;;) {
+      HeadArg arg;
+      GDLOG_RETURN_IF_ERROR(ParseHeadArg(&arg));
+      head->args.push_back(std::move(arg));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    return Expect(TokenKind::kRParen, "')' after head arguments");
+  }
+
+  Status ParseHeadArg(HeadArg* arg) {
+    // A Δ-term starts with ident '<'.
+    if (Check(TokenKind::kIdent) && PeekNext().kind == TokenKind::kLAngle) {
+      DeltaTerm delta;
+      delta.dist_id = interner()->Intern(Advance().text);
+      Advance();  // '<'
+      for (;;) {
+        Term t;
+        GDLOG_RETURN_IF_ERROR(ParseTerm(&t));
+        delta.params.push_back(t);
+        if (!Match(TokenKind::kComma)) break;
+      }
+      GDLOG_RETURN_IF_ERROR(
+          Expect(TokenKind::kRAngle, "'>' after distribution parameters"));
+      if (Match(TokenKind::kLBracket)) {
+        if (!Check(TokenKind::kRBracket)) {
+          for (;;) {
+            Term t;
+            GDLOG_RETURN_IF_ERROR(ParseTerm(&t));
+            delta.events.push_back(t);
+            if (!Match(TokenKind::kComma)) break;
+          }
+        }
+        GDLOG_RETURN_IF_ERROR(
+            Expect(TokenKind::kRBracket, "']' after event signature"));
+      }
+      *arg = HeadArg(std::move(delta));
+      return Status::OK();
+    }
+    Term t;
+    GDLOG_RETURN_IF_ERROR(ParseTerm(&t));
+    *arg = HeadArg(t);
+    return Status::OK();
+  }
+
+  Status ParseTerm(Term* term) {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kVariable:
+        *term = Term::Variable(interner()->Intern(Advance().text));
+        return Status::OK();
+      case TokenKind::kInt:
+        *term = Term::Constant(Value::Int(Advance().int_value));
+        return Status::OK();
+      case TokenKind::kDouble:
+        *term = Term::Constant(Value::Double(Advance().double_value));
+        return Status::OK();
+      case TokenKind::kMinus: {
+        Advance();
+        if (Check(TokenKind::kInt)) {
+          *term = Term::Constant(Value::Int(-Advance().int_value));
+          return Status::OK();
+        }
+        if (Check(TokenKind::kDouble)) {
+          *term = Term::Constant(Value::Double(-Advance().double_value));
+          return Status::OK();
+        }
+        return Err("expected number after '-'");
+      }
+      case TokenKind::kString:
+        *term =
+            Term::Constant(Value::Symbol(interner()->Intern(Advance().text)));
+        return Status::OK();
+      case TokenKind::kTrue:
+        Advance();
+        *term = Term::Constant(Value::Bool(true));
+        return Status::OK();
+      case TokenKind::kFalse:
+        Advance();
+        *term = Term::Constant(Value::Bool(false));
+        return Status::OK();
+      case TokenKind::kIdent:
+        *term =
+            Term::Constant(Value::Symbol(interner()->Intern(Advance().text)));
+        return Status::OK();
+      default:
+        return Err("expected term");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Program program_;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view source,
+                             std::shared_ptr<Interner> interner) {
+  auto tokens = Tokenize(source);
+  if (!tokens.ok()) return tokens.status();
+  if (interner == nullptr) interner = std::make_shared<Interner>();
+  return ParserImpl(std::move(tokens).value(), std::move(interner)).Run();
+}
+
+}  // namespace gdlog

@@ -1,0 +1,35 @@
+#ifndef GDLOG_AST_PARSER_H_
+#define GDLOG_AST_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "ast/program.h"
+#include "util/status.h"
+
+namespace gdlog {
+
+/// Parses gdlog surface syntax into a Program. Grammar (EBNF-ish):
+///
+///   program     ::= { rule | constraint }
+///   rule        ::= head_atom [ ":-" body ] "."
+///   constraint  ::= ":-" body "."
+///   body        ::= literal { "," literal }
+///   literal     ::= [ "not" ] atom
+///   atom        ::= ident [ "(" term { "," term } ")" ]
+///   head_atom   ::= ident [ "(" head_arg { "," head_arg } ")" ]
+///   head_arg    ::= term | delta_term
+///   delta_term  ::= ident "<" term { "," term } ">" [ "[" term { "," term } "]" ]
+///   term        ::= variable | constant
+///   constant    ::= integer | float | string | "true" | "false" | ident
+///
+/// Lowercase identifiers in term position are symbolic constants; `true` and
+/// `false` are boolean constants; "%": line comment.
+///
+/// If `interner` is null a fresh one is created.
+Result<Program> ParseProgram(std::string_view source,
+                             std::shared_ptr<Interner> interner = nullptr);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_AST_PARSER_H_

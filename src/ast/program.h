@@ -1,0 +1,84 @@
+#ifndef GDLOG_AST_PROGRAM_H_
+#define GDLOG_AST_PROGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/rule.h"
+#include "util/interner.h"
+#include "util/status.h"
+
+namespace gdlog {
+
+/// A GDatalog¬[Δ] program Π: a finite set of rules over a schema, plus the
+/// interners that give names to predicates, variables, symbolic constants
+/// and distributions. Plain Datalog¬ programs are the special case where no
+/// rule head mentions a Δ-term.
+class Program {
+ public:
+  Program() : interner_(std::make_shared<Interner>()) {}
+  explicit Program(std::shared_ptr<Interner> interner)
+      : interner_(std::move(interner)) {}
+
+  /// The shared name table. Distribution, predicate, variable and symbol
+  /// names all live here (ids are only meaningful per syntactic position).
+  Interner* interner() { return interner_.get(); }
+  const Interner* interner() const { return interner_.get(); }
+  std::shared_ptr<Interner> shared_interner() const { return interner_; }
+
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::vector<Rule>& mutable_rules() { return rules_; }
+
+  /// Validates the program:
+  ///  * consistent arity per predicate,
+  ///  * safety: every variable of a negative literal, and every variable of
+  ///    the head (including those inside Δ-term parameters and event
+  ///    signatures), occurs in a positive body atom,
+  ///  * constraints have no head.
+  Status Validate() const;
+
+  /// Predicates appearing anywhere in the program (sch(Π)).
+  std::set<uint32_t> Predicates() const;
+
+  /// Intensional predicates: those appearing in some rule head (idb(Π)).
+  std::set<uint32_t> IntensionalPredicates() const;
+
+  /// Extensional predicates: sch(Π) minus idb(Π) (edb(Π)).
+  std::set<uint32_t> ExtensionalPredicates() const;
+
+  /// Arity of each predicate (validated to be consistent).
+  std::map<uint32_t, size_t> Arities() const;
+
+  /// True iff no rule uses negation.
+  bool IsPositive() const;
+
+  /// True iff no rule head mentions a Δ-term (plain Datalog¬).
+  bool IsPlain() const;
+
+  /// Rewrites each constraint "body → ⊥" into the paper's Fail/Aux encoding:
+  ///   body → Fail            and (once)   Fail, ¬Aux → Aux,
+  /// with fresh 0-ary predicates. Returns the name ids used (fail, aux).
+  /// Idempotent: programs without constraints are returned unchanged.
+  std::pair<uint32_t, uint32_t> DesugarConstraints();
+
+  /// True iff the Fail/Aux pair was introduced by DesugarConstraints.
+  bool has_fail() const { return has_fail_; }
+  uint32_t fail_predicate() const { return fail_predicate_; }
+
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<Interner> interner_;
+  std::vector<Rule> rules_;
+  bool has_fail_ = false;
+  uint32_t fail_predicate_ = 0;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_AST_PROGRAM_H_

@@ -1,0 +1,59 @@
+#ifndef GDLOG_AST_RULE_H_
+#define GDLOG_AST_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/atom.h"
+
+namespace gdlog {
+
+/// A GDatalog¬[Δ] rule (§3):
+///
+///   R1(ū1), ..., Rn(ūn), ¬P1(v̄1), ..., ¬Pm(v̄m) → R0(w̄)
+///
+/// where w̄ may mention Δ-terms. A rule with `is_constraint == true` has no
+/// head and denotes the ⊥-rule "body → ⊥"; the paper treats ⊥ as syntactic
+/// sugar for the Fail/Aux encoding, which `Program::DesugarConstraints`
+/// makes explicit.
+struct Rule {
+  HeadAtom head;
+  std::vector<Literal> body;
+  bool is_constraint = false;
+
+  /// Positive body literals B+(ρ).
+  std::vector<const Atom*> PositiveBody() const {
+    std::vector<const Atom*> out;
+    for (const Literal& l : body) {
+      if (!l.negated) out.push_back(&l.atom);
+    }
+    return out;
+  }
+
+  /// Atoms of negative body literals B-(ρ).
+  std::vector<const Atom*> NegativeBody() const {
+    std::vector<const Atom*> out;
+    for (const Literal& l : body) {
+      if (l.negated) out.push_back(&l.atom);
+    }
+    return out;
+  }
+
+  /// True iff the body is empty and the head is ground and plain — i.e. the
+  /// rule is a fact.
+  bool IsFact() const;
+
+  /// True iff the head mentions no Δ-term (constraints count as plain).
+  bool IsPlain() const { return is_constraint || head.IsPlain(); }
+
+  bool operator==(const Rule& other) const {
+    return is_constraint == other.is_constraint && head == other.head &&
+           body == other.body;
+  }
+
+  std::string ToString(const Interner* interner = nullptr) const;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_AST_RULE_H_

@@ -1,0 +1,103 @@
+#ifndef GDLOG_AST_TERM_H_
+#define GDLOG_AST_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/value.h"
+
+namespace gdlog {
+
+class Interner;
+
+/// An ordinary term: a constant of C or a variable of V (§2 of the paper).
+/// Variables are interned names; matching layers remap them to dense
+/// per-rule slots.
+class Term {
+ public:
+  enum class Kind : uint8_t { kConstant, kVariable };
+
+  Term() : kind_(Kind::kConstant), constant_(Value::Int(0)) {}
+
+  static Term Constant(Value v) {
+    Term t;
+    t.kind_ = Kind::kConstant;
+    t.constant_ = v;
+    return t;
+  }
+  static Term Variable(uint32_t var_id) {
+    Term t;
+    t.kind_ = Kind::kVariable;
+    t.var_id_ = var_id;
+    return t;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_constant() const { return kind_ == Kind::kConstant; }
+  bool is_variable() const { return kind_ == Kind::kVariable; }
+
+  const Value& constant() const { return constant_; }
+  uint32_t var_id() const { return var_id_; }
+
+  bool operator==(const Term& other) const {
+    if (kind_ != other.kind_) return false;
+    if (kind_ == Kind::kConstant) return constant_ == other.constant_;
+    return var_id_ == other.var_id_;
+  }
+  bool operator!=(const Term& other) const { return !(*this == other); }
+
+  std::string ToString(const Interner* interner = nullptr) const;
+
+ private:
+  Kind kind_;
+  Value constant_;
+  uint32_t var_id_ = 0;
+};
+
+/// A Δ-term δ⟨p̄⟩[q̄] (§3): a sample from the parameterized distribution δ
+/// instantiated with parameters p̄; distinct event signatures q̄ yield
+/// independent samples. Only legal in rule heads.
+struct DeltaTerm {
+  /// Interned distribution name (e.g. "flip").
+  uint32_t dist_id = 0;
+  /// Distribution parameters p̄ (non-empty tuple of terms).
+  std::vector<Term> params;
+  /// Optional event signature q̄ (possibly empty tuple of terms).
+  std::vector<Term> events;
+
+  bool operator==(const DeltaTerm& other) const {
+    return dist_id == other.dist_id && params == other.params &&
+           events == other.events;
+  }
+
+  std::string ToString(const Interner* interner = nullptr) const;
+};
+
+/// A head argument: an ordinary term or a Δ-term (a Δ-atom position, §3).
+class HeadArg {
+ public:
+  HeadArg() : is_delta_(false) {}
+  /*implicit*/ HeadArg(Term t) : is_delta_(false), term_(t) {}
+  /*implicit*/ HeadArg(DeltaTerm d) : is_delta_(true), delta_(std::move(d)) {}
+
+  bool is_delta() const { return is_delta_; }
+  const Term& term() const { return term_; }
+  const DeltaTerm& delta() const { return delta_; }
+
+  bool operator==(const HeadArg& other) const {
+    if (is_delta_ != other.is_delta_) return false;
+    return is_delta_ ? delta_ == other.delta_ : term_ == other.term_;
+  }
+
+  std::string ToString(const Interner* interner = nullptr) const;
+
+ private:
+  bool is_delta_;
+  Term term_;
+  DeltaTerm delta_;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_AST_TERM_H_

@@ -1,0 +1,180 @@
+#include "datalog/evaluator.h"
+
+#include <unordered_map>
+
+#include "ast/parser.h"
+#include "ground/matcher.h"
+
+namespace gdlog {
+
+Result<DatalogEvaluator> DatalogEvaluator::Create(Program pi) {
+  GDLOG_RETURN_IF_ERROR(pi.Validate());
+  if (!pi.IsPlain()) {
+    return Status::InvalidArgument(
+        "DatalogEvaluator handles plain programs only (no Δ-terms); use "
+        "GDatalog for generative programs");
+  }
+  DatalogEvaluator eval(std::move(pi));
+  eval.dg_ = std::make_shared<DependencyGraph>(eval.pi_);
+  if (!eval.dg_->IsStratified()) {
+    return Status::NotStratified(
+        "DatalogEvaluator requires stratified negation; use GDatalog (it "
+        "enumerates stable models)");
+  }
+  eval.stratum_rules_.assign(eval.dg_->Components().size(), {});
+  for (const Rule& rule : eval.pi_.rules()) {
+    if (rule.is_constraint) {
+      eval.constraints_.push_back(&rule);
+      continue;
+    }
+    eval.stratum_rules_[eval.dg_->ComponentOf(rule.head.predicate)].push_back(
+        &rule);
+  }
+  return eval;
+}
+
+Result<DatalogEvaluator::Model> DatalogEvaluator::Materialize(
+    const FactStore& db, Stats* stats) const {
+  Model model;
+  model.facts = db;
+  Stats local;
+  local.strata = stratum_rules_.size();
+
+  Matcher matcher(&model.facts);
+
+  for (const std::vector<const Rule*>& stratum : stratum_rules_) {
+    if (stratum.empty()) continue;
+
+    // Round 0: naive pass over the whole store (facts from the database
+    // and earlier strata are all "new" for this stratum's rules).
+    // Subsequent rounds: semi-naive, pivoting on the previous round's
+    // delta. Negative literals are decided against the store as-is —
+    // sound because their predicates live in strictly earlier strata.
+    std::vector<GroundAtom> delta;
+    auto fire = [&](const Rule* rule, const Binding& binding,
+                    std::vector<GroundAtom>* derived) {
+      for (const Literal& lit : rule->body) {
+        if (!lit.negated) continue;
+        if (model.facts.Contains(ApplyAtom(lit.atom, binding))) return;
+      }
+      ++local.rule_applications;
+      GroundAtom head;
+      head.predicate = rule->head.predicate;
+      head.args.reserve(rule->head.args.size());
+      for (const HeadArg& arg : rule->head.args) {
+        head.args.push_back(ApplyTerm(arg.term(), binding));
+      }
+      derived->push_back(std::move(head));
+    };
+
+    // Naive round.
+    ++local.rounds;
+    std::vector<GroundAtom> derived;
+    for (const Rule* rule : stratum) {
+      std::vector<const Atom*> pos = rule->PositiveBody();
+      if (pos.empty()) {
+        Binding empty;
+        fire(rule, empty, &derived);
+        continue;
+      }
+      matcher.Match(pos, [&](const Binding& binding) {
+        fire(rule, binding, &derived);
+        return true;
+      });
+    }
+    for (GroundAtom& atom : derived) {
+      if (model.facts.Insert(atom)) {
+        ++local.derived_facts;
+        delta.push_back(std::move(atom));
+      }
+    }
+
+    // Semi-naive rounds.
+    while (!delta.empty()) {
+      ++local.rounds;
+      std::unordered_map<uint32_t, std::vector<Tuple>> batch;
+      for (GroundAtom& atom : delta) {
+        batch[atom.predicate].push_back(std::move(atom.args));
+      }
+      delta.clear();
+      derived.clear();
+      for (const Rule* rule : stratum) {
+        std::vector<const Atom*> pos = rule->PositiveBody();
+        for (size_t pivot = 0; pivot < pos.size(); ++pivot) {
+          auto hit = batch.find(pos[pivot]->predicate);
+          if (hit == batch.end()) continue;
+          matcher.MatchWithPivot(pos, pivot, hit->second,
+                                 [&](const Binding& binding) {
+                                   fire(rule, binding, &derived);
+                                   return true;
+                                 });
+        }
+      }
+      for (GroundAtom& atom : derived) {
+        if (model.facts.Insert(atom)) {
+          ++local.derived_facts;
+          delta.push_back(std::move(atom));
+        }
+      }
+    }
+  }
+
+  // Constraints: check against the completed model.
+  for (const Rule* constraint : constraints_) {
+    std::vector<const Atom*> pos = constraint->PositiveBody();
+    bool violated = false;
+    auto check = [&](const Binding& binding) {
+      for (const Literal& lit : constraint->body) {
+        if (!lit.negated) continue;
+        if (model.facts.Contains(ApplyAtom(lit.atom, binding))) return true;
+      }
+      violated = true;
+      if (model.violations.size() < 8) {
+        model.violations.push_back(constraint->ToString(pi_.interner()));
+      }
+      return false;  // one witness per constraint suffices
+    };
+    if (pos.empty()) {
+      Binding empty;
+      check(empty);
+    } else {
+      matcher.Match(pos, check);
+    }
+    if (violated) model.consistent = false;
+  }
+
+  if (stats != nullptr) *stats = local;
+  return model;
+}
+
+Result<std::vector<Tuple>> DatalogEvaluator::Query(const FactStore& store,
+                                                   const Program& pi,
+                                                   std::string_view pattern) {
+  std::string text(pattern);
+  if (text.empty()) return Status::InvalidArgument("empty query pattern");
+  if (text.back() != '.') text += ".";
+  auto parsed = ParseProgram(text, pi.shared_interner());
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->rules().size() != 1 || parsed->rules()[0].is_constraint ||
+      !parsed->rules()[0].body.empty()) {
+    return Status::InvalidArgument("query pattern must be a single atom");
+  }
+  const HeadAtom& head = parsed->rules()[0].head;
+  Atom atom;
+  atom.predicate = head.predicate;
+  for (const HeadArg& arg : head.args) {
+    if (arg.is_delta()) {
+      return Status::InvalidArgument("query pattern cannot contain Δ-terms");
+    }
+    atom.args.push_back(arg.term());
+  }
+  Matcher matcher(&store);
+  std::vector<Tuple> rows;
+  matcher.Match({&atom}, [&](const Binding& binding) {
+    rows.push_back(ApplyAtom(atom, binding).args);
+    return true;
+  });
+  return rows;
+}
+
+}  // namespace gdlog

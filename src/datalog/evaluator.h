@@ -1,0 +1,72 @@
+#ifndef GDLOG_DATALOG_EVALUATOR_H_
+#define GDLOG_DATALOG_EVALUATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "ground/dependency_graph.h"
+#include "ground/fact_store.h"
+
+namespace gdlog {
+
+/// A standalone bottom-up evaluator for *plain, stratified* Datalog¬
+/// programs — the deterministic sublanguage of GDatalog¬ (no Δ-terms).
+/// Computes the perfect model of Π on D by stratum-wise semi-naive
+/// fixpoints; negation in stratum i refers only to strata < i, so every
+/// negative literal is decided when first evaluated.
+///
+/// This is the engine a user reaches for when no probabilities are
+/// involved: it materializes instances directly (no ground-rule
+/// representation), which is considerably cheaper than going through the
+/// probabilistic chase with an empty choice set.
+class DatalogEvaluator {
+ public:
+  /// Validates and compiles Π: must be plain (no Δ-terms) and stratified.
+  /// Constraints are allowed; they are checked after materialization.
+  static Result<DatalogEvaluator> Create(Program pi);
+
+  /// Evaluation counters for observability and tests.
+  struct Stats {
+    size_t strata = 0;
+    size_t rounds = 0;             ///< Semi-naive rounds across strata.
+    size_t rule_applications = 0;  ///< Successful body matches.
+    size_t derived_facts = 0;      ///< Facts added beyond the database.
+  };
+
+  struct Model {
+    /// The perfect model (database facts included).
+    FactStore facts;
+    /// False iff some ground constraint fired.
+    bool consistent = true;
+    /// Rendered ground constraint violations (first few, for diagnostics).
+    std::vector<std::string> violations;
+  };
+
+  /// Materializes the perfect model of Π on `db`.
+  Result<Model> Materialize(const FactStore& db, Stats* stats = nullptr) const;
+
+  const Program& program() const { return pi_; }
+  const DependencyGraph& dependency_graph() const { return *dg_; }
+
+  /// Convenience: all rows of `store` matching an atom pattern given in
+  /// surface syntax (e.g. "path(1, X)"); variables match anything, repeated
+  /// variables must agree.
+  static Result<std::vector<Tuple>> Query(const FactStore& store,
+                                          const Program& pi,
+                                          std::string_view pattern);
+
+ private:
+  explicit DatalogEvaluator(Program pi) : pi_(std::move(pi)) {}
+
+  Program pi_;
+  std::shared_ptr<DependencyGraph> dg_;
+  /// Non-constraint rules grouped by head stratum.
+  std::vector<std::vector<const Rule*>> stratum_rules_;
+  std::vector<const Rule*> constraints_;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_DATALOG_EVALUATOR_H_

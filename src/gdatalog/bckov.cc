@@ -1,0 +1,166 @@
+#include "gdatalog/bckov.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ground/matcher.h"
+
+namespace gdlog {
+
+struct BckovEngine::Trigger {
+  const DeltaSignature* sig = nullptr;
+  Tuple prefix;  // (p̄, q̄)
+
+  bool operator<(const Trigger& other) const {
+    if (sig->result_pred != other.sig->result_pred) {
+      return sig->result_pred < other.sig->result_pred;
+    }
+    GroundAtom a{sig->result_pred, prefix};
+    GroundAtom b{other.sig->result_pred, other.prefix};
+    return a < b;
+  }
+  bool operator==(const Trigger& other) const {
+    return sig->result_pred == other.sig->result_pred &&
+           prefix == other.prefix;
+  }
+};
+
+Result<BckovEngine> BckovEngine::Create(const Program& pi,
+                                        const FactStore* db,
+                                        const DistributionRegistry* registry) {
+  if (!pi.IsPositive()) {
+    return Status::InvalidArgument(
+        "BCKOV semantics is defined for positive programs only");
+  }
+  for (const Rule& rule : pi.rules()) {
+    if (rule.is_constraint) {
+      return Status::InvalidArgument(
+          "BCKOV semantics does not support constraints");
+    }
+  }
+  BckovEngine engine;
+  engine.pi_ = pi;  // copy (shares the interner)
+  engine.db_ = db;
+  GDLOG_ASSIGN_OR_RETURN(engine.translated_, TranslateToTgd(pi, *registry));
+  return engine;
+}
+
+void BckovEngine::Saturate(FactStore* instance) const {
+  // Least fixpoint of the non-Active rules of Σ̃ over the instance. The
+  // Active-head rules exist only to detect triggers; BCKOV's translation
+  // has no Active layer, so they are skipped here.
+  Matcher matcher(instance);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : translated_.sigma().rules()) {
+      if (translated_.IsActivePredicate(rule.head.predicate)) continue;
+      std::vector<const Atom*> body = rule.PositiveBody();
+      std::vector<GroundAtom> derived;
+      matcher.Match(body, [&](const Binding& binding) {
+        GroundAtom head;
+        head.predicate = rule.head.predicate;
+        head.args.reserve(rule.head.args.size());
+        for (const HeadArg& arg : rule.head.args) {
+          head.args.push_back(ApplyTerm(arg.term(), binding));
+        }
+        if (!instance->Contains(head)) derived.push_back(std::move(head));
+        return true;
+      });
+      for (GroundAtom& atom : derived) {
+        if (instance->Insert(atom)) changed = true;
+      }
+    }
+  }
+}
+
+std::vector<BckovEngine::Trigger> BckovEngine::FindTriggers(
+    const FactStore& instance) const {
+  // Resolved prefixes: Result atoms present, minus their outcome column.
+  std::set<std::pair<uint32_t, Tuple>> resolved;
+  for (const DeltaSignature& sig : translated_.signatures()) {
+    for (const Tuple& row : instance.Rows(sig.result_pred)) {
+      Tuple prefix(row.begin(), row.end() - 1);
+      resolved.emplace(sig.result_pred, std::move(prefix));
+    }
+  }
+
+  Matcher matcher(&instance);
+  std::vector<Trigger> triggers;
+  for (const Rule& rule : translated_.sigma().rules()) {
+    const DeltaSignature* sig =
+        translated_.SignatureByActive(rule.head.predicate);
+    if (sig == nullptr) continue;
+    std::vector<const Atom*> body = rule.PositiveBody();
+    matcher.Match(body, [&](const Binding& binding) {
+      Tuple prefix;
+      prefix.reserve(rule.head.args.size());
+      for (const HeadArg& arg : rule.head.args) {
+        prefix.push_back(ApplyTerm(arg.term(), binding));
+      }
+      if (!resolved.count({sig->result_pred, prefix})) {
+        triggers.push_back(Trigger{sig, std::move(prefix)});
+      }
+      return true;
+    });
+  }
+  std::sort(triggers.begin(), triggers.end());
+  triggers.erase(std::unique(triggers.begin(), triggers.end()),
+                 triggers.end());
+  return triggers;
+}
+
+Status BckovEngine::Dfs(Space* space, FactStore& instance, Prob prob,
+                        size_t depth, size_t max_outcomes, size_t max_depth,
+                        size_t support_limit) const {
+  if (max_outcomes != 0 && space->outcomes.size() >= max_outcomes) {
+    space->complete = false;
+    return Status::OK();
+  }
+  Saturate(&instance);
+  std::vector<Trigger> triggers = FindTriggers(instance);
+  if (triggers.empty()) {
+    Outcome outcome;
+    outcome.instance = instance.AllFacts();
+    std::sort(outcome.instance.begin(), outcome.instance.end());
+    outcome.prob = prob;
+    space->finite_mass = space->finite_mass + prob;
+    space->outcomes.push_back(std::move(outcome));
+    return Status::OK();
+  }
+  if (depth >= max_depth) {
+    space->complete = false;
+    return Status::OK();
+  }
+
+  const Trigger& trigger = triggers.front();
+  std::vector<Value> params(trigger.prefix.begin(),
+                            trigger.prefix.begin() + trigger.sig->param_count);
+  bool finite = trigger.sig->dist->HasFiniteSupport(params);
+  std::vector<Value> support =
+      trigger.sig->dist->Support(params, finite ? 0 : support_limit);
+  if (!finite) space->complete = false;
+
+  for (const Value& o : support) {
+    Prob p = trigger.sig->dist->Pmf(params, o);
+    FactStore child = instance;  // copy-on-branch
+    Tuple result_row = trigger.prefix;
+    result_row.push_back(o);
+    child.Insert(trigger.sig->result_pred, std::move(result_row));
+    GDLOG_RETURN_IF_ERROR(Dfs(space, child, prob * p, depth + 1, max_outcomes,
+                              max_depth, support_limit));
+  }
+  return Status::OK();
+}
+
+Result<BckovEngine::Space> BckovEngine::Explore(size_t max_outcomes,
+                                                size_t max_depth,
+                                                size_t support_limit) const {
+  Space space;
+  FactStore instance = *db_;
+  GDLOG_RETURN_IF_ERROR(Dfs(&space, instance, Prob::One(), 0, max_outcomes,
+                            max_depth, support_limit));
+  return space;
+}
+
+}  // namespace gdlog

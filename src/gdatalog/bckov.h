@@ -1,0 +1,68 @@
+#ifndef GDLOG_GDATALOG_BCKOV_H_
+#define GDLOG_GDATALOG_BCKOV_H_
+
+#include <memory>
+#include <vector>
+
+#include "gdatalog/translation.h"
+#include "ground/fact_store.h"
+#include "util/prob.h"
+
+namespace gdlog {
+
+/// Reference implementation of the Bárány–ten Cate–Kimelfeld–Olteanu–Vagena
+/// (BCKOV) semantics for *positive* GDatalog[Δ] programs (Appendix C of the
+/// paper): possible outcomes are minimal models of the TGD program
+/// Σ̃_Π (which has Result predicates but no Active indirection), with
+/// Pr(I) the product of δ⟨p̄⟩(o) over the Result atoms of I.
+///
+/// This engine chases *instances* (sets of facts), not ground programs —
+/// deliberately independent machinery from ChaseEngine, so Theorem C.4
+/// (isomorphism of the two probability spaces for finitely-grounding
+/// positive programs) can be validated mechanically (experiment E6).
+class BckovEngine {
+ public:
+  /// Fails unless `pi` is positive and constraint-free. Result predicates
+  /// are named as in TranslateToTgd so outcomes align with the stable
+  /// models of the main engine "modulo active".
+  static Result<BckovEngine> Create(const Program& pi, const FactStore* db,
+                                    const DistributionRegistry* registry);
+
+  /// A BCKOV possible outcome: the minimal model (sorted, including Result
+  /// atoms) and its probability.
+  struct Outcome {
+    std::vector<GroundAtom> instance;
+    Prob prob;
+  };
+
+  /// Enumerates all BCKOV possible outcomes by exhaustive chase over
+  /// instances. Budgets mirror ChaseOptions; truncation marks
+  /// `complete = false`.
+  struct Space {
+    std::vector<Outcome> outcomes;
+    Prob finite_mass = Prob::Zero();
+    bool complete = true;
+  };
+  Result<Space> Explore(size_t max_outcomes, size_t max_depth,
+                        size_t support_limit) const;
+
+  const TranslatedProgram& translated() const { return translated_; }
+
+ private:
+  BckovEngine() = default;
+
+  struct Trigger;
+  Status Dfs(Space* space, FactStore& instance, Prob prob, size_t depth,
+             size_t max_outcomes, size_t max_depth,
+             size_t support_limit) const;
+  void Saturate(FactStore* instance) const;
+  std::vector<Trigger> FindTriggers(const FactStore& instance) const;
+
+  Program pi_;
+  const FactStore* db_ = nullptr;
+  TranslatedProgram translated_;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_GDATALOG_BCKOV_H_

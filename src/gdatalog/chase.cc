@@ -1,0 +1,243 @@
+#include "gdatalog/chase.h"
+
+#include <algorithm>
+
+namespace gdlog {
+
+namespace {
+
+/// Extracts the distribution parameters p̄ from a ground Active atom
+/// Active^δ(p̄, q̄).
+std::vector<Value> ActiveParams(const GroundAtom& active,
+                                const DeltaSignature& sig) {
+  return std::vector<Value>(active.args.begin(),
+                            active.args.begin() + sig.param_count);
+}
+
+}  // namespace
+
+struct ChaseEngine::ExploreState {
+  const ChaseOptions* options;
+  OutcomeSpace space;
+  Rng trigger_rng{0};
+  bool budget_hit = false;
+};
+
+Result<StableModelSet> ChaseEngine::SolveOutcome(
+    const ChoiceSet& choices, const GroundRuleSet& grounding,
+    uint64_t solver_max_nodes) const {
+  // Σ ∪ G(Σ): the grounding plus one AtR rule Active → Result per choice.
+  std::vector<GroundRule> choice_rules;
+  choice_rules.reserve(choices.size());
+  std::vector<const GroundRule*> all_rules = grounding.rules();
+  for (const auto& [active, outcome] : choices.entries()) {
+    const DeltaSignature* sig =
+        translated_->SignatureByActive(active.predicate);
+    if (sig == nullptr) {
+      return Status::Internal("choice on a non-Active predicate");
+    }
+    GroundRule rule;
+    rule.head = ChoiceSet::ResultAtom(sig->result_pred, active, outcome);
+    rule.positive.push_back(active);
+    choice_rules.push_back(std::move(rule));
+  }
+  for (const GroundRule& r : choice_rules) all_rules.push_back(&r);
+
+  NormalProgram prog = NormalProgram::FromRules(all_rules);
+  StableModelEnumerator::Options solver_options;
+  solver_options.max_nodes = solver_max_nodes;
+  StableModelEnumerator solver(prog, solver_options);
+  StableModelSet models;
+  Status st = solver.Enumerate([&](const std::vector<uint32_t>& atoms) {
+    StableModel model;
+    model.reserve(atoms.size());
+    for (uint32_t a : atoms) model.push_back(prog.atoms().Get(a));
+    std::sort(model.begin(), model.end());
+    models.insert(std::move(model));
+    return true;
+  });
+  if (!st.ok()) return st;
+  return models;
+}
+
+Status ChaseEngine::Dfs(ExploreState& state, ChoiceSet& choices,
+                        Prob path_prob, size_t depth,
+                        const GroundRuleSet* parent_grounding,
+                        const FactStore* parent_heads,
+                        const GroundAtom* new_active) const {
+  const ChaseOptions& options = *state.options;
+
+  if (options.max_outcomes != 0 &&
+      state.space.outcomes.size() >= options.max_outcomes) {
+    state.budget_hit = true;
+    return Status::OK();
+  }
+  if (options.min_path_prob > 0.0 &&
+      path_prob.value() < options.min_path_prob) {
+    ++state.space.pruned_paths;
+    state.budget_hit = true;
+    return Status::OK();
+  }
+
+  bool incremental =
+      options.incremental && grounder_->SupportsIncremental();
+  auto grounding = std::make_shared<GroundRuleSet>();
+  FactStore heads;
+  if (incremental) {
+    if (parent_grounding == nullptr) {
+      GDLOG_RETURN_IF_ERROR(
+          grounder_->GroundWithState(choices, grounding.get(), &heads));
+    } else {
+      // Branch: clone the parent's fixpoint state and extend it with the
+      // newly recorded choice (sound by monotonicity, Definition 3.3).
+      *grounding = parent_grounding->Clone();
+      heads = *parent_heads;
+      GDLOG_RETURN_IF_ERROR(
+          grounder_->Extend(choices, *new_active, grounding.get(), &heads));
+    }
+  } else {
+    GDLOG_RETURN_IF_ERROR(grounder_->Ground(choices, grounding.get()));
+  }
+
+  std::vector<GroundAtom> triggers =
+      FindTriggers(*translated_, *grounding, choices);
+
+  if (triggers.empty()) {
+    // A leaf: λ(v) is a terminal — the result of this finite maximal path
+    // is the possible outcome Σ ∪ G(Σ) with Pr = Π δ⟨p̄⟩(o).
+    PossibleOutcome outcome;
+    outcome.choices = choices;
+    outcome.prob = path_prob;
+    if (options.compute_models) {
+      GDLOG_ASSIGN_OR_RETURN(
+          outcome.models,
+          SolveOutcome(choices, *grounding, options.solver_max_nodes));
+    }
+    if (options.keep_groundings) outcome.grounding = grounding;
+    state.space.finite_mass = state.space.finite_mass + outcome.prob;
+    state.space.outcomes.push_back(std::move(outcome));
+    return Status::OK();
+  }
+
+  if (depth >= options.max_depth) {
+    ++state.space.depth_truncated_paths;
+    state.budget_hit = true;
+    return Status::OK();
+  }
+
+  // Pick one trigger; Lemma 4.4 makes the choice irrelevant for the set of
+  // finite results, which E4 verifies by shuffling here.
+  size_t pick = 0;
+  if (options.trigger_shuffle_seed != 0) {
+    pick = static_cast<size_t>(state.trigger_rng.NextBounded(triggers.size()));
+  }
+  const GroundAtom& trigger = triggers[pick];
+  const DeltaSignature* sig = translated_->SignatureByActive(trigger.predicate);
+  if (sig == nullptr) {
+    return Status::Internal("trigger is not an Active atom");
+  }
+  std::vector<Value> params = ActiveParams(trigger, *sig);
+
+  bool finite_support = sig->dist->HasFiniteSupport(params);
+  std::vector<Value> support =
+      sig->dist->Support(params, finite_support ? 0 : options.support_limit);
+
+  Prob enumerated_mass = Prob::Zero();
+  for (const Value& o : support) {
+    Prob p = sig->dist->Pmf(params, o);
+    enumerated_mass = enumerated_mass + p;
+    bool ok = choices.Assign(trigger, o);
+    if (!ok) return Status::Internal("functionally inconsistent choice");
+    GDLOG_RETURN_IF_ERROR(Dfs(state, choices, path_prob * p, depth + 1,
+                              grounding.get(), &heads, &trigger));
+    choices.Unassign(trigger);
+  }
+  if (!finite_support) {
+    // Tail mass of the truncated support joins the residual.
+    Prob tail = Prob::One() - enumerated_mass;
+    if (tail.value() > 0.0) {
+      state.space.support_truncation_mass =
+          state.space.support_truncation_mass + path_prob * tail;
+      state.budget_hit = true;
+    }
+  }
+  return Status::OK();
+}
+
+Result<OutcomeSpace> ChaseEngine::Explore(const ChaseOptions& options) const {
+  ExploreState state;
+  state.options = &options;
+  if (options.trigger_shuffle_seed != 0) {
+    state.trigger_rng.Seed(options.trigger_shuffle_seed);
+  }
+  ChoiceSet choices;
+  GDLOG_RETURN_IF_ERROR(Dfs(state, choices, Prob::One(), 0,
+                            /*parent_grounding=*/nullptr,
+                            /*parent_heads=*/nullptr,
+                            /*new_active=*/nullptr));
+  state.space.complete = !state.budget_hit;
+  return std::move(state.space);
+}
+
+Result<ChaseEngine::PathSample> ChaseEngine::SamplePath(
+    Rng* rng, const ChaseOptions& options) const {
+  PathSample sample;
+  bool incremental =
+      options.incremental && grounder_->SupportsIncremental();
+  // A single path never backtracks, so incremental mode can thread one
+  // (grounding, heads) pair through the whole walk without cloning.
+  auto incremental_grounding = std::make_shared<GroundRuleSet>();
+  FactStore incremental_heads;
+  if (incremental) {
+    GDLOG_RETURN_IF_ERROR(grounder_->GroundWithState(
+        sample.choices, incremental_grounding.get(), &incremental_heads));
+  }
+  for (size_t depth = 0;; ++depth) {
+    std::shared_ptr<GroundRuleSet> grounding;
+    if (incremental) {
+      grounding = incremental_grounding;
+    } else {
+      grounding = std::make_shared<GroundRuleSet>();
+      GDLOG_RETURN_IF_ERROR(
+          grounder_->Ground(sample.choices, grounding.get()));
+    }
+    std::vector<GroundAtom> triggers =
+        FindTriggers(*translated_, *grounding, sample.choices);
+    if (triggers.empty()) {
+      if (options.compute_models) {
+        GDLOG_ASSIGN_OR_RETURN(
+            sample.models,
+            SolveOutcome(sample.choices, *grounding,
+                         options.solver_max_nodes));
+      }
+      if (options.keep_groundings) sample.grounding = grounding;
+      return sample;
+    }
+    if (depth >= options.max_depth) {
+      sample.truncated = true;
+      return sample;
+    }
+    // Resolve the canonically first trigger by sampling; per Theorem 4.6
+    // the induced path distribution matches the outcome space regardless of
+    // the trigger picked.
+    const GroundAtom& trigger = triggers.front();
+    const DeltaSignature* sig =
+        translated_->SignatureByActive(trigger.predicate);
+    if (sig == nullptr) {
+      return Status::Internal("trigger is not an Active atom");
+    }
+    std::vector<Value> params = ActiveParams(trigger, *sig);
+    Value o = sig->dist->Sample(params, rng);
+    sample.prob = sample.prob * sig->dist->Pmf(params, o);
+    if (!sample.choices.Assign(trigger, o)) {
+      return Status::Internal("functionally inconsistent sampled choice");
+    }
+    if (incremental) {
+      GDLOG_RETURN_IF_ERROR(grounder_->Extend(sample.choices, trigger,
+                                              incremental_grounding.get(),
+                                              &incremental_heads));
+    }
+  }
+}
+
+}  // namespace gdlog

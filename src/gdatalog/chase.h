@@ -1,0 +1,99 @@
+#ifndef GDLOG_GDATALOG_CHASE_H_
+#define GDLOG_GDATALOG_CHASE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "gdatalog/grounder.h"
+#include "gdatalog/outcome.h"
+#include "util/rng.h"
+
+namespace gdlog {
+
+/// Budgets and knobs for chase-tree exploration (§4). The chase tree of a
+/// program may be infinite (countably infinite distribution supports,
+/// non-terminating value invention); exploration therefore carries budgets,
+/// and mass that could not be resolved into a finite possible outcome is
+/// reported in OutcomeSpace::residual_mass().
+struct ChaseOptions {
+  /// Stop after enumerating this many finite outcomes (0 = unlimited).
+  size_t max_outcomes = 1u << 20;
+  /// Maximum number of choices (trigger applications) along one path;
+  /// deeper paths are abandoned into the residual.
+  size_t max_depth = 4096;
+  /// Enumerated prefix size for countably infinite supports; the tail mass
+  /// goes to the residual.
+  size_t support_limit = 64;
+  /// Paths whose probability falls below this are pruned into the residual
+  /// (0 disables pruning).
+  double min_path_prob = 0.0;
+  /// Retain G(Σ) inside each PossibleOutcome.
+  bool keep_groundings = false;
+  /// Compute sms(Σ ∪ G(Σ)) for each outcome (required for event queries).
+  bool compute_models = true;
+  /// Node budget for the stable-model solver per outcome.
+  uint64_t solver_max_nodes = 10'000'000;
+  /// 0 = resolve triggers in canonical (sorted) order; otherwise pick the
+  /// trigger pseudo-randomly from this seed. Lemma 4.4 guarantees the
+  /// resulting outcome space is identical — exercised by experiment E4.
+  uint64_t trigger_shuffle_seed = 0;
+  /// Extend the parent node's grounding instead of re-deriving it from
+  /// scratch at every chase node (sound by grounder monotonicity,
+  /// Definition 3.3). Used when the grounder supports it (the simple
+  /// grounder does; the perfect grounder falls back to from-scratch).
+  bool incremental = true;
+};
+
+/// Drives the chase of Definition 4.2: iteratively grounds the program
+/// under the current choice set, applies a trigger (branching over the
+/// distribution's support), and collects the results of finite maximal
+/// paths — which are exactly the finite possible outcomes (Lemma 4.5).
+class ChaseEngine {
+ public:
+  /// All pointees must outlive the engine.
+  ChaseEngine(const TranslatedProgram* translated, const FactStore* db,
+              const Grounder* grounder)
+      : translated_(translated), db_(db), grounder_(grounder) {}
+
+  /// Exhaustively explores the chase tree under the given budgets and
+  /// returns the resulting outcome space.
+  Result<OutcomeSpace> Explore(const ChaseOptions& options) const;
+
+  /// One random maximal path: every trigger is resolved by sampling the
+  /// distribution. `truncated` is set when the depth budget aborted the
+  /// walk (an Ω∞/error-event sample).
+  struct PathSample {
+    ChoiceSet choices;
+    Prob prob = Prob::One();
+    bool truncated = false;
+    StableModelSet models;
+    std::shared_ptr<const GroundRuleSet> grounding;
+  };
+  Result<PathSample> SamplePath(Rng* rng, const ChaseOptions& options) const;
+
+  const TranslatedProgram& translated() const { return *translated_; }
+  const Grounder& grounder() const { return *grounder_; }
+  const FactStore& db() const { return *db_; }
+
+  /// sms(Σ ∪ G(Σ)): builds the ground normal program of an outcome
+  /// (grounding plus one Active→Result rule per choice) and enumerates its
+  /// stable models.
+  Result<StableModelSet> SolveOutcome(const ChoiceSet& choices,
+                                      const GroundRuleSet& grounding,
+                                      uint64_t solver_max_nodes) const;
+
+ private:
+  struct ExploreState;
+  Status Dfs(ExploreState& state, ChoiceSet& choices, Prob path_prob,
+             size_t depth, const GroundRuleSet* parent_grounding,
+             const FactStore* parent_heads,
+             const GroundAtom* new_active) const;
+
+  const TranslatedProgram* translated_;
+  const FactStore* db_;
+  const Grounder* grounder_;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_GDATALOG_CHASE_H_

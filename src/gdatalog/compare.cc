@@ -1,0 +1,66 @@
+#include "gdatalog/compare.h"
+
+namespace gdlog {
+
+namespace {
+
+std::string DescribeModelSet(const StableModelSet& models,
+                             const Interner* interner) {
+  std::string out = "{";
+  bool first_model = true;
+  for (const StableModel& model : models) {
+    if (!first_model) out += ", ";
+    first_model = false;
+    out += "{";
+    bool first_atom = true;
+    for (const GroundAtom& atom : model) {
+      if (!first_atom) out += ", ";
+      first_atom = false;
+      out += atom.ToString(interner);
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+Result<ComparisonResult> IsAsGoodAs(const OutcomeSpace& left,
+                                    const OutcomeSpace& right,
+                                    const Interner* interner) {
+  if (!left.complete || !right.complete) {
+    return Status::InvalidArgument(
+        "as-good-as comparison requires complete outcome spaces "
+        "(raise the exploration budgets)");
+  }
+  std::map<StableModelSet, Prob> left_events = left.Events();
+  std::map<StableModelSet, Prob> right_events = right.Events();
+
+  ComparisonResult result;
+  // Every event with right-mass must have at least as much left-mass;
+  // events present only on the left trivially satisfy the inequality.
+  std::map<StableModelSet, Prob> all = left_events;
+  for (const auto& [models, mass] : right_events) all.emplace(models, Prob::Zero());
+  result.events_compared = all.size();
+
+  for (const auto& [models, unused] : all) {
+    (void)unused;
+    Prob lmass = Prob::Zero();
+    Prob rmass = Prob::Zero();
+    auto lit = left_events.find(models);
+    if (lit != left_events.end()) lmass = lit->second;
+    auto rit = right_events.find(models);
+    if (rit != right_events.end()) rmass = rit->second;
+    if (lmass.value() + 1e-12 < rmass.value()) {
+      result.as_good = false;
+      result.violation = "event " + DescribeModelSet(models, interner) +
+                         ": left mass " + lmass.ToString() +
+                         " < right mass " + rmass.ToString();
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace gdlog

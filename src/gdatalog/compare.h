@@ -1,0 +1,31 @@
+#ifndef GDLOG_GDATALOG_COMPARE_H_
+#define GDLOG_GDATALOG_COMPARE_H_
+
+#include <string>
+
+#include "gdatalog/outcome.h"
+
+namespace gdlog {
+
+/// Result of the "as good as" comparison of Definition 3.11 between two
+/// outcome spaces of the same Π[D] under different grounders.
+struct ComparisonResult {
+  /// Π_G(D) is as good as Π_G'(D): for every stable-model set I,
+  /// P_G({Σ finite : sms(Σ) = I}) ≥ P_G'({Σ finite : sms(Σ) = I}).
+  bool as_good = true;
+  /// A witnessing violation (present iff !as_good).
+  std::string violation;
+  /// Number of distinct stable-model sets compared.
+  size_t events_compared = 0;
+};
+
+/// Checks whether `left` is as good as `right` (Definition 3.11). Both
+/// spaces must be complete explorations (OutcomeSpace::complete); otherwise
+/// the verdict would depend on unexplored mass and an error is returned.
+Result<ComparisonResult> IsAsGoodAs(const OutcomeSpace& left,
+                                    const OutcomeSpace& right,
+                                    const Interner* interner = nullptr);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_GDATALOG_COMPARE_H_

@@ -1,0 +1,117 @@
+#include "gdatalog/engine.h"
+
+#include <utility>
+
+#include "ast/parser.h"
+
+namespace gdlog {
+
+struct GDatalog::State {
+  Program program;  // desugared
+  FactStore db;
+  std::unique_ptr<DistributionRegistry> registry;
+  TranslatedProgram translated;
+  bool stratified = false;
+  std::unique_ptr<Grounder> grounder;
+  std::unique_ptr<ChaseEngine> chase;
+};
+
+GDatalog::GDatalog(std::unique_ptr<State> state) : state_(std::move(state)) {}
+GDatalog::GDatalog(GDatalog&&) noexcept = default;
+GDatalog& GDatalog::operator=(GDatalog&&) noexcept = default;
+GDatalog::~GDatalog() = default;
+
+Result<GDatalog> GDatalog::Create(std::string_view program_text,
+                                  std::string_view database_text) {
+  return Create(program_text, database_text, Options{});
+}
+
+Result<GDatalog> GDatalog::FromProgram(Program pi, FactStore db) {
+  return FromProgram(std::move(pi), std::move(db), Options{});
+}
+
+Result<GDatalog> GDatalog::Create(std::string_view program_text,
+                                  std::string_view database_text,
+                                  Options options) {
+  GDLOG_ASSIGN_OR_RETURN(Program pi, ParseProgram(program_text));
+  GDLOG_ASSIGN_OR_RETURN(FactStore db,
+                         ParseFacts(database_text, pi.interner()));
+  return FromProgram(std::move(pi), std::move(db), std::move(options));
+}
+
+Result<GDatalog> GDatalog::FromProgram(Program pi, FactStore db,
+                                       Options options) {
+  auto state = std::make_unique<State>();
+  state->program = std::move(pi);
+  // Constraints are handled natively end-to-end (a ground constraint
+  // rejects candidate stable models); the paper's Fail/Aux desugaring
+  // remains available via Program::DesugarConstraints but would make every
+  // constraint-bearing program non-stratified.
+  GDLOG_RETURN_IF_ERROR(state->program.Validate());
+  state->db = std::move(db);
+  state->registry =
+      options.registry != nullptr
+          ? std::move(options.registry)
+          : std::make_unique<DistributionRegistry>(
+                DistributionRegistry::Builtins());
+
+  GDLOG_ASSIGN_OR_RETURN(
+      state->translated,
+      TranslateToTgd(state->program, *state->registry));
+
+  DependencyGraph dg(state->program);
+  state->stratified = dg.IsStratified();
+
+  GrounderKind kind = options.grounder;
+  if (kind == GrounderKind::kAuto) {
+    kind = state->stratified ? GrounderKind::kPerfect : GrounderKind::kSimple;
+  }
+  if (kind == GrounderKind::kPerfect) {
+    GDLOG_ASSIGN_OR_RETURN(
+        state->grounder,
+        PerfectGrounder::Create(state->program, &state->translated,
+                                &state->db));
+  } else {
+    state->grounder =
+        std::make_unique<SimpleGrounder>(&state->translated, &state->db);
+  }
+  state->chase = std::make_unique<ChaseEngine>(&state->translated, &state->db,
+                                               state->grounder.get());
+  return GDatalog(std::move(state));
+}
+
+const Program& GDatalog::program() const { return state_->program; }
+const TranslatedProgram& GDatalog::translated() const {
+  return state_->translated;
+}
+const FactStore& GDatalog::database() const { return state_->db; }
+const DistributionRegistry& GDatalog::registry() const {
+  return *state_->registry;
+}
+const Grounder& GDatalog::grounder() const { return *state_->grounder; }
+bool GDatalog::stratified() const { return state_->stratified; }
+const ChaseEngine& GDatalog::chase() const { return *state_->chase; }
+
+Result<OutcomeSpace> GDatalog::Infer(const ChaseOptions& options) const {
+  return state_->chase->Explore(options);
+}
+
+Result<GroundAtom> GDatalog::ParseGroundAtom(std::string_view text) const {
+  std::string rule_text = std::string(text);
+  if (rule_text.empty() || rule_text.back() != '.') rule_text += ".";
+  auto parsed = ParseProgram(rule_text, state_->program.shared_interner());
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->rules().size() != 1 || !parsed->rules()[0].IsFact()) {
+    return Status::InvalidArgument("expected a single ground atom: " +
+                                   std::string(text));
+  }
+  const HeadAtom& head = parsed->rules()[0].head;
+  GroundAtom atom;
+  atom.predicate = head.predicate;
+  for (const HeadArg& arg : head.args) {
+    atom.args.push_back(arg.term().constant());
+  }
+  return atom;
+}
+
+}  // namespace gdlog

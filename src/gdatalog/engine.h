@@ -1,0 +1,82 @@
+#ifndef GDLOG_GDATALOG_ENGINE_H_
+#define GDLOG_GDATALOG_ENGINE_H_
+
+#include <memory>
+#include <string_view>
+
+#include "gdatalog/chase.h"
+#include "gdatalog/outcome.h"
+
+namespace gdlog {
+
+/// Which grounder drives the semantics (§3/§5: the semantics is a family
+/// parameterized by the grounder).
+enum class GrounderKind {
+  kAuto,     ///< Perfect when Π is stratified, simple otherwise.
+  kSimple,   ///< GSimple (Definition 3.4).
+  kPerfect,  ///< GPerfect (Definition 5.1); fails if Π is not stratified.
+};
+
+/// The top-level engine: parse → validate → desugar constraints → translate
+/// to Σ_Π → pick a grounder → chase. This is the API the examples and most
+/// tests use; the lower layers remain public for fine-grained control.
+class GDatalog {
+ public:
+  struct Options {
+    GrounderKind grounder = GrounderKind::kAuto;
+    /// Distribution set Δ; defaults to DistributionRegistry::Builtins().
+    /// Moved into the engine when provided.
+    std::unique_ptr<DistributionRegistry> registry;
+  };
+
+  /// Builds an engine from program text and database text (facts in surface
+  /// syntax). Fails on parse errors, safety violations, unknown
+  /// distributions, or requesting the perfect grounder for a
+  /// non-stratified program.
+  static Result<GDatalog> Create(std::string_view program_text,
+                                 std::string_view database_text);
+  static Result<GDatalog> Create(std::string_view program_text,
+                                 std::string_view database_text,
+                                 Options options);
+
+  /// Builds an engine from an already-parsed program and database. The
+  /// program may still contain ⊥-constraints; they are desugared here.
+  static Result<GDatalog> FromProgram(Program pi, FactStore db);
+  static Result<GDatalog> FromProgram(Program pi, FactStore db,
+                                      Options options);
+
+  GDatalog(GDatalog&&) noexcept;
+  GDatalog& operator=(GDatalog&&) noexcept;
+  ~GDatalog();
+
+  /// The desugared program Π.
+  const Program& program() const;
+  /// Σ_Π with Active/Result metadata.
+  const TranslatedProgram& translated() const;
+  const FactStore& database() const;
+  const DistributionRegistry& registry() const;
+  /// The grounder driving the semantics.
+  const Grounder& grounder() const;
+  /// True iff Π has stratified negation.
+  bool stratified() const;
+
+  /// The chase engine (Explore/SamplePath live there).
+  const ChaseEngine& chase() const;
+
+  /// Exhaustive inference: explores the chase tree and returns the outcome
+  /// space (Definition 3.8, up to the exploration budgets).
+  Result<OutcomeSpace> Infer(const ChaseOptions& options = ChaseOptions{}) const;
+
+  /// Parses a ground atom in surface syntax ("infected(2, 1)") against this
+  /// engine's interner, for use with OutcomeSpace::Marginal.
+  Result<GroundAtom> ParseGroundAtom(std::string_view text) const;
+
+ private:
+  struct State;
+  explicit GDatalog(std::unique_ptr<State> state);
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_GDATALOG_ENGINE_H_

@@ -1,0 +1,100 @@
+#include "gdatalog/export.h"
+
+#include <map>
+
+#include "util/json.h"
+
+namespace gdlog {
+
+namespace {
+
+void WriteProb(JsonWriter& json, const Prob& prob) {
+  json.BeginObject();
+  json.KV("value", prob.value());
+  json.Key("rational");
+  if (prob.exact()) {
+    json.String(prob.ToString());
+  } else {
+    json.Null();
+  }
+  json.EndObject();
+}
+
+}  // namespace
+
+std::string OutcomeSpaceToJson(const OutcomeSpace& space,
+                               const TranslatedProgram& translated,
+                               const Interner* interner,
+                               const JsonExportOptions& options) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("complete", space.complete);
+  json.KV("num_outcomes", static_cast<long long>(space.outcomes.size()));
+  json.Key("finite_mass");
+  WriteProb(json, space.finite_mass);
+  json.Key("residual_mass");
+  WriteProb(json, space.residual_mass());
+  json.Key("prob_consistent");
+  WriteProb(json, space.ProbConsistent());
+  json.Key("prob_inconsistent");
+  WriteProb(json, space.ProbInconsistent());
+  json.KV("depth_truncated_paths",
+          static_cast<long long>(space.depth_truncated_paths));
+  json.KV("pruned_paths", static_cast<long long>(space.pruned_paths));
+
+  if (options.include_outcomes) {
+    json.Key("outcomes").BeginArray();
+    for (const PossibleOutcome& outcome : space.outcomes) {
+      json.BeginObject();
+      json.Key("prob");
+      WriteProb(json, outcome.prob);
+      json.KV("num_models", static_cast<long long>(outcome.models.size()));
+      json.Key("choices").BeginArray();
+      for (const auto& [active, value] : outcome.choices.entries()) {
+        json.BeginObject();
+        json.KV("active", active.ToString(interner));
+        json.KV("outcome", value.ToString(interner));
+        json.EndObject();
+      }
+      json.EndArray();
+      if (options.include_models) {
+        json.Key("models").BeginArray();
+        for (const StableModel& model : outcome.models) {
+          json.BeginArray();
+          for (const GroundAtom& atom :
+               OutcomeSpace::StripAuxiliary(model, translated)) {
+            json.String(atom.ToString(interner));
+          }
+          json.EndArray();
+        }
+        json.EndArray();
+      }
+      json.EndObject();
+    }
+    json.EndArray();
+  }
+
+  if (options.include_events) {
+    std::map<StableModelSet, Prob> events = space.Events();
+    std::map<StableModelSet, size_t> outcome_counts;
+    for (const PossibleOutcome& outcome : space.outcomes) {
+      ++outcome_counts[outcome.models];
+    }
+    json.Key("events").BeginArray();
+    for (const auto& [models, mass] : events) {
+      json.BeginObject();
+      json.Key("mass");
+      WriteProb(json, mass);
+      json.KV("num_models", static_cast<long long>(models.size()));
+      json.KV("num_outcomes",
+              static_cast<long long>(outcome_counts[models]));
+      json.EndObject();
+    }
+    json.EndArray();
+  }
+
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace gdlog

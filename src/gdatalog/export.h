@@ -1,0 +1,42 @@
+#ifndef GDLOG_GDATALOG_EXPORT_H_
+#define GDLOG_GDATALOG_EXPORT_H_
+
+#include <string>
+
+#include "gdatalog/outcome.h"
+#include "gdatalog/translation.h"
+
+namespace gdlog {
+
+/// Options for OutcomeSpaceToJson.
+struct JsonExportOptions {
+  /// Include every possible outcome (choices, probability, model count).
+  bool include_outcomes = true;
+  /// Include the stable models themselves (stripped of Active/Result
+  /// bookkeeping atoms).
+  bool include_models = false;
+  /// Include the event table (model-set size ↦ mass).
+  bool include_events = true;
+};
+
+/// Serializes an outcome space to a single-line JSON document for
+/// scripting (the CLI's --json mode):
+///
+/// {
+///   "complete": true,
+///   "finite_mass": {"value": 1.0, "rational": "1"},
+///   "residual_mass": {...},
+///   "prob_consistent": {...},
+///   "outcomes": [{"prob": {...}, "num_models": 2,
+///                 "choices": [{"active": "...", "outcome": "..."}], ...}],
+///   "events": [{"mass": {...}, "num_models": 0, "num_outcomes": 1}]
+/// }
+std::string OutcomeSpaceToJson(const OutcomeSpace& space,
+                               const TranslatedProgram& translated,
+                               const Interner* interner,
+                               const JsonExportOptions& options =
+                                   JsonExportOptions{});
+
+}  // namespace gdlog
+
+#endif  // GDLOG_GDATALOG_EXPORT_H_

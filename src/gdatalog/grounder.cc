@@ -1,0 +1,281 @@
+#include "gdatalog/grounder.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "ground/matcher.h"
+
+namespace gdlog {
+
+namespace {
+
+/// Instantiates a (plain-headed) Σ∄ rule under a complete binding.
+GroundRule Instantiate(const Rule& rule, const Binding& binding) {
+  GroundRule gr;
+  gr.is_constraint = rule.is_constraint;
+  if (!rule.is_constraint) {
+    gr.head.predicate = rule.head.predicate;
+    gr.head.args.reserve(rule.head.args.size());
+    for (const HeadArg& arg : rule.head.args) {
+      gr.head.args.push_back(ApplyTerm(arg.term(), binding));
+    }
+  }
+  for (const Literal& lit : rule.body) {
+    if (lit.negated) {
+      gr.negative.push_back(ApplyAtom(lit.atom, binding));
+    } else {
+      gr.positive.push_back(ApplyAtom(lit.atom, binding));
+    }
+  }
+  return gr;
+}
+
+bool NegativeBodyHits(const GroundRule& gr, const FactStore& heads) {
+  for (const GroundAtom& a : gr.negative) {
+    if (heads.Contains(a)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status RunGroundingFixpoint(const TranslatedProgram& translated,
+                            const std::vector<const Rule*>& rules,
+                            const ChoiceSet& choices, bool check_negative,
+                            GroundRuleSet* out, FactStore* heads,
+                            bool resume) {
+  std::vector<GroundAtom> pending;
+
+  // Inserts a fact into the matching instance; cascades Active atoms into
+  // their chosen Result atoms (heads(Σ) of the choice set take part in
+  // matching, Definition 3.4 uses Σ' = Σ∄ ∪ Σ).
+  std::function<void(const GroundAtom&)> add_fact =
+      [&](const GroundAtom& atom) {
+        if (!heads->Insert(atom)) return;
+        pending.push_back(atom);
+        const DeltaSignature* sig =
+            translated.SignatureByActive(atom.predicate);
+        if (sig != nullptr) {
+          auto outcome = choices.Lookup(atom);
+          if (outcome) {
+            add_fact(ChoiceSet::ResultAtom(sig->result_pred, atom, *outcome));
+          }
+        }
+      };
+
+  auto add_ground_rule = [&](GroundRule gr) {
+    bool is_constraint = gr.is_constraint;
+    GroundAtom head = gr.head;
+    if (out->Add(std::move(gr)) && !is_constraint) add_fact(head);
+  };
+
+  // Catch up on Active atoms that entered `heads` before this call (e.g. in
+  // an earlier stratum) whose choices were not yet cascaded.
+  for (const DeltaSignature& sig : translated.signatures()) {
+    std::vector<GroundAtom> to_cascade;
+    for (const Tuple& row : heads->Rows(sig.active_pred)) {
+      GroundAtom active{sig.active_pred, row};
+      auto outcome = choices.Lookup(active);
+      if (outcome) {
+        GroundAtom result =
+            ChoiceSet::ResultAtom(sig.result_pred, active, *outcome);
+        if (!heads->Contains(result)) to_cascade.push_back(result);
+      }
+    }
+    for (GroundAtom& r : to_cascade) add_fact(r);
+  }
+
+  // On a fresh run every fact visible at entry is "new" for this rule
+  // set (this also covers the Result atoms cascaded above). On a resumed
+  // run only the freshly cascaded Result atoms are new — everything else
+  // has already been matched by the run that produced (out, heads).
+  if (!resume) pending = heads->AllFacts();
+
+  // Rules with an empty positive body fire unconditionally (modulo the
+  // Perfect negative check); on resumed runs they already fired.
+  for (const Rule* rule : resume ? std::vector<const Rule*>{} : rules) {
+    bool has_positive = false;
+    for (const Literal& lit : rule->body) {
+      if (!lit.negated) {
+        has_positive = true;
+        break;
+      }
+    }
+    if (has_positive) continue;
+    Binding empty;
+    GroundRule gr = Instantiate(*rule, empty);
+    if (check_negative && NegativeBodyHits(gr, *heads)) continue;
+    add_ground_rule(std::move(gr));
+  }
+
+  // Semi-naive saturation: each round matches rules with one positive atom
+  // pinned to the newly derived facts.
+  Matcher matcher(heads);
+  while (!pending.empty()) {
+    std::unordered_map<uint32_t, std::vector<Tuple>> batch;
+    for (GroundAtom& atom : pending) {
+      batch[atom.predicate].push_back(std::move(atom.args));
+    }
+    pending.clear();
+
+    // Collect first, apply after: applying mutates `heads`, which the
+    // matcher is iterating.
+    std::vector<GroundRule> derived;
+    for (const Rule* rule : rules) {
+      std::vector<const Atom*> pos = rule->PositiveBody();
+      for (size_t pivot = 0; pivot < pos.size(); ++pivot) {
+        auto hit = batch.find(pos[pivot]->predicate);
+        if (hit == batch.end()) continue;
+        matcher.MatchWithPivot(pos, pivot, hit->second,
+                               [&](const Binding& binding) {
+                                 GroundRule gr = Instantiate(*rule, binding);
+                                 if (check_negative &&
+                                     NegativeBodyHits(gr, *heads)) {
+                                   return true;
+                                 }
+                                 derived.push_back(std::move(gr));
+                                 return true;
+                               });
+      }
+    }
+    for (GroundRule& gr : derived) add_ground_rule(std::move(gr));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// SimpleGrounder
+// ---------------------------------------------------------------------------
+
+Status SimpleGrounder::Ground(const ChoiceSet& choices,
+                              GroundRuleSet* out) const {
+  FactStore heads;
+  return GroundWithState(choices, out, &heads);
+}
+
+Status SimpleGrounder::GroundWithState(const ChoiceSet& choices,
+                                       GroundRuleSet* out,
+                                       FactStore* heads) const {
+  // Π[D]: the database enters as body-less ground rules (True → α).
+  for (uint32_t pred : db_->Predicates()) {
+    for (const Tuple& row : db_->Rows(pred)) {
+      GroundRule fact;
+      fact.head = GroundAtom{pred, row};
+      out->Add(std::move(fact));
+      heads->Insert(pred, row);
+    }
+  }
+  std::vector<const Rule*> rules;
+  rules.reserve(translated_->sigma().rules().size());
+  for (const Rule& r : translated_->sigma().rules()) rules.push_back(&r);
+  return RunGroundingFixpoint(*translated_, rules, choices,
+                              /*check_negative=*/false, out, heads,
+                              /*resume=*/false);
+}
+
+Status SimpleGrounder::Extend(const ChoiceSet& choices,
+                              const GroundAtom& new_active, GroundRuleSet* out,
+                              FactStore* heads) const {
+  // Monotonicity of Simple^∞ (Definition 3.4): the grounding of Σ ∪ {c}
+  // is the least fixpoint reached by resuming from the grounding of Σ with
+  // c's Result atom as the only new fact. The cascade pre-pass inside the
+  // fixpoint inserts that Result atom (new_active is already in heads and
+  // now has a recorded choice).
+  (void)new_active;
+  std::vector<const Rule*> rules;
+  rules.reserve(translated_->sigma().rules().size());
+  for (const Rule& r : translated_->sigma().rules()) rules.push_back(&r);
+  return RunGroundingFixpoint(*translated_, rules, choices,
+                              /*check_negative=*/false, out, heads,
+                              /*resume=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// PerfectGrounder
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<PerfectGrounder>> PerfectGrounder::Create(
+    const Program& pi, const TranslatedProgram* translated,
+    const FactStore* db) {
+  DependencyGraph dg(pi);
+  if (!dg.IsStratified()) {
+    return Status::NotStratified(
+        "perfect grounder requires stratified negation");
+  }
+  auto grounder =
+      std::unique_ptr<PerfectGrounder>(new PerfectGrounder(translated, db));
+  grounder->stratum_rules_.assign(dg.Components().size(), {});
+  const auto& strata = dg.Strata();
+  const std::vector<Rule>& sigma_rules = translated->sigma().rules();
+  const std::vector<size_t>& origin = translated->origin();
+  for (size_t i = 0; i < sigma_rules.size(); ++i) {
+    // A Σ∄ rule belongs to the stratum of its originating Π-rule's head
+    // predicate (Π|C_i keeps rules whose head is in C_i, §5). Constraints
+    // have no head; they are grounded in a final pass once all strata are
+    // complete (they derive nothing, so deferring them is sound).
+    const Rule& original = pi.rules()[origin[i]];
+    if (original.is_constraint) {
+      grounder->constraint_rules_.push_back(&sigma_rules[i]);
+      continue;
+    }
+    auto it = strata.find(original.head.predicate);
+    if (it == strata.end()) {
+      return Status::Internal("head predicate missing from dependency graph");
+    }
+    grounder->stratum_rules_[it->second].push_back(&sigma_rules[i]);
+  }
+  return grounder;
+}
+
+Status PerfectGrounder::Ground(const ChoiceSet& choices,
+                               GroundRuleSet* out) const {
+  FactStore heads;
+  for (uint32_t pred : db_->Predicates()) {
+    for (const Tuple& row : db_->Rows(pred)) {
+      GroundRule fact;
+      fact.head = GroundAtom{pred, row};
+      out->Add(std::move(fact));
+      heads.Insert(pred, row);
+    }
+  }
+
+  for (const std::vector<const Rule*>& stratum : stratum_rules_) {
+    // AtR_Σ ↪ Σ↑C_{i-1}: grounding stalls until every Active atom produced
+    // by earlier strata has a recorded choice (Definition 5.1).
+    for (const DeltaSignature& sig : translated_->signatures()) {
+      for (const Tuple& row : heads.Rows(sig.active_pred)) {
+        if (!choices.Defined(GroundAtom{sig.active_pred, row})) {
+          return Status::OK();  // Σ↑C_i = Σ↑C_{i-1} for all later strata.
+        }
+      }
+    }
+    if (stratum.empty()) continue;
+    GDLOG_RETURN_IF_ERROR(RunGroundingFixpoint(*translated_, stratum, choices,
+                                               /*check_negative=*/true, out,
+                                               &heads, /*resume=*/false));
+  }
+  if (!constraint_rules_.empty()) {
+    GDLOG_RETURN_IF_ERROR(RunGroundingFixpoint(*translated_, constraint_rules_,
+                                               choices,
+                                               /*check_negative=*/true, out,
+                                               &heads, /*resume=*/false));
+  }
+  return Status::OK();
+}
+
+std::vector<GroundAtom> FindTriggers(const TranslatedProgram& translated,
+                                     const GroundRuleSet& grounding,
+                                     const ChoiceSet& choices) {
+  std::vector<GroundAtom> triggers;
+  for (const DeltaSignature& sig : translated.signatures()) {
+    for (const Tuple& row : grounding.heads().Rows(sig.active_pred)) {
+      GroundAtom active{sig.active_pred, row};
+      if (!choices.Defined(active)) triggers.push_back(std::move(active));
+    }
+  }
+  std::sort(triggers.begin(), triggers.end());
+  return triggers;
+}
+
+}  // namespace gdlog

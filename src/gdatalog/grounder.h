@@ -1,0 +1,136 @@
+#ifndef GDLOG_GDATALOG_GROUNDER_H_
+#define GDLOG_GDATALOG_GROUNDER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "gdatalog/choice.h"
+#include "gdatalog/translation.h"
+#include "ground/dependency_graph.h"
+#include "ground/ground_rule.h"
+
+namespace gdlog {
+
+/// A grounder G of Π[D] (Definition 3.3): a monotone map from functionally
+/// consistent sets Σ of ground AtR TGDs (ChoiceSet) to subsets of
+/// ground(Σ∄_Π[D]) such that, whenever AtR_Σ is compatible with G(Σ), the
+/// stable models of G(Σ) ∪ Σ are exactly those of Σ_Π[D] consistent with
+/// the choices in Σ.
+class Grounder {
+ public:
+  virtual ~Grounder() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Computes G(Σ) for the choice set `choices`, appending the ground rules
+  /// (including the database facts of D as body-less rules) to `out`.
+  virtual Status Ground(const ChoiceSet& choices, GroundRuleSet* out) const = 0;
+
+  /// Incremental protocol (optional). Grounders are monotone in the choice
+  /// set (Definition 3.3), so G(Σ ∪ {c}) can be computed by resuming the
+  /// fixpoint from G(Σ) with c's Result atom as the only new fact — the
+  /// chase exploits this to avoid re-deriving the grounding at every node.
+  virtual bool SupportsIncremental() const { return false; }
+
+  /// Like Ground(), but additionally returns the matching instance
+  /// heads(G(Σ) ∪ Σ) so Extend() can resume from it.
+  virtual Status GroundWithState(const ChoiceSet& choices, GroundRuleSet* out,
+                                 FactStore* heads) const {
+    (void)heads;
+    return Ground(choices, out);
+  }
+
+  /// Extends a previously computed (out, heads) pair — produced by
+  /// GroundWithState/Extend for `choices` minus its most recent assignment
+  /// `new_active` — to the grounding of the full `choices`. Only valid when
+  /// SupportsIncremental().
+  virtual Status Extend(const ChoiceSet& choices, const GroundAtom& new_active,
+                        GroundRuleSet* out, FactStore* heads) const {
+    (void)choices;
+    (void)new_active;
+    (void)out;
+    (void)heads;
+    return Status::Unsupported("grounder does not support incremental mode");
+  }
+};
+
+/// The simple grounder GSimple_Π[D] (Definition 3.4): the least fixpoint of
+/// the operator that adds h(σ) whenever the positive body h(B+(σ)) matches
+/// heads of the program built so far — negation is ignored while grounding
+/// and carried into the ground rules.
+class SimpleGrounder : public Grounder {
+ public:
+  /// `translated` and `db` must outlive the grounder.
+  SimpleGrounder(const TranslatedProgram* translated, const FactStore* db)
+      : translated_(translated), db_(db) {}
+
+  std::string_view name() const override { return "simple"; }
+
+  Status Ground(const ChoiceSet& choices, GroundRuleSet* out) const override;
+
+  bool SupportsIncremental() const override { return true; }
+  Status GroundWithState(const ChoiceSet& choices, GroundRuleSet* out,
+                         FactStore* heads) const override;
+  Status Extend(const ChoiceSet& choices, const GroundAtom& new_active,
+                GroundRuleSet* out, FactStore* heads) const override;
+
+ private:
+  const TranslatedProgram* translated_;
+  const FactStore* db_;
+};
+
+/// The perfect grounder GPerfect_Π[D] (Definition 5.1) for programs with
+/// stratified negation: processes the strata of dg(Π) in topological order;
+/// within a stratum, h(σ) is added only when additionally the negative body
+/// does not match heads so far (h(B-(σ)) ∩ heads = ∅); grounding of later
+/// strata stalls until every Active atom produced so far has a choice
+/// (AtR_Σ ↪ Σ↑C_{i-1}).
+class PerfectGrounder : public Grounder {
+ public:
+  /// `pi` is the original (desugared, plain-constraint-free) program the
+  /// strata are computed from. Fails when Π is not stratified.
+  static Result<std::unique_ptr<PerfectGrounder>> Create(
+      const Program& pi, const TranslatedProgram* translated,
+      const FactStore* db);
+
+  std::string_view name() const override { return "perfect"; }
+
+  Status Ground(const ChoiceSet& choices, GroundRuleSet* out) const override;
+
+  size_t stratum_count() const { return stratum_rules_.size(); }
+
+ private:
+  PerfectGrounder(const TranslatedProgram* translated, const FactStore* db)
+      : translated_(translated), db_(db) {}
+
+  const TranslatedProgram* translated_;
+  const FactStore* db_;
+  /// Rules of Σ∄ grouped by the stratum of the originating Π-rule's head.
+  std::vector<std::vector<const Rule*>> stratum_rules_;
+  /// Constraints, grounded in a final pass after all strata.
+  std::vector<const Rule*> constraint_rules_;
+};
+
+/// The triggers of Definition 4.1: Active atoms occurring in heads(G(Σ))
+/// with no choice recorded in Σ, in canonical (sorted) order.
+std::vector<GroundAtom> FindTriggers(const TranslatedProgram& translated,
+                                     const GroundRuleSet& grounding,
+                                     const ChoiceSet& choices);
+
+/// Shared Simple^∞ / Perfect^∞ fixpoint machinery (used by both grounders).
+/// Starts from the rules/facts already in `out` and the matching instance
+/// `heads` (which also holds Result atoms contributed by `choices`);
+/// saturates `rules` and returns. With `check_negative`, a rule instance is
+/// added only if its negative body misses `heads` (Perfect semantics).
+/// With `resume`, only facts cascaded by newly applicable choices are
+/// treated as new (incremental continuation of an earlier fixpoint).
+Status RunGroundingFixpoint(const TranslatedProgram& translated,
+                            const std::vector<const Rule*>& rules,
+                            const ChoiceSet& choices, bool check_negative,
+                            GroundRuleSet* out, FactStore* heads,
+                            bool resume = false);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_GDATALOG_GROUNDER_H_

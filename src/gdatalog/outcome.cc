@@ -1,0 +1,84 @@
+#include "gdatalog/outcome.h"
+
+#include <algorithm>
+
+namespace gdlog {
+
+std::map<StableModelSet, Prob> OutcomeSpace::Events() const {
+  std::map<StableModelSet, Prob> events;
+  for (const PossibleOutcome& outcome : outcomes) {
+    auto [it, inserted] = events.emplace(outcome.models, outcome.prob);
+    if (!inserted) it->second = it->second + outcome.prob;
+  }
+  return events;
+}
+
+Prob OutcomeSpace::ProbConsistent() const {
+  Prob mass = Prob::Zero();
+  for (const PossibleOutcome& outcome : outcomes) {
+    if (!outcome.models.empty()) mass = mass + outcome.prob;
+  }
+  return mass;
+}
+
+Prob OutcomeSpace::ProbInconsistent() const {
+  Prob mass = Prob::Zero();
+  for (const PossibleOutcome& outcome : outcomes) {
+    if (outcome.models.empty()) mass = mass + outcome.prob;
+  }
+  return mass;
+}
+
+OutcomeSpace::Bounds OutcomeSpace::Marginal(const GroundAtom& atom) const {
+  Bounds bounds;
+  for (const PossibleOutcome& outcome : outcomes) {
+    if (outcome.models.empty()) continue;
+    bool in_all = true;
+    bool in_some = false;
+    for (const StableModel& model : outcome.models) {
+      bool contains =
+          std::binary_search(model.begin(), model.end(), atom);
+      in_all = in_all && contains;
+      in_some = in_some || contains;
+    }
+    if (in_all) bounds.lower = bounds.lower + outcome.prob;
+    if (in_some) bounds.upper = bounds.upper + outcome.prob;
+  }
+  return bounds;
+}
+
+std::optional<OutcomeSpace::Bounds> OutcomeSpace::MarginalGivenConsistent(
+    const GroundAtom& atom) const {
+  Prob consistent = ProbConsistent();
+  if (!(consistent.value() > 0.0)) return std::nullopt;
+  Bounds joint = Marginal(atom);
+  Bounds conditioned;
+  // Exact division when both sides are exact rationals.
+  const Rational& denom = consistent.rational();
+  auto divide = [&](const Prob& numer) {
+    if (numer.exact() && denom.exact() && denom.numerator() != 0) {
+      return Prob(numer.rational() *
+                  Rational(denom.denominator(), denom.numerator()));
+    }
+    return Prob(Rational::FromDecimal(numer.value() / consistent.value()));
+  };
+  conditioned.lower = divide(joint.lower);
+  conditioned.upper = divide(joint.upper);
+  return conditioned;
+}
+
+StableModel OutcomeSpace::StripAuxiliary(const StableModel& model,
+                                         const TranslatedProgram& translated) {
+  StableModel out;
+  out.reserve(model.size());
+  for (const GroundAtom& atom : model) {
+    if (translated.IsActivePredicate(atom.predicate) ||
+        translated.IsResultPredicate(atom.predicate)) {
+      continue;
+    }
+    out.push_back(atom);
+  }
+  return out;
+}
+
+}  // namespace gdlog

@@ -1,0 +1,75 @@
+#include "gdatalog/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gdlog {
+
+Result<MonteCarloEstimator::Estimate> MonteCarloEstimator::EstimateStatistic(
+    size_t n, uint64_t seed,
+    const std::function<double(const ChaseEngine::PathSample&)>& f) const {
+  Rng rng(seed);
+  Estimate est;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    GDLOG_ASSIGN_OR_RETURN(ChaseEngine::PathSample sample,
+                           engine_->SamplePath(&rng, options_));
+    double value = 0.0;
+    if (sample.truncated) {
+      ++est.truncated;
+    } else {
+      ++est.samples;
+      value = f(sample);
+    }
+    sum += value;
+    sum_sq += value * value;
+  }
+  if (n > 0) {
+    est.mean = sum / static_cast<double>(n);
+    if (n > 1) {
+      double var =
+          (sum_sq - sum * sum / static_cast<double>(n)) /
+          static_cast<double>(n - 1);
+      est.std_error = std::sqrt(std::max(0.0, var) / static_cast<double>(n));
+    }
+  }
+  return est;
+}
+
+Result<MonteCarloEstimator::Estimate>
+MonteCarloEstimator::EstimateProbConsistent(size_t n, uint64_t seed) const {
+  return EstimateStatistic(n, seed, [](const ChaseEngine::PathSample& s) {
+    return s.models.empty() ? 0.0 : 1.0;
+  });
+}
+
+Result<MonteCarloEstimator::Estimate>
+MonteCarloEstimator::EstimateProbInconsistent(size_t n, uint64_t seed) const {
+  return EstimateStatistic(n, seed, [](const ChaseEngine::PathSample& s) {
+    return s.models.empty() ? 1.0 : 0.0;
+  });
+}
+
+Result<MonteCarloEstimator::Estimate> MonteCarloEstimator::EstimateMarginalUpper(
+    size_t n, uint64_t seed, const GroundAtom& atom) const {
+  return EstimateStatistic(n, seed, [&](const ChaseEngine::PathSample& s) {
+    for (const StableModel& model : s.models) {
+      if (std::binary_search(model.begin(), model.end(), atom)) return 1.0;
+    }
+    return 0.0;
+  });
+}
+
+Result<MonteCarloEstimator::Estimate> MonteCarloEstimator::EstimateMarginalLower(
+    size_t n, uint64_t seed, const GroundAtom& atom) const {
+  return EstimateStatistic(n, seed, [&](const ChaseEngine::PathSample& s) {
+    if (s.models.empty()) return 0.0;
+    for (const StableModel& model : s.models) {
+      if (!std::binary_search(model.begin(), model.end(), atom)) return 0.0;
+    }
+    return 1.0;
+  });
+}
+
+}  // namespace gdlog

@@ -1,0 +1,142 @@
+#include "ground/dependency_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace gdlog {
+
+DependencyGraph::DependencyGraph(const Program& program) {
+  for (const Rule& rule : program.rules()) {
+    if (rule.is_constraint) {
+      // Constraints contribute no head; their bodies still mention
+      // predicates, which we record as vertices so strata cover them.
+      for (const Literal& lit : rule.body) vertices_.insert(lit.atom.predicate);
+      continue;
+    }
+    uint32_t head = rule.head.predicate;
+    vertices_.insert(head);
+    for (const Literal& lit : rule.body) {
+      uint32_t from = lit.atom.predicate;
+      vertices_.insert(from);
+      edges_.push_back(Edge{from, head, lit.negated});
+      adj_[from].emplace_back(head, lit.negated);
+    }
+  }
+  ComputeSccs();
+}
+
+void DependencyGraph::ComputeSccs() {
+  // Tarjan's algorithm, iterative to survive deep graphs.
+  std::map<uint32_t, int> index, lowlink;
+  std::map<uint32_t, bool> on_stack;
+  std::vector<uint32_t> stack;
+  int next_index = 0;
+  std::vector<std::vector<uint32_t>> sccs;  // reverse topological order
+
+  struct Frame {
+    uint32_t v;
+    size_t child = 0;
+  };
+
+  for (uint32_t root : vertices_) {
+    if (index.count(root)) continue;
+    std::vector<Frame> frames;
+    frames.push_back(Frame{root});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& succs = adj_[f.v];
+      if (f.child < succs.size()) {
+        uint32_t w = succs[f.child++].first;
+        if (!index.count(w)) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back(Frame{w});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        if (lowlink[f.v] == index[f.v]) {
+          std::vector<uint32_t> scc;
+          for (;;) {
+            uint32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc.push_back(w);
+            if (w == f.v) break;
+          }
+          std::sort(scc.begin(), scc.end());
+          sccs.push_back(std::move(scc));
+        }
+        uint32_t v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().v] =
+              std::min(lowlink[frames.back().v], lowlink[v]);
+        }
+      }
+    }
+  }
+
+  // Tarjan emits SCCs in reverse topological order.
+  std::reverse(sccs.begin(), sccs.end());
+  components_ = std::move(sccs);
+  for (size_t i = 0; i < components_.size(); ++i) {
+    for (uint32_t p : components_[i]) strata_[p] = i;
+  }
+
+  // Stratified iff no negative edge stays inside one SCC.
+  stratified_ = true;
+  for (const Edge& e : edges_) {
+    if (e.negative && strata_.at(e.from) == strata_.at(e.to)) {
+      stratified_ = false;
+      break;
+    }
+  }
+}
+
+size_t DependencyGraph::ComponentOf(uint32_t predicate) const {
+  auto it = strata_.find(predicate);
+  assert(it != strata_.end());
+  return it->second;
+}
+
+bool DependencyGraph::DependsOn(uint32_t p, uint32_t r) const {
+  // BFS from r along edges; p depends on r iff p reachable from r.
+  std::set<uint32_t> seen;
+  std::vector<uint32_t> queue{r};
+  seen.insert(r);
+  while (!queue.empty()) {
+    uint32_t v = queue.back();
+    queue.pop_back();
+    auto it = adj_.find(v);
+    if (it == adj_.end()) continue;
+    for (auto [w, neg] : it->second) {
+      (void)neg;
+      if (w == p) return true;
+      if (seen.insert(w).second) queue.push_back(w);
+    }
+  }
+  return false;
+}
+
+std::string DependencyGraph::ToDot(const Interner* interner) const {
+  std::string out = "digraph dg {\n";
+  auto name = [&](uint32_t p) {
+    return interner != nullptr ? interner->Name(p) : "p" + std::to_string(p);
+  };
+  for (const Edge& e : edges_) {
+    out += "  \"" + name(e.from) + "\" -> \"" + name(e.to) + "\"";
+    if (e.negative) out += " [style=dashed]";
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace gdlog

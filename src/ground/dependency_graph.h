@@ -1,0 +1,69 @@
+#ifndef GDLOG_GROUND_DEPENDENCY_GRAPH_H_
+#define GDLOG_GROUND_DEPENDENCY_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+
+namespace gdlog {
+
+/// The dependency graph dg(Π) of §5: vertices are predicates; for every rule
+/// with head predicate P there is a positive (negative) edge (R, P) for each
+/// predicate R in B+(ρ) (B-(ρ)). Constraints are treated through their
+/// desugared Fail/Aux form, so callers should desugar first when constraints
+/// are present.
+class DependencyGraph {
+ public:
+  /// Builds dg(Π).
+  explicit DependencyGraph(const Program& program);
+
+  struct Edge {
+    uint32_t from;
+    uint32_t to;
+    bool negative;
+  };
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  const std::set<uint32_t>& vertices() const { return vertices_; }
+
+  /// Strongly connected components in a topological order: for i < j no
+  /// predicate of component i depends on one of component j (i.e. edges go
+  /// from earlier to later components). Computed with Tarjan's algorithm.
+  const std::vector<std::vector<uint32_t>>& Components() const {
+    return components_;
+  }
+
+  /// Index of the component containing `predicate`.
+  size_t ComponentOf(uint32_t predicate) const;
+
+  /// True iff no cycle goes through a negative edge (GDatalog¬s, §5).
+  bool IsStratified() const { return stratified_; }
+
+  /// Stratum number of each predicate: the index of its component in the
+  /// topological order. Predicates in earlier strata never depend on later
+  /// ones.
+  const std::map<uint32_t, size_t>& Strata() const { return strata_; }
+
+  /// True iff `p` depends on `r` (a path r →* p exists).
+  bool DependsOn(uint32_t p, uint32_t r) const;
+
+  std::string ToDot(const Interner* interner = nullptr) const;
+
+ private:
+  void ComputeSccs();
+
+  std::set<uint32_t> vertices_;
+  std::vector<Edge> edges_;
+  std::map<uint32_t, std::vector<std::pair<uint32_t, bool>>> adj_;  // from → (to, neg)
+  std::vector<std::vector<uint32_t>> components_;
+  std::map<uint32_t, size_t> strata_;
+  bool stratified_ = true;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_GROUND_DEPENDENCY_GRAPH_H_

@@ -1,0 +1,145 @@
+#include "ground/fact_store.h"
+
+#include <algorithm>
+
+#include "ast/parser.h"
+#include "util/hash.h"
+
+namespace gdlog {
+
+size_t GroundAtom::Hash() const {
+  return HashCombine(Mix64(predicate), HashTuple(args));
+}
+
+std::string GroundAtom::ToString(const Interner* interner) const {
+  std::string out;
+  if (interner != nullptr && predicate < interner->size()) {
+    out = interner->Name(predicate);
+  } else if (predicate == UINT32_MAX - 1) {
+    out = "__bot";  // NormalProgram::kFalsityPredicate
+  } else {
+    out = "p" + std::to_string(predicate);
+  }
+  if (args.empty()) return out;
+  out += "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString(interner);
+  }
+  out += ")";
+  return out;
+}
+
+bool FactStore::Insert(uint32_t predicate, Tuple tuple) {
+  Relation& rel = relations_[predicate];
+  auto [it, inserted] = rel.set.insert(tuple);
+  (void)it;
+  if (!inserted) return false;
+  uint32_t row = static_cast<uint32_t>(rel.rows.size());
+  rel.rows.push_back(std::move(tuple));
+  const Tuple& stored = rel.rows.back();
+  // Keep already-built column indices current.
+  for (size_t col = 0; col < rel.index_built.size(); ++col) {
+    if (rel.index_built[col] && col < stored.size()) {
+      rel.indices[col][stored[col]].push_back(row);
+    }
+  }
+  ++total_;
+  return true;
+}
+
+bool FactStore::Contains(uint32_t predicate, const Tuple& tuple) const {
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) return false;
+  return it->second.set.count(tuple) != 0;
+}
+
+const std::vector<Tuple>& FactStore::Rows(uint32_t predicate) const {
+  static const std::vector<Tuple> kEmpty;
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) return kEmpty;
+  return it->second.rows;
+}
+
+const std::vector<uint32_t>* FactStore::IndexLookup(uint32_t predicate,
+                                                    size_t col,
+                                                    const Value& v) const {
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) return nullptr;
+  const Relation& rel = it->second;
+  if (rel.rows.empty()) return nullptr;
+  size_t arity = rel.rows.front().size();
+  if (col >= arity) return nullptr;
+  if (rel.indices.size() < arity) {
+    rel.indices.resize(arity);
+    rel.index_built.resize(arity, false);
+  }
+  if (!rel.index_built[col]) {
+    for (uint32_t row = 0; row < rel.rows.size(); ++row) {
+      rel.indices[col][rel.rows[row][col]].push_back(row);
+    }
+    rel.index_built[col] = true;
+  }
+  auto hit = rel.indices[col].find(v);
+  if (hit == rel.indices[col].end()) return nullptr;
+  return &hit->second;
+}
+
+size_t FactStore::Count(uint32_t predicate) const {
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) return 0;
+  return it->second.rows.size();
+}
+
+std::vector<uint32_t> FactStore::Predicates() const {
+  std::vector<uint32_t> out;
+  for (const auto& [pred, rel] : relations_) {
+    if (!rel.rows.empty()) out.push_back(pred);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<GroundAtom> FactStore::AllFacts() const {
+  std::vector<GroundAtom> out;
+  out.reserve(total_);
+  for (uint32_t pred : Predicates()) {
+    for (const Tuple& row : Rows(pred)) {
+      out.push_back(GroundAtom{pred, row});
+    }
+  }
+  return out;
+}
+
+std::string FactStore::ToString(const Interner* interner) const {
+  std::string out;
+  for (const GroundAtom& atom : AllFacts()) {
+    out += atom.ToString(interner);
+    out += ".\n";
+  }
+  return out;
+}
+
+Result<FactStore> ParseFacts(std::string_view text, Interner* interner) {
+  // Reuse the program parser: a database is a program of facts.
+  std::shared_ptr<Interner> shared(interner, [](Interner*) {});
+  auto parsed = ParseProgram(text, shared);
+  if (!parsed.ok()) return parsed.status();
+  FactStore store;
+  for (const Rule& rule : parsed->rules()) {
+    if (!rule.IsFact()) {
+      return Status::InvalidArgument(
+          "database text contains a non-fact rule: " +
+          rule.ToString(interner));
+    }
+    Tuple tuple;
+    tuple.reserve(rule.head.args.size());
+    for (const HeadArg& arg : rule.head.args) {
+      tuple.push_back(arg.term().constant());
+    }
+    store.Insert(rule.head.predicate, std::move(tuple));
+  }
+  return store;
+}
+
+}  // namespace gdlog

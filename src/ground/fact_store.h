@@ -1,0 +1,103 @@
+#ifndef GDLOG_GROUND_FACT_STORE_H_
+#define GDLOG_GROUND_FACT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/interner.h"
+#include "util/status.h"
+#include "util/value.h"
+
+namespace gdlog {
+
+/// A ground atom R(c̄): predicate id plus a flat tuple of constants.
+struct GroundAtom {
+  uint32_t predicate = 0;
+  Tuple args;
+
+  bool operator==(const GroundAtom& other) const {
+    return predicate == other.predicate && args == other.args;
+  }
+  bool operator<(const GroundAtom& other) const {
+    if (predicate != other.predicate) return predicate < other.predicate;
+    if (args.size() != other.args.size()) return args.size() < other.args.size();
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (args[i] != other.args[i]) return args[i] < other.args[i];
+    }
+    return false;
+  }
+
+  size_t Hash() const;
+  std::string ToString(const Interner* interner = nullptr) const;
+};
+
+struct GroundAtomHash {
+  size_t operator()(const GroundAtom& a) const { return a.Hash(); }
+};
+
+/// A relational instance: per-predicate tuple sets with lazily built
+/// per-column hash indices. This is both the database D and the "heads so
+/// far" instance that the grounding operators match against.
+class FactStore {
+ public:
+  FactStore() = default;
+
+  /// Inserts a fact; returns true iff it was new.
+  bool Insert(uint32_t predicate, Tuple tuple);
+  bool Insert(const GroundAtom& atom) {
+    return Insert(atom.predicate, atom.args);
+  }
+
+  bool Contains(uint32_t predicate, const Tuple& tuple) const;
+  bool Contains(const GroundAtom& atom) const {
+    return Contains(atom.predicate, atom.args);
+  }
+
+  /// All rows of `predicate` in insertion order (empty if unknown).
+  const std::vector<Tuple>& Rows(uint32_t predicate) const;
+
+  /// Row indices of `predicate` whose column `col` equals `v`.
+  /// Builds the column index on first use. Returns nullptr when no row
+  /// matches.
+  const std::vector<uint32_t>* IndexLookup(uint32_t predicate, size_t col,
+                                           const Value& v) const;
+
+  /// Number of rows for `predicate`.
+  size_t Count(uint32_t predicate) const;
+
+  /// Total number of facts.
+  size_t size() const { return total_; }
+
+  /// Predicates with at least one row.
+  std::vector<uint32_t> Predicates() const;
+
+  /// All facts, as atoms (mainly for tests/printing).
+  std::vector<GroundAtom> AllFacts() const;
+
+  std::string ToString(const Interner* interner = nullptr) const;
+
+ private:
+  struct Relation {
+    std::vector<Tuple> rows;
+    std::unordered_set<Tuple, TupleHash> set;
+    // col -> value -> row indices; built lazily, extended on insert once
+    // built.
+    mutable std::vector<std::unordered_map<Value, std::vector<uint32_t>>>
+        indices;
+    mutable std::vector<bool> index_built;
+  };
+
+  std::unordered_map<uint32_t, Relation> relations_;
+  size_t total_ = 0;
+};
+
+/// Parses a database given as newline/whitespace-separated ground atoms in
+/// surface syntax ("router(1). connected(1,2).") into a FactStore.
+Result<FactStore> ParseFacts(std::string_view text, Interner* interner);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_GROUND_FACT_STORE_H_

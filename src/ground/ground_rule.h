@@ -1,0 +1,125 @@
+#ifndef GDLOG_GROUND_GROUND_RULE_H_
+#define GDLOG_GROUND_GROUND_RULE_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "ground/fact_store.h"
+#include "util/hash.h"
+
+namespace gdlog {
+
+/// A ground TGD¬ without existentials: h(σ) for some homomorphism h.
+/// Facts are rules with empty bodies ("True → α"). Ground constraints
+/// ("body → ⊥") carry `is_constraint`; their head is ignored.
+struct GroundRule {
+  GroundAtom head;
+  std::vector<GroundAtom> positive;
+  std::vector<GroundAtom> negative;
+  bool is_constraint = false;
+
+  bool IsFact() const {
+    return !is_constraint && positive.empty() && negative.empty();
+  }
+
+  bool operator==(const GroundRule& other) const {
+    return is_constraint == other.is_constraint && head == other.head &&
+           positive == other.positive && negative == other.negative;
+  }
+
+  size_t Hash() const {
+    size_t h = is_constraint ? 0x107u : head.Hash();
+    for (const GroundAtom& a : positive) h = HashCombine(h, a.Hash());
+    h = HashCombine(h, 0x5eed);
+    for (const GroundAtom& a : negative) h = HashCombine(h, a.Hash());
+    return h;
+  }
+
+  std::string ToString(const Interner* interner = nullptr) const {
+    std::string out;
+    if (!is_constraint) {
+      out = head.ToString(interner);
+      if (positive.empty() && negative.empty()) return out + ".";
+      out += " ";
+    }
+    out += ":- ";
+    bool first = true;
+    for (const GroundAtom& a : positive) {
+      if (!first) out += ", ";
+      first = false;
+      out += a.ToString(interner);
+    }
+    for (const GroundAtom& a : negative) {
+      if (!first) out += ", ";
+      first = false;
+      out += "not " + a.ToString(interner);
+    }
+    return out + ".";
+  }
+};
+
+struct GroundRuleHash {
+  size_t operator()(const GroundRule& r) const { return r.Hash(); }
+};
+
+/// A set of ground rules Σ' ⊆ ground(Σ) with its heads(Σ') instance kept
+/// incrementally (the grounding operators of §3/§5 repeatedly match rule
+/// bodies against heads of the program built so far).
+class GroundRuleSet {
+ public:
+  GroundRuleSet() = default;
+
+  // Move-only: rules_ holds pointers into set_'s nodes, which survive moves
+  // (unordered_set nodes are stable) but not copies.
+  GroundRuleSet(const GroundRuleSet&) = delete;
+  GroundRuleSet& operator=(const GroundRuleSet&) = delete;
+  GroundRuleSet(GroundRuleSet&&) = default;
+  GroundRuleSet& operator=(GroundRuleSet&&) = default;
+
+  /// Adds a rule; returns true iff new. Updates heads() (constraints have
+  /// no head and contribute nothing there).
+  bool Add(GroundRule rule) {
+    auto [it, inserted] = set_.insert(std::move(rule));
+    if (!inserted) return false;
+    rules_.push_back(&*it);
+    if (!it->is_constraint) heads_.Insert(it->head);
+    return true;
+  }
+
+  bool Contains(const GroundRule& rule) const { return set_.count(rule) != 0; }
+
+  /// Insertion-ordered view of the rules.
+  const std::vector<const GroundRule*>& rules() const { return rules_; }
+
+  size_t size() const { return rules_.size(); }
+
+  /// heads(Σ'): the instance of all head atoms.
+  const FactStore& heads() const { return heads_; }
+
+  /// Deep copy (re-inserts every rule). Used by the incremental chase to
+  /// branch grounding state per child.
+  GroundRuleSet Clone() const {
+    GroundRuleSet copy;
+    for (const GroundRule* rule : rules_) copy.Add(*rule);
+    return copy;
+  }
+
+  std::string ToString(const Interner* interner = nullptr) const {
+    std::string out;
+    for (const GroundRule* r : rules_) {
+      out += r->ToString(interner);
+      out += "\n";
+    }
+    return out;
+  }
+
+ private:
+  std::unordered_set<GroundRule, GroundRuleHash> set_;
+  std::vector<const GroundRule*> rules_;
+  FactStore heads_;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_GROUND_GROUND_RULE_H_

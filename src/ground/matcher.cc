@@ -1,0 +1,173 @@
+#include "ground/matcher.h"
+
+#include <cassert>
+#include <limits>
+
+namespace gdlog {
+
+Value ApplyTerm(const Term& term, const Binding& binding) {
+  if (term.is_constant()) return term.constant();
+  auto it = binding.find(term.var_id());
+  assert(it != binding.end() && "unbound variable in ApplyTerm");
+  return it->second;
+}
+
+GroundAtom ApplyAtom(const Atom& atom, const Binding& binding) {
+  GroundAtom out;
+  out.predicate = atom.predicate;
+  out.args.reserve(atom.args.size());
+  for (const Term& t : atom.args) out.args.push_back(ApplyTerm(t, binding));
+  return out;
+}
+
+bool Matcher::Unify(const Atom& atom, const Tuple& row, Binding& binding,
+                    std::vector<uint32_t>& trail) {
+  if (row.size() != atom.args.size()) return false;
+  size_t trail_start = trail.size();
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const Term& t = atom.args[i];
+    if (t.is_constant()) {
+      if (!(t.constant() == row[i])) goto fail;
+    } else {
+      auto [it, inserted] = binding.emplace(t.var_id(), row[i]);
+      if (inserted) {
+        trail.push_back(t.var_id());
+      } else if (!(it->second == row[i])) {
+        goto fail;
+      }
+    }
+  }
+  return true;
+fail:
+  while (trail.size() > trail_start) {
+    binding.erase(trail.back());
+    trail.pop_back();
+  }
+  return false;
+}
+
+bool Matcher::ForEachCandidate(
+    const Atom& atom, const Binding& binding,
+    const std::function<bool(const Tuple&)>& cb) const {
+  // Find a bound column to use an index on.
+  for (size_t col = 0; col < atom.args.size(); ++col) {
+    const Term& t = atom.args[col];
+    Value bound;
+    bool have = false;
+    if (t.is_constant()) {
+      bound = t.constant();
+      have = true;
+    } else {
+      auto it = binding.find(t.var_id());
+      if (it != binding.end()) {
+        bound = it->second;
+        have = true;
+      }
+    }
+    if (have) {
+      const std::vector<uint32_t>* rows =
+          store_->IndexLookup(atom.predicate, col, bound);
+      if (rows == nullptr) return true;
+      const std::vector<Tuple>& all = store_->Rows(atom.predicate);
+      for (uint32_t r : *rows) {
+        if (!cb(all[r])) return false;
+      }
+      return true;
+    }
+  }
+  // Full scan.
+  for (const Tuple& row : store_->Rows(atom.predicate)) {
+    if (!cb(row)) return false;
+  }
+  return true;
+}
+
+size_t Matcher::PickNext(const std::vector<const Atom*>& atoms,
+                         const std::vector<bool>& done,
+                         const Binding& binding) const {
+  size_t best = atoms.size();
+  size_t best_cost = std::numeric_limits<size_t>::max();
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (done[i]) continue;
+    const Atom& atom = *atoms[i];
+    // Cost estimate: indexed-bound column → index bucket size; otherwise
+    // relation cardinality.
+    size_t cost = store_->Count(atom.predicate);
+    for (size_t col = 0; col < atom.args.size(); ++col) {
+      const Term& t = atom.args[col];
+      Value bound;
+      bool have = false;
+      if (t.is_constant()) {
+        bound = t.constant();
+        have = true;
+      } else {
+        auto it = binding.find(t.var_id());
+        if (it != binding.end()) {
+          bound = it->second;
+          have = true;
+        }
+      }
+      if (have) {
+        const std::vector<uint32_t>* rows =
+            store_->IndexLookup(atom.predicate, col, bound);
+        size_t bucket = rows == nullptr ? 0 : rows->size();
+        if (bucket < cost) cost = bucket;
+      }
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+  return best;
+}
+
+bool Matcher::MatchRec(const std::vector<const Atom*>& atoms,
+                       std::vector<bool>& done, size_t remaining,
+                       Binding& binding,
+                       const std::function<bool(const Binding&)>& cb) const {
+  if (remaining == 0) return cb(binding);
+  size_t next = PickNext(atoms, done, binding);
+  assert(next < atoms.size());
+  done[next] = true;
+  bool keep_going = true;
+  ForEachCandidate(*atoms[next], binding, [&](const Tuple& row) {
+    std::vector<uint32_t> trail;
+    if (Unify(*atoms[next], row, binding, trail)) {
+      keep_going = MatchRec(atoms, done, remaining - 1, binding, cb);
+      for (uint32_t v : trail) binding.erase(v);
+    }
+    return keep_going;
+  });
+  done[next] = false;
+  return keep_going;
+}
+
+bool Matcher::Match(const std::vector<const Atom*>& atoms,
+                    const std::function<bool(const Binding&)>& cb) const {
+  Binding binding;
+  std::vector<bool> done(atoms.size(), false);
+  return MatchRec(atoms, done, atoms.size(), binding, cb);
+}
+
+bool Matcher::MatchWithPivot(
+    const std::vector<const Atom*>& atoms, size_t pivot_index,
+    const std::vector<Tuple>& pivot_rows,
+    const std::function<bool(const Binding&)>& cb) const {
+  assert(pivot_index < atoms.size());
+  Binding binding;
+  std::vector<bool> done(atoms.size(), false);
+  done[pivot_index] = true;
+  bool keep_going = true;
+  for (const Tuple& row : pivot_rows) {
+    std::vector<uint32_t> trail;
+    if (Unify(*atoms[pivot_index], row, binding, trail)) {
+      keep_going = MatchRec(atoms, done, atoms.size() - 1, binding, cb);
+      for (uint32_t v : trail) binding.erase(v);
+    }
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+}  // namespace gdlog

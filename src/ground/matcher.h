@@ -1,0 +1,68 @@
+#ifndef GDLOG_GROUND_MATCHER_H_
+#define GDLOG_GROUND_MATCHER_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/atom.h"
+#include "ground/fact_store.h"
+
+namespace gdlog {
+
+/// A variable binding: interned variable id → constant.
+using Binding = std::unordered_map<uint32_t, Value>;
+
+/// Applies a binding to a term; the term must be ground under `binding`.
+Value ApplyTerm(const Term& term, const Binding& binding);
+
+/// Applies a binding to an atom (all variables must be bound).
+GroundAtom ApplyAtom(const Atom& atom, const Binding& binding);
+
+/// Enumerates homomorphisms h from a conjunction of atoms into a FactStore
+/// (the h(A) ⊆ B matching of §3). Uses greedy bound-first atom ordering and
+/// per-column hash indices. The callback returns false to stop enumeration.
+class Matcher {
+ public:
+  explicit Matcher(const FactStore* store) : store_(store) {}
+
+  /// Enumerates every homomorphism from `atoms` into the store, invoking
+  /// `cb` with the complete binding. Returns false iff the callback aborted.
+  bool Match(const std::vector<const Atom*>& atoms,
+             const std::function<bool(const Binding&)>& cb) const;
+
+  /// Like Match, but atom `pivot_index` is matched only against the rows in
+  /// `pivot_rows` (semi-naive evaluation: the pivot must match a delta
+  /// fact). `pivot_rows` elements must have the pivot's predicate.
+  bool MatchWithPivot(const std::vector<const Atom*>& atoms,
+                      size_t pivot_index,
+                      const std::vector<Tuple>& pivot_rows,
+                      const std::function<bool(const Binding&)>& cb) const;
+
+ private:
+  bool MatchRec(const std::vector<const Atom*>& atoms,
+                std::vector<bool>& done, size_t remaining, Binding& binding,
+                const std::function<bool(const Binding&)>& cb) const;
+
+  /// Tries to unify `atom` against `row` under `binding`; on success appends
+  /// newly bound variables to `trail` and returns true.
+  static bool Unify(const Atom& atom, const Tuple& row, Binding& binding,
+                    std::vector<uint32_t>& trail);
+
+  /// Chooses the not-yet-matched atom with the fewest candidate rows under
+  /// the current binding.
+  size_t PickNext(const std::vector<const Atom*>& atoms,
+                  const std::vector<bool>& done,
+                  const Binding& binding) const;
+
+  /// Enumerates candidate rows for `atom` under `binding` (using the best
+  /// bound column's index when available).
+  bool ForEachCandidate(const Atom& atom, const Binding& binding,
+                        const std::function<bool(const Tuple&)>& cb) const;
+
+  const FactStore* store_;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_GROUND_MATCHER_H_

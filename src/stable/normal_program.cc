@@ -1,0 +1,76 @@
+#include "stable/normal_program.h"
+
+#include <algorithm>
+
+namespace gdlog {
+
+NormalProgram NormalProgram::FromRules(
+    const std::vector<const GroundRule*>& rules) {
+  NormalProgram prog;
+  for (const GroundRule* gr : rules) {
+    NormalRule nr;
+    if (gr->is_constraint) {
+      if (prog.falsity_atom_ == kNoFalsity) {
+        prog.falsity_atom_ =
+            prog.atoms_.Intern(GroundAtom{kFalsityPredicate, {}});
+      }
+      nr.head = prog.falsity_atom_;
+    } else {
+      nr.head = prog.atoms_.Intern(gr->head);
+    }
+    nr.positive.reserve(gr->positive.size());
+    for (const GroundAtom& a : gr->positive) {
+      nr.positive.push_back(prog.atoms_.Intern(a));
+    }
+    nr.negative.reserve(gr->negative.size());
+    for (const GroundAtom& a : gr->negative) {
+      nr.negative.push_back(prog.atoms_.Intern(a));
+    }
+    prog.rules_.push_back(std::move(nr));
+  }
+  prog.Finalize();
+  return prog;
+}
+
+void NormalProgram::Finalize() {
+  size_t n = atoms_.size();
+  pos_occ_.assign(n, {});
+  neg_occ_.assign(n, {});
+  std::vector<bool> is_neg(n, false);
+  for (uint32_t ri = 0; ri < rules_.size(); ++ri) {
+    for (uint32_t a : rules_[ri].positive) pos_occ_[a].push_back(ri);
+    for (uint32_t a : rules_[ri].negative) {
+      neg_occ_[a].push_back(ri);
+      is_neg[a] = true;
+    }
+  }
+  neg_atoms_.clear();
+  for (uint32_t a = 0; a < n; ++a) {
+    if (is_neg[a]) neg_atoms_.push_back(a);
+  }
+}
+
+std::string NormalProgram::ToString(const Interner* interner) const {
+  std::string out;
+  for (const NormalRule& r : rules_) {
+    out += atoms_.Get(r.head).ToString(interner);
+    if (!r.positive.empty() || !r.negative.empty()) {
+      out += " :- ";
+      bool first = true;
+      for (uint32_t a : r.positive) {
+        if (!first) out += ", ";
+        first = false;
+        out += atoms_.Get(a).ToString(interner);
+      }
+      for (uint32_t a : r.negative) {
+        if (!first) out += ", ";
+        first = false;
+        out += "not " + atoms_.Get(a).ToString(interner);
+      }
+    }
+    out += ".\n";
+  }
+  return out;
+}
+
+}  // namespace gdlog

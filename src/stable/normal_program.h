@@ -1,0 +1,110 @@
+#ifndef GDLOG_STABLE_NORMAL_PROGRAM_H_
+#define GDLOG_STABLE_NORMAL_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ground/ground_rule.h"
+
+namespace gdlog {
+
+/// Interns ground atoms into dense 32-bit ids for the solver's hot paths.
+class AtomTable {
+ public:
+  uint32_t Intern(const GroundAtom& atom) {
+    auto it = index_.find(atom);
+    if (it != index_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(atoms_.size());
+    atoms_.push_back(atom);
+    index_.emplace(atoms_.back(), id);
+    return id;
+  }
+
+  /// Returns the id of `atom` or kNotFound.
+  static constexpr uint32_t kNotFound = UINT32_MAX;
+  uint32_t Lookup(const GroundAtom& atom) const {
+    auto it = index_.find(atom);
+    return it == index_.end() ? kNotFound : it->second;
+  }
+
+  const GroundAtom& Get(uint32_t id) const { return atoms_[id]; }
+  size_t size() const { return atoms_.size(); }
+
+ private:
+  std::unordered_map<GroundAtom, uint32_t, GroundAtomHash> index_;
+  std::vector<GroundAtom> atoms_;
+};
+
+/// A ground normal rule over dense atom ids.
+struct NormalRule {
+  uint32_t head = 0;
+  std::vector<uint32_t> positive;
+  std::vector<uint32_t> negative;
+};
+
+/// A ground normal logic program: the object SM[Σ] is evaluated on. Built
+/// from ground TGD¬ programs (existential-free, as emitted by the paper's
+/// grounders). Negation is interpreted under the stable model semantics via
+/// the classical Gelfond–Lifschitz reduct, which coincides with the paper's
+/// second-order SM[Σ] definition on ground programs.
+class NormalProgram {
+ public:
+  NormalProgram() = default;
+
+  /// Reserved predicate id for the falsity marker atom ⊥ that ground
+  /// constraints derive; a candidate model containing it is rejected.
+  static constexpr uint32_t kFalsityPredicate = UINT32_MAX - 1;
+
+  /// Builds the program from ground rules, interning atoms. Ground
+  /// constraints become rules deriving the ⊥ marker (see falsity_atom()).
+  static NormalProgram FromRules(const std::vector<const GroundRule*>& rules);
+  static NormalProgram FromRuleSet(const GroundRuleSet& rules) {
+    return FromRules(rules.rules());
+  }
+
+  const AtomTable& atoms() const { return atoms_; }
+  AtomTable& mutable_atoms() { return atoms_; }
+  const std::vector<NormalRule>& rules() const { return rules_; }
+
+  void AddRule(NormalRule rule) { rules_.push_back(std::move(rule)); }
+
+  size_t atom_count() const { return atoms_.size(); }
+
+  /// Rules indexed by positive-body atom: ids of rules where `atom` occurs
+  /// positively. (Built by Finalize.)
+  const std::vector<std::vector<uint32_t>>& pos_occurrences() const {
+    return pos_occ_;
+  }
+  /// Rules where `atom` occurs negatively.
+  const std::vector<std::vector<uint32_t>>& neg_occurrences() const {
+    return neg_occ_;
+  }
+
+  /// Atoms occurring in at least one negative body — the only atoms whose
+  /// truth can distinguish stable models ("externals" for the solver).
+  const std::vector<uint32_t>& negative_atoms() const { return neg_atoms_; }
+
+  /// Atom id of the ⊥ marker, or kNoFalsity if the program has no
+  /// constraints.
+  static constexpr uint32_t kNoFalsity = UINT32_MAX;
+  uint32_t falsity_atom() const { return falsity_atom_; }
+
+  /// Builds occurrence indices; must be called after the last AddRule.
+  void Finalize();
+
+  std::string ToString(const Interner* interner = nullptr) const;
+
+ private:
+  AtomTable atoms_;
+  std::vector<NormalRule> rules_;
+  std::vector<std::vector<uint32_t>> pos_occ_;
+  std::vector<std::vector<uint32_t>> neg_occ_;
+  std::vector<uint32_t> neg_atoms_;
+  uint32_t falsity_atom_ = kNoFalsity;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_STABLE_NORMAL_PROGRAM_H_

@@ -1,0 +1,142 @@
+#include "stable/solver.h"
+
+#include <algorithm>
+
+namespace gdlog {
+
+Status StableModelEnumerator::Enumerate(
+    const std::function<bool(const std::vector<uint32_t>&)>& cb) {
+  nodes_ = 0;
+  models_ = 0;
+  std::vector<Truth> external(prog_.atom_count(), Truth::kUndefined);
+  bool keep_going = true;
+  return Search(external, cb, &keep_going);
+}
+
+void StableModelEnumerator::EmitLeaf(
+    const std::vector<Truth>& external,
+    const std::function<bool(const std::vector<uint32_t>&)>& cb,
+    bool* keep_going) {
+  // Leaf: the assignment to negative atoms is total. Compute the least
+  // model of the reduct and verify the assignment is self-consistent
+  // (a ∈ M iff assumed true) — the Gelfond–Lifschitz fixpoint condition.
+  std::vector<bool> model = LeastModelOfReduct(prog_, external);
+  for (uint32_t a : prog_.negative_atoms()) {
+    bool assumed = external[a] == Truth::kTrue;
+    if (model[a] != assumed) return;  // not stable
+  }
+  // Integrity constraints: a model deriving the ⊥ marker is discarded.
+  uint32_t bot = prog_.falsity_atom();
+  if (bot != NormalProgram::kNoFalsity && model[bot]) return;
+  std::vector<uint32_t> atoms;
+  for (uint32_t a = 0; a < model.size(); ++a) {
+    if (model[a] && a != bot) atoms.push_back(a);
+  }
+  ++models_;
+  if (!cb(atoms)) {
+    *keep_going = false;
+    return;
+  }
+  if (options_.max_models != 0 && models_ >= options_.max_models) {
+    *keep_going = false;
+  }
+}
+
+Status StableModelEnumerator::Search(
+    std::vector<Truth>& external,
+    const std::function<bool(const std::vector<uint32_t>&)>& cb,
+    bool* keep_going) {
+  if (!*keep_going) return Status::OK();
+  if (++nodes_ > options_.max_nodes) {
+    return Status::BudgetExhausted(
+        "stable-model search exceeded " + std::to_string(options_.max_nodes) +
+        " nodes");
+  }
+
+  // Conditioned well-founded propagation to fixpoint.
+  std::vector<uint32_t> assigned_here;
+  for (;;) {
+    WellFoundedModel wfm = ComputeWellFounded(prog_, &external);
+    // Constraint pruning: if ⊥ is well-founded-true under the current
+    // assignment, every compatible candidate violates a constraint.
+    uint32_t bot = prog_.falsity_atom();
+    if (bot != NormalProgram::kNoFalsity &&
+        wfm.truth[bot] == Truth::kTrue) {
+      for (uint32_t b : assigned_here) external[b] = Truth::kUndefined;
+      return Status::OK();
+    }
+    bool changed = false;
+    for (uint32_t a : prog_.negative_atoms()) {
+      Truth w = wfm.truth[a];
+      if (external[a] == Truth::kUndefined) {
+        if (w != Truth::kUndefined) {
+          external[a] = w;
+          assigned_here.push_back(a);
+          changed = true;
+        }
+      } else if (w != Truth::kUndefined && w != external[a]) {
+        // Conflict: assignment contradicts a sound consequence.
+        for (uint32_t b : assigned_here) external[b] = Truth::kUndefined;
+        return Status::OK();
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Find an unassigned negative atom to branch on.
+  uint32_t branch_atom = UINT32_MAX;
+  for (uint32_t a : prog_.negative_atoms()) {
+    if (external[a] == Truth::kUndefined) {
+      branch_atom = a;
+      break;
+    }
+  }
+
+  Status st = Status::OK();
+  if (branch_atom == UINT32_MAX) {
+    EmitLeaf(external, cb, keep_going);
+  } else {
+    for (Truth guess : {Truth::kTrue, Truth::kFalse}) {
+      external[branch_atom] = guess;
+      st = Search(external, cb, keep_going);
+      if (!st.ok() || !*keep_going) break;
+    }
+    external[branch_atom] = Truth::kUndefined;
+  }
+
+  for (uint32_t b : assigned_here) external[b] = Truth::kUndefined;
+  return st;
+}
+
+Result<StableModelSet> AllStableModels(const GroundRuleSet& rules,
+                                       StableModelEnumerator::Options options) {
+  NormalProgram prog = NormalProgram::FromRuleSet(rules);
+  StableModelEnumerator solver(prog, options);
+  StableModelSet out;
+  Status st = solver.Enumerate([&](const std::vector<uint32_t>& atoms) {
+    StableModel model;
+    model.reserve(atoms.size());
+    for (uint32_t a : atoms) model.push_back(prog.atoms().Get(a));
+    std::sort(model.begin(), model.end());
+    out.insert(std::move(model));
+    return true;
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Result<bool> HasStableModel(const GroundRuleSet& rules,
+                            StableModelEnumerator::Options options) {
+  NormalProgram prog = NormalProgram::FromRuleSet(rules);
+  options.max_models = 1;
+  StableModelEnumerator solver(prog, options);
+  bool found = false;
+  Status st = solver.Enumerate([&](const std::vector<uint32_t>&) {
+    found = true;
+    return false;
+  });
+  if (!st.ok()) return st;
+  return found;
+}
+
+}  // namespace gdlog

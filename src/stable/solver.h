@@ -1,0 +1,78 @@
+#ifndef GDLOG_STABLE_SOLVER_H_
+#define GDLOG_STABLE_SOLVER_H_
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "stable/normal_program.h"
+#include "stable/wfs.h"
+#include "util/status.h"
+
+namespace gdlog {
+
+/// A stable model rendered as a canonically sorted set of ground atoms.
+using StableModel = std::vector<GroundAtom>;
+
+/// A set of stable models in canonical order — the objects the paper's
+/// possible outcomes induce (sms(Σ)); usable as an ordered map key when
+/// grouping outcomes into σ-algebra events.
+using StableModelSet = std::set<StableModel>;
+
+/// Enumerates the stable models of a ground normal program.
+///
+/// Algorithm: DPLL-style search over the atoms that occur in negative
+/// bodies (the only atoms whose truth distinguishes stable models), with
+/// conditioned well-founded propagation for pruning, and Gelfond–Lifschitz
+/// reduct verification at the leaves. Stratified ground programs are solved
+/// without branching (their well-founded model is total).
+class StableModelEnumerator {
+ public:
+  struct Options {
+    /// Stop after this many models (0 = unlimited).
+    uint64_t max_models = 0;
+    /// Abort with BudgetExhausted after this many search nodes.
+    uint64_t max_nodes = 10'000'000;
+  };
+
+  explicit StableModelEnumerator(const NormalProgram& prog) : prog_(prog) {}
+  StableModelEnumerator(const NormalProgram& prog, Options options)
+      : prog_(prog), options_(options) {}
+
+  /// Invokes `cb` with each stable model as a sorted vector of true atom
+  /// ids. The callback returns false to stop early. Never reports
+  /// duplicates.
+  Status Enumerate(const std::function<bool(const std::vector<uint32_t>&)>& cb);
+
+  /// Number of search nodes used by the last Enumerate call.
+  uint64_t nodes_used() const { return nodes_; }
+
+ private:
+  Status Search(std::vector<Truth>& external,
+                const std::function<bool(const std::vector<uint32_t>&)>& cb,
+                bool* keep_going);
+
+  void EmitLeaf(const std::vector<Truth>& external,
+                const std::function<bool(const std::vector<uint32_t>&)>& cb,
+                bool* keep_going);
+
+  const NormalProgram& prog_;
+  Options options_ = {};
+  uint64_t nodes_ = 0;
+  uint64_t models_ = 0;
+};
+
+/// Convenience: all stable models of a ground TGD¬ program, as canonically
+/// sorted ground-atom vectors, sorted set. Honors `options` budgets.
+Result<StableModelSet> AllStableModels(
+    const GroundRuleSet& rules,
+    StableModelEnumerator::Options options = StableModelEnumerator::Options{});
+
+/// Convenience: true iff the ground program has at least one stable model.
+Result<bool> HasStableModel(
+    const GroundRuleSet& rules,
+    StableModelEnumerator::Options options = StableModelEnumerator::Options{});
+
+}  // namespace gdlog
+
+#endif  // GDLOG_STABLE_SOLVER_H_

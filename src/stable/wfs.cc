@@ -1,0 +1,94 @@
+#include "stable/wfs.h"
+
+#include <deque>
+
+namespace gdlog {
+
+namespace {
+
+/// Γ(X): least model of the reduct where a negative literal "not a" is
+/// satisfied iff a is not assumed true. Assumed-true means: external says
+/// kTrue, or external is kUndefined/absent and X[a] holds.
+std::vector<bool> Gamma(const NormalProgram& prog, const std::vector<bool>& X,
+                        const std::vector<Truth>* external) {
+  const auto& rules = prog.rules();
+  size_t n = prog.atom_count();
+  std::vector<bool> derived(n, false);
+  std::vector<uint32_t> missing(rules.size(), 0);
+  std::deque<uint32_t> ready;
+
+  for (uint32_t ri = 0; ri < rules.size(); ++ri) {
+    const NormalRule& r = rules[ri];
+    bool blocked = false;
+    for (uint32_t a : r.negative) {
+      Truth ext = external == nullptr ? Truth::kUndefined : (*external)[a];
+      bool assumed_true =
+          ext == Truth::kTrue || (ext == Truth::kUndefined && X[a]);
+      if (assumed_true) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) {
+      missing[ri] = UINT32_MAX;  // never fires
+      continue;
+    }
+    missing[ri] = static_cast<uint32_t>(r.positive.size());
+    if (missing[ri] == 0) ready.push_back(ri);
+  }
+
+  while (!ready.empty()) {
+    uint32_t ri = ready.front();
+    ready.pop_front();
+    uint32_t head = rules[ri].head;
+    if (derived[head]) continue;
+    derived[head] = true;
+    for (uint32_t rj : prog.pos_occurrences()[head]) {
+      if (missing[rj] == UINT32_MAX || missing[rj] == 0) continue;
+      // pos_occurrences lists a rule once per positive occurrence and
+      // missing[] was initialized to the occurrence count, so decrementing
+      // by one per entry is consistent even with duplicated body atoms.
+      if (--missing[rj] == 0) ready.push_back(rj);
+    }
+  }
+  return derived;
+}
+
+}  // namespace
+
+WellFoundedModel ComputeWellFounded(const NormalProgram& prog,
+                                    const std::vector<Truth>* external) {
+  size_t n = prog.atom_count();
+  std::vector<bool> T(n, false);
+
+  // Alternating fixpoint: U_i = Γ(T_i) (possibly true), T_{i+1} = Γ(U_i)
+  // (surely true). T is increasing, U decreasing; both stabilize together.
+  std::vector<bool> U = Gamma(prog, T, external);
+  for (;;) {
+    std::vector<bool> T_next = Gamma(prog, U, external);
+    if (T_next == T) break;
+    T = std::move(T_next);
+    U = Gamma(prog, T, external);
+  }
+
+  WellFoundedModel wfm;
+  wfm.truth.resize(n, Truth::kUndefined);
+  for (uint32_t a = 0; a < n; ++a) {
+    if (T[a]) {
+      wfm.truth[a] = Truth::kTrue;
+    } else if (!U[a]) {
+      wfm.truth[a] = Truth::kFalse;
+    }
+  }
+  return wfm;
+}
+
+std::vector<bool> LeastModelOfReduct(const NormalProgram& prog,
+                                     const std::vector<Truth>& external) {
+  // With a total external assignment over negative atoms, Γ no longer
+  // depends on X.
+  std::vector<bool> X(prog.atom_count(), false);
+  return Gamma(prog, X, &external);
+}
+
+}  // namespace gdlog

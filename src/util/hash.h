@@ -1,0 +1,26 @@
+#ifndef GDLOG_UTIL_HASH_H_
+#define GDLOG_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gdlog {
+
+/// 64-bit mix (SplitMix64 finalizer). Good avalanche for hash combining.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent hash combiner.
+inline size_t HashCombine(size_t seed, size_t value) {
+  return static_cast<size_t>(
+      Mix64(static_cast<uint64_t>(seed) * 0x100000001b3ULL ^
+            static_cast<uint64_t>(value)));
+}
+
+}  // namespace gdlog
+
+#endif  // GDLOG_UTIL_HASH_H_

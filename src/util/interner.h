@@ -1,0 +1,41 @@
+#ifndef GDLOG_UTIL_INTERNER_H_
+#define GDLOG_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gdlog {
+
+/// Maps strings to dense 32-bit ids and back. Predicate names, symbolic
+/// constants and variable names are interned so the hot paths (matching,
+/// hashing, grounding) never touch string data.
+class Interner {
+ public:
+  Interner() = default;
+
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+
+  /// Returns the id of `s`, interning it if new.
+  uint32_t Intern(std::string_view s);
+
+  /// Returns the id of `s` or kNotFound if it was never interned.
+  static constexpr uint32_t kNotFound = UINT32_MAX;
+  uint32_t Lookup(std::string_view s) const;
+
+  /// The string for a previously returned id.
+  const std::string& Name(uint32_t id) const;
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_UTIL_INTERNER_H_

@@ -1,0 +1,57 @@
+#ifndef GDLOG_UTIL_JSON_H_
+#define GDLOG_UTIL_JSON_H_
+
+#include <string>
+
+namespace gdlog {
+
+/// A minimal streaming JSON writer — enough to export engine results for
+/// scripting (the CLI's --json mode). Handles escaping and comma placement;
+/// callers are responsible for balanced Begin/End calls (asserted).
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key (must be inside an object).
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(long long value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// Convenience: Key + value.
+  JsonWriter& KV(std::string_view key, std::string_view value) {
+    return Key(key).String(value);
+  }
+  JsonWriter& KV(std::string_view key, double value) {
+    return Key(key).Number(value);
+  }
+  JsonWriter& KV(std::string_view key, long long value) {
+    return Key(key).Int(value);
+  }
+  JsonWriter& KV(std::string_view key, bool value) {
+    return Key(key).Bool(value);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+  void Escape(std::string_view s);
+
+  std::string out_;
+  /// Stack of "needs comma before next element" flags per nesting level.
+  std::string stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_UTIL_JSON_H_

@@ -1,0 +1,86 @@
+#ifndef GDLOG_UTIL_PROB_H_
+#define GDLOG_UTIL_PROB_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gdlog {
+
+/// An exact rational with 64-bit numerator/denominator and 128-bit
+/// intermediates. Arithmetic that would overflow marks the value inexact,
+/// at which point only the double approximation remains meaningful. Used so
+/// that probabilities like 0.19 = 19/100 in the paper's examples can be
+/// asserted exactly in tests and reported exactly in experiment output.
+class Rational {
+ public:
+  /// 0/1.
+  Rational() : num_(0), den_(1), exact_(true) {}
+  Rational(int64_t num, int64_t den);
+
+  static Rational Zero() { return Rational(); }
+  static Rational One() { return Rational(1, 1); }
+
+  /// Converts a double that came from decimal program text (e.g. "0.1")
+  /// into the exact rational with denominator 10^k (k <= 9) when the double
+  /// round-trips; otherwise returns an inexact rational.
+  static Rational FromDecimal(double d);
+
+  int64_t numerator() const { return num_; }
+  int64_t denominator() const { return den_; }
+
+  /// True while every operation so far stayed within 64-bit range.
+  bool exact() const { return exact_; }
+
+  double ToDouble() const;
+
+  Rational operator*(const Rational& other) const;
+  Rational operator+(const Rational& other) const;
+  Rational operator-(const Rational& other) const;
+
+  /// Exact comparison when both sides are exact; double comparison otherwise.
+  bool operator==(const Rational& other) const;
+  bool operator<(const Rational& other) const;
+
+  /// "19/100" (or the double rendering when inexact).
+  std::string ToString() const;
+
+ private:
+  void Normalize();
+  static Rational Inexact(double approx);
+
+  int64_t num_;
+  int64_t den_;   // > 0 when exact.
+  bool exact_;
+  double approx_ = 0.0;  // Maintained only when !exact_.
+};
+
+/// A probability value: always carries a double; additionally carries an
+/// exact Rational while exactness is preservable. The product over Result
+/// atoms in Definition 3.8 is computed with operator*.
+class Prob {
+ public:
+  Prob() : rational_(Rational::Zero()) {}
+  explicit Prob(const Rational& r) : rational_(r) {}
+  static Prob Zero() { return Prob(Rational::Zero()); }
+  static Prob One() { return Prob(Rational::One()); }
+  static Prob FromDouble(double d) { return Prob(Rational::FromDecimal(d)); }
+
+  double value() const { return rational_.ToDouble(); }
+  const Rational& rational() const { return rational_; }
+  bool exact() const { return rational_.exact(); }
+
+  Prob operator*(const Prob& o) const { return Prob(rational_ * o.rational_); }
+  Prob operator+(const Prob& o) const { return Prob(rational_ + o.rational_); }
+  Prob operator-(const Prob& o) const { return Prob(rational_ - o.rational_); }
+  bool operator==(const Prob& o) const { return rational_ == o.rational_; }
+  bool operator<(const Prob& o) const { return rational_ < o.rational_; }
+
+  std::string ToString() const { return rational_.ToString(); }
+
+ private:
+  Rational rational_;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_UTIL_PROB_H_

@@ -1,0 +1,142 @@
+#ifndef GDLOG_UTIL_STATUS_H_
+#define GDLOG_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gdlog {
+
+/// Error taxonomy for the whole library. Mirrors the RocksDB/Arrow idiom:
+/// no exceptions cross the public API; fallible operations return Status
+/// (or Result<T> below).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (bad rule, bad parameters, ...).
+  kParseError,        ///< Surface-syntax error; message carries line/column.
+  kNotFound,          ///< Lookup miss (unknown predicate, distribution, ...).
+  kAlreadyExists,     ///< Duplicate registration.
+  kUnsafeProgram,     ///< Safety / range-restriction violation.
+  kNotStratified,     ///< Operation requires stratified negation.
+  kBudgetExhausted,   ///< Exploration budget hit before completion.
+  kUnsupported,       ///< Feature combination not supported.
+  kInternal,          ///< Invariant violation inside the engine (a bug).
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value. OK carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status UnsafeProgram(std::string msg) {
+    return Status(StatusCode::kUnsafeProgram, std::move(msg));
+  }
+  static Status NotStratified(std::string msg) {
+    return Status(StatusCode::kNotStratified, std::move(msg));
+  }
+  static Status BudgetExhausted(std::string msg) {
+    return Status(StatusCode::kBudgetExhausted, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-Status. Accessing the value of an errored Result is a
+/// programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression.
+#define GDLOG_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::gdlog::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its Status.
+#define GDLOG_ASSIGN_OR_RETURN(lhs, expr)      \
+  GDLOG_ASSIGN_OR_RETURN_IMPL_(                \
+      GDLOG_STATUS_CONCAT_(_res, __LINE__), lhs, expr)
+
+#define GDLOG_ASSIGN_OR_RETURN_IMPL_(res, lhs, expr) \
+  auto res = (expr);                                 \
+  if (!res.ok()) return res.status();                \
+  lhs = std::move(res).value()
+
+#define GDLOG_STATUS_CONCAT_(a, b) GDLOG_STATUS_CONCAT_IMPL_(a, b)
+#define GDLOG_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace gdlog
+
+#endif  // GDLOG_UTIL_STATUS_H_

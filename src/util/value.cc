@@ -1,0 +1,87 @@
+#include "util/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/hash.h"
+#include "util/interner.h"
+
+namespace gdlog {
+
+double Value::AsReal() const {
+  switch (kind_) {
+    case Kind::kBool:
+      return int_ ? 1.0 : 0.0;
+    case Kind::kInt:
+      return static_cast<double>(int_);
+    case Kind::kDouble:
+      return double_;
+    case Kind::kSymbol:
+      return static_cast<double>(static_cast<uint32_t>(int_));
+  }
+  return 0.0;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (kind_ != other.kind_) return kind_ < other.kind_;
+  if (kind_ == Kind::kDouble) return double_ < other.double_;
+  return int_ < other.int_;
+}
+
+size_t Value::Hash() const {
+  uint64_t payload;
+  if (kind_ == Kind::kDouble) {
+    // Canonicalize -0.0 so it hashes like +0.0 only if equal; operator==
+    // on doubles treats -0.0 == 0.0, so hash must match.
+    double d = double_ == 0.0 ? 0.0 : double_;
+    static_assert(sizeof(double) == sizeof(uint64_t));
+    __builtin_memcpy(&payload, &d, sizeof(d));
+  } else {
+    payload = static_cast<uint64_t>(int_);
+  }
+  return static_cast<size_t>(
+      Mix64(payload ^ (static_cast<uint64_t>(kind_) << 56)));
+}
+
+std::string Value::ToString(const Interner* interner) const {
+  switch (kind_) {
+    case Kind::kBool:
+      return int_ ? "true" : "false";
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kDouble: {
+      char buf[40];
+      double d = double_;
+      if (d == static_cast<int64_t>(d) && std::fabs(d) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.1f", d);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+      }
+      return buf;
+    }
+    case Kind::kSymbol: {
+      uint32_t id = symbol_id();
+      if (interner != nullptr) return interner->Name(id);
+      return "$sym" + std::to_string(id);
+    }
+  }
+  return "?";
+}
+
+size_t HashTuple(const Tuple& tuple) {
+  size_t h = 0x53c5a1f3u;
+  for (const Value& v : tuple) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+std::string TupleToString(const Tuple& tuple, const Interner* interner) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tuple[i].ToString(interner);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace gdlog

@@ -1,0 +1,112 @@
+#ifndef GDLOG_UTIL_VALUE_H_
+#define GDLOG_UTIL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gdlog {
+
+class Interner;
+
+/// The constant domain C of the paper. The paper assumes every constant is
+/// translatable into a real number; we keep provenance by distinguishing
+/// booleans, 64-bit integers, doubles and interned symbols (symbols compare
+/// by id; their "real translation" is the id). Values are trivially copyable
+/// 16-byte objects so tuples are flat and cheap to hash.
+class Value {
+ public:
+  enum class Kind : uint8_t { kBool, kInt, kDouble, kSymbol };
+
+  Value() : kind_(Kind::kInt), int_(0) {}
+
+  static Value Bool(bool b) {
+    Value v;
+    v.kind_ = Kind::kBool;
+    v.int_ = b ? 1 : 0;
+    return v;
+  }
+  static Value Int(int64_t i) {
+    Value v;
+    v.kind_ = Kind::kInt;
+    v.int_ = i;
+    return v;
+  }
+  static Value Double(double d) {
+    Value v;
+    v.kind_ = Kind::kDouble;
+    v.double_ = d;
+    return v;
+  }
+  /// A symbol previously interned; `id` is the interner id.
+  static Value Symbol(uint32_t id) {
+    Value v;
+    v.kind_ = Kind::kSymbol;
+    v.int_ = id;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_double() const { return kind_ == Kind::kDouble; }
+  bool is_symbol() const { return kind_ == Kind::kSymbol; }
+  bool is_numeric() const { return kind_ != Kind::kSymbol; }
+
+  bool bool_value() const { return int_ != 0; }
+  int64_t int_value() const { return int_; }
+  double double_value() const { return double_; }
+  uint32_t symbol_id() const { return static_cast<uint32_t>(int_); }
+
+  /// Numeric translation per the paper's "constants are reals" convention.
+  /// Symbols translate to their interner id.
+  double AsReal() const;
+
+  /// Structural equality: kind + payload. Note Int(1) != Double(1.0) —
+  /// equality is identity of constants, not numeric equality; use AsReal()
+  /// when numeric comparison is wanted.
+  bool operator==(const Value& other) const {
+    if (kind_ != other.kind_) return false;
+    if (kind_ == Kind::kDouble) return double_ == other.double_;
+    return int_ == other.int_;
+  }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order: by kind, then payload. Used for canonical sorting.
+  bool operator<(const Value& other) const;
+
+  size_t Hash() const;
+
+  /// Rendering; symbols require the interner that produced them.
+  std::string ToString(const Interner* interner = nullptr) const;
+
+ private:
+  Kind kind_;
+  union {
+    int64_t int_;
+    double double_;
+  };
+};
+
+/// A flat tuple of constants (one row of a relation).
+using Tuple = std::vector<Value>;
+
+size_t HashTuple(const Tuple& tuple);
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return HashTuple(t); }
+};
+
+std::string TupleToString(const Tuple& tuple, const Interner* interner);
+
+}  // namespace gdlog
+
+namespace std {
+template <>
+struct hash<gdlog::Value> {
+  size_t operator()(const gdlog::Value& v) const { return v.Hash(); }
+};
+}  // namespace std
+
+#endif  // GDLOG_UTIL_VALUE_H_

@@ -1,0 +1,167 @@
+// Edge cases of the as-good-as comparison (Definition 3.11) and the BCKOV
+// reference engine's error handling and budgets.
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "gdatalog/bckov.h"
+#include "gdatalog/compare.h"
+#include "gdatalog/engine.h"
+
+namespace gdlog {
+namespace {
+
+// ---------------------------------------------------------------------------
+// IsAsGoodAs
+// ---------------------------------------------------------------------------
+
+TEST(Compare, ReflexiveOnAnySpace) {
+  auto engine = GDatalog::Create("c(flip<0.3>).", "");
+  ASSERT_TRUE(engine.ok());
+  auto space = engine->Infer();
+  ASSERT_TRUE(space.ok());
+  auto cmp = IsAsGoodAs(*space, *space);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_TRUE(cmp->as_good);
+  EXPECT_GE(cmp->events_compared, 2u);
+}
+
+TEST(Compare, DetectsDominationViolation) {
+  // Two *different programs* (not the paper's setting, but exercises the
+  // comparator): a fair coin vs a 0.3 coin produce different masses on the
+  // same stable-model sets — neither dominates the other.
+  auto fair = GDatalog::Create("c(flip<0.5>).", "");
+  auto biased = GDatalog::Create("c(flip<0.3>).", "");
+  ASSERT_TRUE(fair.ok() && biased.ok());
+  auto fair_space = fair->Infer();
+  auto biased_space = biased->Infer();
+  ASSERT_TRUE(fair_space.ok() && biased_space.ok());
+
+  auto ab = IsAsGoodAs(*fair_space, *biased_space);
+  auto ba = IsAsGoodAs(*biased_space, *fair_space);
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  EXPECT_FALSE(ab->as_good);
+  EXPECT_FALSE(ba->as_good);
+  EXPECT_FALSE(ab->violation.empty());
+  EXPECT_NE(ab->violation.find("mass"), std::string::npos);
+}
+
+TEST(Compare, RejectsIncompleteSpaces) {
+  auto engine = GDatalog::Create("n(geometric<0.5>).", "");
+  ASSERT_TRUE(engine.ok());
+  ChaseOptions options;
+  options.support_limit = 4;
+  auto truncated = engine->Infer(options);
+  ASSERT_TRUE(truncated.ok());
+  ASSERT_FALSE(truncated->complete);
+  auto cmp = IsAsGoodAs(*truncated, *truncated);
+  ASSERT_FALSE(cmp.ok());
+  EXPECT_EQ(cmp.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Compare, StrictDominanceWhenLeftConcentratesFiniteMass) {
+  // An artificial grounder-quality gap: compare the perfect-grounder space
+  // against the simple one on dime/quarter — equal event masses, so both
+  // directions hold (the paper's situation after Theorem 5.3's proof:
+  // as-good-as is not antisymmetric).
+  const char* program =
+      "dimetail(X, flip<0.5>[X]) :- dime(X).\n"
+      "somedimetail :- dimetail(X, 1).\n"
+      "quartertail(X, flip<0.5>[X]) :- quarter(X), not somedimetail.";
+  const char* db = "dime(1). quarter(2).";
+  GDatalog::Options perfect_opts;
+  perfect_opts.grounder = GrounderKind::kPerfect;
+  GDatalog::Options simple_opts;
+  simple_opts.grounder = GrounderKind::kSimple;
+  auto perfect = GDatalog::Create(program, db, std::move(perfect_opts));
+  auto simple = GDatalog::Create(program, db, std::move(simple_opts));
+  ASSERT_TRUE(perfect.ok() && simple.ok());
+  auto pspace = perfect->Infer();
+  auto sspace = simple->Infer();
+  ASSERT_TRUE(pspace.ok() && sspace.ok());
+
+  auto forward = IsAsGoodAs(*pspace, *sspace);
+  ASSERT_TRUE(forward.ok());
+  EXPECT_TRUE(forward->as_good);
+
+  // Event masses coincide here (each simple outcome's extra quarter choice
+  // splits mass within the same event), so the reverse holds too.
+  auto backward = IsAsGoodAs(*sspace, *pspace);
+  ASSERT_TRUE(backward.ok());
+  EXPECT_TRUE(backward->as_good);
+}
+
+// ---------------------------------------------------------------------------
+// BckovEngine
+// ---------------------------------------------------------------------------
+
+TEST(Bckov, RejectsNegation) {
+  auto prog = ParseProgram("a(X) :- b(X), not c(X).");
+  ASSERT_TRUE(prog.ok());
+  FactStore db;
+  DistributionRegistry registry = DistributionRegistry::Builtins();
+  auto engine = BckovEngine::Create(*prog, &db, &registry);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Bckov, RejectsConstraints) {
+  auto prog = ParseProgram("a(1). :- a(X).");
+  ASSERT_TRUE(prog.ok());
+  FactStore db;
+  DistributionRegistry registry = DistributionRegistry::Builtins();
+  auto engine = BckovEngine::Create(*prog, &db, &registry);
+  ASSERT_FALSE(engine.ok());
+}
+
+TEST(Bckov, DeterministicProgramHasOneOutcome) {
+  auto prog = ParseProgram("p(X) :- q(X).");
+  ASSERT_TRUE(prog.ok());
+  auto db = ParseFacts("q(1). q(2).", prog->interner());
+  ASSERT_TRUE(db.ok());
+  DistributionRegistry registry = DistributionRegistry::Builtins();
+  auto engine = BckovEngine::Create(*prog, &*db, &registry);
+  ASSERT_TRUE(engine.ok());
+  auto space = engine->Explore(1024, 64, 64);
+  ASSERT_TRUE(space.ok());
+  ASSERT_EQ(space->outcomes.size(), 1u);
+  EXPECT_EQ(space->outcomes[0].prob, Prob::FromDouble(1.0));
+  EXPECT_EQ(space->outcomes[0].instance.size(), 4u);  // q(1) q(2) p(1) p(2)
+}
+
+TEST(Bckov, OutcomeBudgetTruncates) {
+  auto prog = ParseProgram("r(P, uniformint<1, 4>[P]) :- player(P).");
+  ASSERT_TRUE(prog.ok());
+  auto db = ParseFacts("player(1). player(2).", prog->interner());
+  ASSERT_TRUE(db.ok());
+  DistributionRegistry registry = DistributionRegistry::Builtins();
+  auto engine = BckovEngine::Create(*prog, &*db, &registry);
+  ASSERT_TRUE(engine.ok());
+  auto truncated = engine->Explore(/*max_outcomes=*/5, 64, 64);
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_FALSE(truncated->complete);
+  EXPECT_EQ(truncated->outcomes.size(), 5u);
+  auto full = engine->Explore(1024, 64, 64);
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(full->complete);
+  EXPECT_EQ(full->outcomes.size(), 16u);
+  EXPECT_EQ(full->finite_mass, Prob::FromDouble(1.0));
+}
+
+TEST(Bckov, EventSignaturesShareSamples) {
+  // Two rules with the same Δ-term: one Result prefix, two derived facts.
+  auto prog = ParseProgram(
+      "a(X, flip<0.5>[X]) :- item(X).\n"
+      "b(X, flip<0.5>[X]) :- item(X).");
+  ASSERT_TRUE(prog.ok());
+  auto db = ParseFacts("item(1).", prog->interner());
+  ASSERT_TRUE(db.ok());
+  DistributionRegistry registry = DistributionRegistry::Builtins();
+  auto engine = BckovEngine::Create(*prog, &*db, &registry);
+  ASSERT_TRUE(engine.ok());
+  auto space = engine->Explore(1024, 64, 64);
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->outcomes.size(), 2u);  // one shared coin
+}
+
+}  // namespace
+}  // namespace gdlog

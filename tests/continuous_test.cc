@@ -1,0 +1,156 @@
+// Extension distributions: discretized Gaussian (normalgrid) and Zipf,
+// standalone and end-to-end through the chase.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/distribution.h"
+#include "gdatalog/engine.h"
+
+namespace gdlog {
+namespace {
+
+class ContinuousTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_ = DistributionRegistry::Builtins();
+    ASSERT_TRUE(RegisterExtensionDistributions(&registry_).ok());
+  }
+  DistributionRegistry registry_;
+};
+
+TEST_F(ContinuousTest, ExtensionsAreRegistered) {
+  EXPECT_NE(registry_.Lookup("normalgrid"), nullptr);
+  EXPECT_NE(registry_.Lookup("zipf"), nullptr);
+  // Builtins still present.
+  EXPECT_NE(registry_.Lookup("flip"), nullptr);
+}
+
+TEST_F(ContinuousTest, NormalGridMassesSumToOne) {
+  const Distribution* normal = registry_.Lookup("normalgrid");
+  std::vector<Value> params = {Value::Double(0.0), Value::Double(1.0),
+                               Value::Double(0.5)};
+  ASSERT_TRUE(normal->HasFiniteSupport(params));
+  std::vector<Value> support = normal->Support(params, 0);
+  ASSERT_GT(support.size(), 10u);
+  double total = 0.0;
+  for (const Value& v : support) total += normal->Pmf(params, v).value();
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(ContinuousTest, NormalGridIsSymmetricAndPeaked) {
+  const Distribution* normal = registry_.Lookup("normalgrid");
+  std::vector<Value> params = {Value::Double(0.0), Value::Double(1.0),
+                               Value::Double(0.5)};
+  double at0 = normal->Pmf(params, Value::Double(0.0)).value();
+  double at1 = normal->Pmf(params, Value::Double(1.0)).value();
+  double atm1 = normal->Pmf(params, Value::Double(-1.0)).value();
+  EXPECT_GT(at0, at1);
+  EXPECT_NEAR(at1, atm1, 1e-12);
+  // Off-grid points carry no mass.
+  EXPECT_EQ(normal->Pmf(params, Value::Double(0.3)).value(), 0.0);
+}
+
+TEST_F(ContinuousTest, NormalGridShiftsWithMu) {
+  const Distribution* normal = registry_.Lookup("normalgrid");
+  std::vector<Value> params = {Value::Double(10.0), Value::Double(2.0),
+                               Value::Double(1.0)};
+  double peak = normal->Pmf(params, Value::Double(10.0)).value();
+  EXPECT_GT(peak, normal->Pmf(params, Value::Double(12.0)).value());
+  EXPECT_GT(peak, 0.15);  // step/σ = 0.5 ⇒ peak ≈ 0.197
+}
+
+TEST_F(ContinuousTest, NormalGridInvalidParamsDegenerate) {
+  const Distribution* normal = registry_.Lookup("normalgrid");
+  std::vector<Value> params = {Value::Double(3.0), Value::Double(-1.0),
+                               Value::Double(0.5)};
+  EXPECT_EQ(normal->Pmf(params, Value::Double(3.0)), Prob::One());
+  EXPECT_EQ(normal->Support(params, 0).size(), 1u);
+}
+
+TEST_F(ContinuousTest, NormalGridSampleMeanAndSpread) {
+  const Distribution* normal = registry_.Lookup("normalgrid");
+  std::vector<Value> params = {Value::Double(5.0), Value::Double(2.0),
+                               Value::Double(0.25)};
+  Rng rng(99);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    double x = normal->Sample(params, &rng).AsReal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / kDraws;
+  double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST_F(ContinuousTest, ZipfMassesMatchDefinition) {
+  const Distribution* zipf = registry_.Lookup("zipf");
+  std::vector<Value> params = {Value::Double(1.0), Value::Int(4)};
+  // H = 1 + 1/2 + 1/3 + 1/4 = 25/12.
+  double h = 25.0 / 12.0;
+  EXPECT_NEAR(zipf->Pmf(params, Value::Int(1)).value(), 1.0 / h, 1e-12);
+  EXPECT_NEAR(zipf->Pmf(params, Value::Int(4)).value(), 0.25 / h, 1e-12);
+  EXPECT_EQ(zipf->Pmf(params, Value::Int(5)), Prob::Zero());
+  EXPECT_EQ(zipf->Pmf(params, Value::Int(0)), Prob::Zero());
+  EXPECT_EQ(zipf->Support(params, 0).size(), 4u);
+}
+
+TEST_F(ContinuousTest, ZipfIsMonotoneDecreasing) {
+  const Distribution* zipf = registry_.Lookup("zipf");
+  std::vector<Value> params = {Value::Double(1.5), Value::Int(10)};
+  double prev = 1.0;
+  for (int k = 1; k <= 10; ++k) {
+    double mass = zipf->Pmf(params, Value::Int(k)).value();
+    EXPECT_LT(mass, prev);
+    prev = mass;
+  }
+}
+
+TEST_F(ContinuousTest, EndToEndThroughChase) {
+  // A sensor reads a discretized-Gaussian temperature; an alert fires above
+  // a threshold. Exact inference over the grid.
+  auto registry = std::make_unique<DistributionRegistry>(
+      DistributionRegistry::Builtins());
+  ASSERT_TRUE(RegisterExtensionDistributions(registry.get()).ok());
+  GDatalog::Options options;
+  options.registry = std::move(registry);
+  auto engine = GDatalog::Create(
+      "reading(S, normalgrid<20.0, 2.0, 1.0>[S]) :- sensor(S).\n"
+      "alert(S) :- reading(S, V), hot(V).",
+      "sensor(1). hot(23.0). hot(24.0). hot(25.0). hot(26.0). hot(27.0). "
+      "hot(28.0).",
+      std::move(options));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  auto space = engine->Infer();
+  ASSERT_TRUE(space.ok()) << space.status().ToString();
+  EXPECT_TRUE(space->complete);
+  EXPECT_NEAR(space->finite_mass.value(), 1.0, 1e-9);
+
+  auto alert = engine->ParseGroundAtom("alert(1)");
+  ASSERT_TRUE(alert.ok());
+  OutcomeSpace::Bounds bounds = space->Marginal(*alert);
+  // P(reading >= 23) with cells centered at integers: mass above 22.5,
+  // i.e. 1 - Φ(2.5/2) ≈ 0.10565.
+  EXPECT_NEAR(bounds.lower.value(), 0.10565, 0.002);
+  EXPECT_EQ(bounds.lower, bounds.upper);  // stratified: tight bounds
+}
+
+TEST_F(ContinuousTest, ZipfEndToEnd) {
+  auto registry = std::make_unique<DistributionRegistry>(
+      DistributionRegistry::Builtins());
+  ASSERT_TRUE(RegisterExtensionDistributions(registry.get()).ok());
+  GDatalog::Options options;
+  options.registry = std::move(registry);
+  auto engine = GDatalog::Create("rank(zipf<1.0, 3>).", "", std::move(options));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  auto space = engine->Infer();
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->outcomes.size(), 3u);
+  EXPECT_NEAR(space->finite_mass.value(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gdlog

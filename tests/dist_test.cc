@@ -1,0 +1,370 @@
+// Distribution registry Δ: pmf correctness, support enumeration, fallback
+// behaviour on invalid parameters, and sampling law (chi-squared-ish checks
+// against the pmf).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "dist/distribution.h"
+
+namespace gdlog {
+namespace {
+
+class DistTest : public ::testing::Test {
+ protected:
+  DistributionRegistry registry_ = DistributionRegistry::Builtins();
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST_F(DistTest, BuiltinsAreRegistered) {
+  for (const char* name : {"flip", "die", "discrete", "uniformint",
+                           "binomial", "geometric", "poisson"}) {
+    EXPECT_NE(registry_.Lookup(name), nullptr) << name;
+  }
+  EXPECT_EQ(registry_.Lookup("gaussian"), nullptr);
+}
+
+TEST_F(DistTest, DuplicateRegistrationFails) {
+  // Re-registering any builtin name must fail.
+  DistributionRegistry reg = DistributionRegistry::Builtins();
+  class Fake : public Distribution {
+   public:
+    std::string_view name() const override { return "flip"; }
+    bool AcceptsDim(size_t) const override { return true; }
+    Prob Pmf(const std::vector<Value>&, const Value&) const override {
+      return Prob::One();
+    }
+    bool HasFiniteSupport(const std::vector<Value>&) const override {
+      return true;
+    }
+    std::vector<Value> Support(const std::vector<Value>&,
+                               size_t) const override {
+      return {Value::Int(0)};
+    }
+    Value Sample(const std::vector<Value>&, Rng*) const override {
+      return Value::Int(0);
+    }
+  };
+  Status st = reg.Register(std::make_unique<Fake>());
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+// ---------------------------------------------------------------------------
+// flip
+// ---------------------------------------------------------------------------
+
+TEST_F(DistTest, FlipPmf) {
+  const Distribution* flip = registry_.Lookup("flip");
+  std::vector<Value> params = {Value::Double(0.1)};
+  EXPECT_EQ(flip->Pmf(params, Value::Int(1)), Prob(Rational(1, 10)));
+  EXPECT_EQ(flip->Pmf(params, Value::Int(0)), Prob(Rational(9, 10)));
+  EXPECT_EQ(flip->Pmf(params, Value::Int(2)), Prob::Zero());
+  EXPECT_EQ(flip->Pmf(params, Value::Bool(true)), Prob::Zero());
+}
+
+TEST_F(DistTest, FlipAcceptsOnlyDimOne) {
+  const Distribution* flip = registry_.Lookup("flip");
+  EXPECT_TRUE(flip->AcceptsDim(1));
+  EXPECT_FALSE(flip->AcceptsDim(0));
+  EXPECT_FALSE(flip->AcceptsDim(2));
+}
+
+TEST_F(DistTest, FlipDegenerateSupports) {
+  const Distribution* flip = registry_.Lookup("flip");
+  EXPECT_EQ(flip->Support({Value::Double(0.0)}, 0),
+            std::vector<Value>{Value::Int(0)});
+  EXPECT_EQ(flip->Support({Value::Double(1.0)}, 0),
+            std::vector<Value>{Value::Int(1)});
+  std::vector<Value> both = {Value::Int(0), Value::Int(1)};
+  EXPECT_EQ(flip->Support({Value::Double(0.5)}, 0), both);
+}
+
+TEST_F(DistTest, FlipInvalidParamFallsBackToZero) {
+  // §2 requires δ⟨p̄⟩ to be a distribution for *every* parameter; out of
+  // range p concentrates mass on 0 (mirroring the Appendix-B Die).
+  const Distribution* flip = registry_.Lookup("flip");
+  for (double bad : {-0.5, 1.5, std::nan("")}) {
+    std::vector<Value> params = {Value::Double(bad)};
+    EXPECT_EQ(flip->Pmf(params, Value::Int(0)), Prob::One());
+    EXPECT_EQ(flip->Pmf(params, Value::Int(1)), Prob::Zero());
+  }
+}
+
+TEST_F(DistTest, FlipSampleLaw) {
+  const Distribution* flip = registry_.Lookup("flip");
+  std::vector<Value> params = {Value::Double(0.3)};
+  Rng rng(42);
+  int ones = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    Value v = flip->Sample(params, &rng);
+    ASSERT_TRUE(v == Value::Int(0) || v == Value::Int(1));
+    if (v == Value::Int(1)) ++ones;
+  }
+  EXPECT_NEAR(ones / static_cast<double>(kDraws), 0.3, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// die (Appendix B)
+// ---------------------------------------------------------------------------
+
+TEST_F(DistTest, DieValidParams) {
+  const Distribution* die = registry_.Lookup("die");
+  std::vector<Value> fair(6, Value::Double(1.0 / 6));
+  // 1/6 isn't an exact decimal; use a biased die with decimal masses.
+  std::vector<Value> biased = {Value::Double(0.1), Value::Double(0.1),
+                               Value::Double(0.1), Value::Double(0.1),
+                               Value::Double(0.1), Value::Double(0.5)};
+  EXPECT_EQ(die->Pmf(biased, Value::Int(6)), Prob(Rational(1, 2)));
+  EXPECT_EQ(die->Pmf(biased, Value::Int(1)), Prob(Rational(1, 10)));
+  // Valid parameters put zero mass on the fallback outcome 0.
+  EXPECT_EQ(die->Pmf(biased, Value::Int(0)), Prob::Zero());
+  EXPECT_EQ(die->Support(biased, 0).size(), 6u);
+}
+
+TEST_F(DistTest, DieInvalidParamsConcentrateOnZero) {
+  // Appendix B: Σp_i ≠ 1 ⇒ Die⟨p̄⟩(0) = 1 and Die⟨p̄⟩(i) = 0.
+  const Distribution* die = registry_.Lookup("die");
+  std::vector<Value> bad(6, Value::Double(0.3));
+  EXPECT_EQ(die->Pmf(bad, Value::Int(0)), Prob::One());
+  for (int i = 1; i <= 6; ++i) {
+    EXPECT_EQ(die->Pmf(bad, Value::Int(i)), Prob::Zero());
+  }
+  EXPECT_EQ(die->Support(bad, 0), std::vector<Value>{Value::Int(0)});
+}
+
+// ---------------------------------------------------------------------------
+// discrete
+// ---------------------------------------------------------------------------
+
+TEST_F(DistTest, DiscreteExplicitPmf) {
+  const Distribution* disc = registry_.Lookup("discrete");
+  std::vector<Value> params = {Value::Int(10), Value::Double(0.2),
+                               Value::Int(20), Value::Double(0.8)};
+  EXPECT_EQ(disc->Pmf(params, Value::Int(10)), Prob(Rational(1, 5)));
+  EXPECT_EQ(disc->Pmf(params, Value::Int(20)), Prob(Rational(4, 5)));
+  EXPECT_EQ(disc->Pmf(params, Value::Int(30)), Prob::Zero());
+}
+
+TEST_F(DistTest, DiscreteNormalizesMasses) {
+  const Distribution* disc = registry_.Lookup("discrete");
+  std::vector<Value> params = {Value::Int(1), Value::Double(2.0),
+                               Value::Int(2), Value::Double(6.0)};
+  EXPECT_EQ(disc->Pmf(params, Value::Int(1)), Prob(Rational(1, 4)));
+  EXPECT_EQ(disc->Pmf(params, Value::Int(2)), Prob(Rational(3, 4)));
+}
+
+TEST_F(DistTest, DiscreteRepeatedOutcomeAccumulates) {
+  const Distribution* disc = registry_.Lookup("discrete");
+  std::vector<Value> params = {Value::Int(1), Value::Double(0.25),
+                               Value::Int(1), Value::Double(0.25),
+                               Value::Int(2), Value::Double(0.5)};
+  EXPECT_EQ(disc->Pmf(params, Value::Int(1)), Prob(Rational(1, 2)));
+  EXPECT_EQ(disc->Support(params, 0).size(), 2u);
+}
+
+TEST_F(DistTest, DiscreteSymbolOutcomes) {
+  const Distribution* disc = registry_.Lookup("discrete");
+  std::vector<Value> params = {Value::Symbol(7), Value::Double(0.5),
+                               Value::Symbol(8), Value::Double(0.5)};
+  EXPECT_EQ(disc->Pmf(params, Value::Symbol(7)), Prob(Rational(1, 2)));
+}
+
+TEST_F(DistTest, DiscreteAcceptsEvenDims) {
+  const Distribution* disc = registry_.Lookup("discrete");
+  EXPECT_TRUE(disc->AcceptsDim(2));
+  EXPECT_TRUE(disc->AcceptsDim(10));
+  EXPECT_FALSE(disc->AcceptsDim(3));
+  EXPECT_FALSE(disc->AcceptsDim(0));
+}
+
+// ---------------------------------------------------------------------------
+// uniformint
+// ---------------------------------------------------------------------------
+
+TEST_F(DistTest, UniformIntPmfAndSupport) {
+  const Distribution* uni = registry_.Lookup("uniformint");
+  std::vector<Value> params = {Value::Int(3), Value::Int(7)};
+  for (int v = 3; v <= 7; ++v) {
+    EXPECT_EQ(uni->Pmf(params, Value::Int(v)), Prob(Rational(1, 5)));
+  }
+  EXPECT_EQ(uni->Pmf(params, Value::Int(2)), Prob::Zero());
+  EXPECT_EQ(uni->Pmf(params, Value::Int(8)), Prob::Zero());
+  EXPECT_EQ(uni->Support(params, 0).size(), 5u);
+}
+
+TEST_F(DistTest, UniformIntEmptyRangeDegenerates) {
+  const Distribution* uni = registry_.Lookup("uniformint");
+  std::vector<Value> params = {Value::Int(5), Value::Int(3)};
+  EXPECT_EQ(uni->Pmf(params, Value::Int(5)), Prob::One());
+  EXPECT_EQ(uni->Support(params, 0), std::vector<Value>{Value::Int(5)});
+}
+
+// ---------------------------------------------------------------------------
+// binomial
+// ---------------------------------------------------------------------------
+
+TEST_F(DistTest, BinomialExactMasses) {
+  const Distribution* bin = registry_.Lookup("binomial");
+  std::vector<Value> params = {Value::Int(3), Value::Double(0.5)};
+  EXPECT_EQ(bin->Pmf(params, Value::Int(0)), Prob(Rational(1, 8)));
+  EXPECT_EQ(bin->Pmf(params, Value::Int(1)), Prob(Rational(3, 8)));
+  EXPECT_EQ(bin->Pmf(params, Value::Int(2)), Prob(Rational(3, 8)));
+  EXPECT_EQ(bin->Pmf(params, Value::Int(3)), Prob(Rational(1, 8)));
+  EXPECT_EQ(bin->Pmf(params, Value::Int(4)), Prob::Zero());
+}
+
+TEST_F(DistTest, BinomialMassesSumToOne) {
+  const Distribution* bin = registry_.Lookup("binomial");
+  std::vector<Value> params = {Value::Int(10), Value::Double(0.3)};
+  Prob total = Prob::Zero();
+  for (const Value& v : bin->Support(params, 0)) {
+    total = total + bin->Pmf(params, v);
+  }
+  EXPECT_EQ(total, Prob::One());
+}
+
+// ---------------------------------------------------------------------------
+// geometric (infinite support)
+// ---------------------------------------------------------------------------
+
+TEST_F(DistTest, GeometricPmf) {
+  const Distribution* geo = registry_.Lookup("geometric");
+  std::vector<Value> params = {Value::Double(0.5)};
+  EXPECT_FALSE(geo->HasFiniteSupport(params));
+  EXPECT_EQ(geo->Pmf(params, Value::Int(0)), Prob(Rational(1, 2)));
+  EXPECT_EQ(geo->Pmf(params, Value::Int(2)), Prob(Rational(1, 8)));
+  EXPECT_EQ(geo->Pmf(params, Value::Int(-1)), Prob::Zero());
+}
+
+TEST_F(DistTest, GeometricSupportIsTruncatedPrefix) {
+  const Distribution* geo = registry_.Lookup("geometric");
+  std::vector<Value> params = {Value::Double(0.5)};
+  std::vector<Value> support = geo->Support(params, 5);
+  ASSERT_EQ(support.size(), 5u);
+  for (int k = 0; k < 5; ++k) EXPECT_EQ(support[k], Value::Int(k));
+}
+
+TEST_F(DistTest, GeometricDegenerateAtOne) {
+  const Distribution* geo = registry_.Lookup("geometric");
+  std::vector<Value> params = {Value::Double(1.0)};
+  EXPECT_TRUE(geo->HasFiniteSupport(params));
+  EXPECT_EQ(geo->Pmf(params, Value::Int(0)), Prob::One());
+}
+
+TEST_F(DistTest, GeometricSampleLaw) {
+  const Distribution* geo = registry_.Lookup("geometric");
+  std::vector<Value> params = {Value::Double(0.25)};
+  Rng rng(7);
+  double sum = 0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(geo->Sample(params, &rng).int_value());
+  }
+  // E[X] = (1-p)/p = 3.
+  EXPECT_NEAR(sum / kDraws, 3.0, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// poisson (infinite support, inexact masses)
+// ---------------------------------------------------------------------------
+
+TEST_F(DistTest, PoissonPmf) {
+  const Distribution* poi = registry_.Lookup("poisson");
+  std::vector<Value> params = {Value::Double(2.0)};
+  EXPECT_FALSE(poi->HasFiniteSupport(params));
+  EXPECT_NEAR(poi->Pmf(params, Value::Int(0)).value(), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(poi->Pmf(params, Value::Int(2)).value(),
+              std::exp(-2.0) * 2.0, 1e-12);
+}
+
+TEST_F(DistTest, PoissonDegenerateLambda) {
+  const Distribution* poi = registry_.Lookup("poisson");
+  std::vector<Value> params = {Value::Double(0.0)};
+  EXPECT_TRUE(poi->HasFiniteSupport(params));
+  EXPECT_EQ(poi->Pmf(params, Value::Int(0)), Prob::One());
+}
+
+TEST_F(DistTest, PoissonSampleLaw) {
+  const Distribution* poi = registry_.Lookup("poisson");
+  std::vector<Value> params = {Value::Double(4.0)};
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(poi->Sample(params, &rng).int_value());
+  }
+  EXPECT_NEAR(sum / kDraws, 4.0, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: pmf over the enumerated support sums to (at most) 1 and
+// every support element has positive mass. TEST_P over all builtins with
+// canonical parameters.
+// ---------------------------------------------------------------------------
+
+struct SupportCase {
+  const char* dist;
+  std::vector<Value> params;
+  bool finite;
+};
+
+class SupportSweep : public ::testing::TestWithParam<SupportCase> {};
+
+TEST_P(SupportSweep, SupportMassesArePositiveAndSumBounded) {
+  DistributionRegistry registry = DistributionRegistry::Builtins();
+  const SupportCase& c = GetParam();
+  const Distribution* dist = registry.Lookup(c.dist);
+  ASSERT_NE(dist, nullptr);
+  EXPECT_EQ(dist->HasFiniteSupport(c.params), c.finite);
+  std::vector<Value> support = dist->Support(c.params, 32);
+  ASSERT_FALSE(support.empty());
+  Prob total = Prob::Zero();
+  for (const Value& v : support) {
+    Prob mass = dist->Pmf(c.params, v);
+    EXPECT_GT(mass.value(), 0.0) << c.dist << " outcome " << v.ToString();
+    total = total + mass;
+  }
+  EXPECT_LE(total.value(), 1.0 + 1e-12);
+  if (c.finite) {
+    EXPECT_NEAR(total.value(), 1.0, 1e-9);
+  }
+}
+
+TEST_P(SupportSweep, SamplesLandInSupport) {
+  DistributionRegistry registry = DistributionRegistry::Builtins();
+  const SupportCase& c = GetParam();
+  const Distribution* dist = registry.Lookup(c.dist);
+  Rng rng(31337);
+  for (int i = 0; i < 2000; ++i) {
+    Value v = dist->Sample(c.params, &rng);
+    EXPECT_GT(dist->Pmf(c.params, v).value(), 0.0)
+        << c.dist << " sampled zero-mass outcome " << v.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Builtins, SupportSweep,
+    ::testing::Values(
+        SupportCase{"flip", {Value::Double(0.3)}, true},
+        SupportCase{"flip", {Value::Double(0.0)}, true},
+        SupportCase{"die",
+                    {Value::Double(0.1), Value::Double(0.2),
+                     Value::Double(0.3), Value::Double(0.1),
+                     Value::Double(0.2), Value::Double(0.1)},
+                    true},
+        SupportCase{"discrete",
+                    {Value::Int(5), Value::Double(0.5), Value::Int(6),
+                     Value::Double(0.5)},
+                    true},
+        SupportCase{"uniformint", {Value::Int(1), Value::Int(6)}, true},
+        SupportCase{"binomial", {Value::Int(5), Value::Double(0.4)}, true},
+        SupportCase{"geometric", {Value::Double(0.5)}, false},
+        SupportCase{"poisson", {Value::Double(1.5)}, false}));
+
+}  // namespace
+}  // namespace gdlog

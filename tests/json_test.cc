@@ -1,0 +1,127 @@
+// JsonWriter and outcome-space export tests.
+#include <gtest/gtest.h>
+
+#include "gdatalog/engine.h"
+#include "gdatalog/export.h"
+#include "util/json.h"
+
+namespace gdlog {
+namespace {
+
+TEST(JsonWriter, ObjectsAndArrays) {
+  JsonWriter json;
+  json.BeginObject()
+      .KV("a", 1.5)
+      .KV("b", std::string_view("x"))
+      .Key("c")
+      .BeginArray()
+      .Int(1)
+      .Int(2)
+      .EndArray()
+      .KV("d", true)
+      .Key("e")
+      .Null()
+      .EndObject();
+  EXPECT_EQ(json.str(), R"({"a":1.5,"b":"x","c":[1,2],"d":true,"e":null})");
+}
+
+TEST(JsonWriter, EscapesSpecials) {
+  JsonWriter json;
+  json.BeginArray().String("a\"b\\c\nd\te").EndArray();
+  EXPECT_EQ(json.str(), "[\"a\\\"b\\\\c\\nd\\te\"]");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  JsonWriter json;
+  json.BeginArray();
+  for (int i = 0; i < 2; ++i) {
+    json.BeginObject().KV("i", static_cast<long long>(i)).EndObject();
+  }
+  json.EndArray();
+  EXPECT_EQ(json.str(), R"([{"i":0},{"i":1}])");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter a;
+  a.BeginObject().EndObject();
+  EXPECT_EQ(a.str(), "{}");
+  JsonWriter b;
+  b.BeginArray().EndArray();
+  EXPECT_EQ(b.str(), "[]");
+  JsonWriter c;
+  c.BeginObject().Key("x").BeginArray().EndArray().EndObject();
+  EXPECT_EQ(c.str(), R"({"x":[]})");
+}
+
+TEST(JsonExport, CoinOutcomeSpace) {
+  auto engine = GDatalog::Create(
+      "coin(flip<0.5>). :- coin(0).\n"
+      "aux1 :- coin(1), not aux2. aux2 :- coin(1), not aux1.",
+      "");
+  ASSERT_TRUE(engine.ok());
+  auto space = engine->Infer();
+  ASSERT_TRUE(space.ok());
+
+  JsonExportOptions options;
+  options.include_models = true;
+  std::string json = OutcomeSpaceToJson(*space, engine->translated(),
+                                        engine->program().interner(), options);
+  // Structural spot checks (kept robust to field ordering of maps).
+  EXPECT_NE(json.find("\"complete\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"num_outcomes\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"rational\":\"1/2\""), std::string::npos);
+  EXPECT_NE(json.find("\"events\":["), std::string::npos);
+  EXPECT_NE(json.find("coin(1)"), std::string::npos);
+  // Auxiliary Active/Result atoms are stripped from exported models.
+  EXPECT_EQ(json.find("\"models\":[[\"__"), std::string::npos);
+  // Balanced braces/brackets.
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char ch = json[i];
+    if (in_string) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_string = false;
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(JsonExport, OptionsControlSections) {
+  auto engine = GDatalog::Create("c(flip<0.5>).", "");
+  ASSERT_TRUE(engine.ok());
+  auto space = engine->Infer();
+  ASSERT_TRUE(space.ok());
+
+  JsonExportOptions no_outcomes;
+  no_outcomes.include_outcomes = false;
+  no_outcomes.include_events = false;
+  std::string json = OutcomeSpaceToJson(*space, engine->translated(),
+                                        engine->program().interner(),
+                                        no_outcomes);
+  EXPECT_EQ(json.find("\"outcomes\""), std::string::npos);
+  EXPECT_EQ(json.find("\"events\""), std::string::npos);
+  EXPECT_NE(json.find("\"prob_consistent\""), std::string::npos);
+}
+
+TEST(JsonExport, InexactMassesExportNullRational) {
+  // Poisson masses are irrational: rational field must be null.
+  auto engine = GDatalog::Create("n(poisson<2.0>).", "");
+  ASSERT_TRUE(engine.ok());
+  ChaseOptions options;
+  options.support_limit = 4;
+  auto space = engine->Infer(options);
+  ASSERT_TRUE(space.ok());
+  std::string json = OutcomeSpaceToJson(*space, engine->translated(),
+                                        engine->program().interner());
+  EXPECT_NE(json.find("\"rational\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"complete\":false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gdlog

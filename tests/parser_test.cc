@@ -1,0 +1,335 @@
+// Lexer and parser tests: surface syntax → AST, error reporting, and the
+// printer round-trip.
+#include <gtest/gtest.h>
+
+#include "ast/lexer.h"
+#include "ast/parser.h"
+
+namespace gdlog {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(Lexer, TokenKinds) {
+  auto toks = Tokenize("foo(X, 1, 2.5, \"s\") :- not bar, true, false.");
+  ASSERT_TRUE(toks.ok()) << toks.status().ToString();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *toks) kinds.push_back(t.kind);
+  std::vector<TokenKind> expected = {
+      TokenKind::kIdent,  TokenKind::kLParen, TokenKind::kVariable,
+      TokenKind::kComma,  TokenKind::kInt,    TokenKind::kComma,
+      TokenKind::kDouble, TokenKind::kComma,  TokenKind::kString,
+      TokenKind::kRParen, TokenKind::kImplies, TokenKind::kNot,
+      TokenKind::kIdent,  TokenKind::kComma,  TokenKind::kTrue,
+      TokenKind::kComma,  TokenKind::kFalse,  TokenKind::kDot,
+      TokenKind::kEof};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(Lexer, CommentsAndWhitespace) {
+  auto toks = Tokenize("% a comment\n  a. % trailing\n%last");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 3u);  // ident, dot, eof
+  EXPECT_EQ((*toks)[0].text, "a");
+}
+
+TEST(Lexer, NumbersVsRuleDots) {
+  // "p(1)." — the dot terminates the rule, it is not part of the number.
+  auto toks = Tokenize("p(1).");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[2].kind, TokenKind::kInt);
+  EXPECT_EQ((*toks)[2].int_value, 1);
+  EXPECT_EQ((*toks)[4].kind, TokenKind::kDot);
+
+  auto toks2 = Tokenize("p(1.5).");
+  ASSERT_TRUE(toks2.ok());
+  EXPECT_EQ((*toks2)[2].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ((*toks2)[2].double_value, 1.5);
+}
+
+TEST(Lexer, ScientificNotation) {
+  auto toks = Tokenize("p(1e3, 2.5e-2).");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[2].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ((*toks)[2].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ((*toks)[4].double_value, 0.025);
+}
+
+TEST(Lexer, StringEscapes) {
+  auto toks = Tokenize(R"(p("a\nb\"c").)");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[2].text, "a\nb\"c");
+}
+
+TEST(Lexer, VariablesStartUppercaseOrUnderscore) {
+  auto toks = Tokenize("X _y zed Not");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kVariable);
+  EXPECT_EQ((*toks)[1].kind, TokenKind::kVariable);
+  EXPECT_EQ((*toks)[2].kind, TokenKind::kIdent);
+  EXPECT_EQ((*toks)[3].kind, TokenKind::kVariable);  // "Not" ≠ keyword "not"
+}
+
+TEST(Lexer, ErrorsCarryLineAndColumn) {
+  auto toks = Tokenize("a.\n  #");
+  ASSERT_FALSE(toks.ok());
+  EXPECT_EQ(toks.status().code(), StatusCode::kParseError);
+  EXPECT_NE(toks.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(Lexer, UnterminatedString) {
+  auto toks = Tokenize("p(\"oops");
+  ASSERT_FALSE(toks.ok());
+  EXPECT_NE(toks.status().message().find("unterminated"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(Parser, FactsAndRules) {
+  auto prog = ParseProgram("edge(1, 2).\npath(X, Y) :- edge(X, Y).");
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  ASSERT_EQ(prog->rules().size(), 2u);
+  EXPECT_TRUE(prog->rules()[0].IsFact());
+  EXPECT_FALSE(prog->rules()[1].IsFact());
+  EXPECT_EQ(prog->rules()[1].body.size(), 1u);
+}
+
+TEST(Parser, ZeroAryAtoms) {
+  auto prog = ParseProgram("win :- move, not lose.");
+  ASSERT_TRUE(prog.ok());
+  const Rule& rule = prog->rules()[0];
+  EXPECT_EQ(rule.head.arity(), 0u);
+  EXPECT_EQ(rule.body[0].atom.arity(), 0u);
+  EXPECT_TRUE(rule.body[1].negated);
+}
+
+TEST(Parser, NegativeLiterals) {
+  auto prog = ParseProgram("a(X) :- b(X), not c(X), not d(X, X).");
+  ASSERT_TRUE(prog.ok());
+  const Rule& rule = prog->rules()[0];
+  EXPECT_EQ(rule.PositiveBody().size(), 1u);
+  EXPECT_EQ(rule.NegativeBody().size(), 2u);
+}
+
+TEST(Parser, Constraints) {
+  auto prog = ParseProgram(":- p(X), not q(X).");
+  ASSERT_TRUE(prog.ok());
+  ASSERT_EQ(prog->rules().size(), 1u);
+  EXPECT_TRUE(prog->rules()[0].is_constraint);
+}
+
+TEST(Parser, DeltaTermsWithEvents) {
+  auto prog =
+      ParseProgram("infected(Y, flip<0.1>[X, Y]) :- connected(X, Y).");
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  const Rule& rule = prog->rules()[0];
+  ASSERT_EQ(rule.head.args.size(), 2u);
+  EXPECT_FALSE(rule.head.args[0].is_delta());
+  ASSERT_TRUE(rule.head.args[1].is_delta());
+  const DeltaTerm& dt = rule.head.args[1].delta();
+  EXPECT_EQ(prog->interner()->Name(dt.dist_id), "flip");
+  ASSERT_EQ(dt.params.size(), 1u);
+  EXPECT_EQ(dt.params[0].constant(), Value::Double(0.1));
+  ASSERT_EQ(dt.events.size(), 2u);
+  EXPECT_TRUE(dt.events[0].is_variable());
+}
+
+TEST(Parser, DeltaTermWithoutEvents) {
+  auto prog = ParseProgram("coin(flip<0.5>).");
+  ASSERT_TRUE(prog.ok());
+  const DeltaTerm& dt = prog->rules()[0].head.args[0].delta();
+  EXPECT_TRUE(dt.events.empty());
+}
+
+TEST(Parser, DeltaTermMultipleParams) {
+  auto prog = ParseProgram("roll(X, die<0.1, 0.1, 0.1, 0.1, 0.1, 0.5>[X]) :- player(X).");
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  const DeltaTerm& dt = prog->rules()[0].head.args[1].delta();
+  EXPECT_EQ(dt.params.size(), 6u);
+}
+
+TEST(Parser, EmptyEventSignatureBrackets) {
+  auto prog = ParseProgram("c(flip<0.5>[]).");
+  ASSERT_TRUE(prog.ok());
+  EXPECT_TRUE(prog->rules()[0].head.args[0].delta().events.empty());
+}
+
+TEST(Parser, NegativeNumbers) {
+  auto prog = ParseProgram("p(-3, -2.5).");
+  ASSERT_TRUE(prog.ok());
+  const Rule& rule = prog->rules()[0];
+  EXPECT_EQ(rule.head.args[0].term().constant(), Value::Int(-3));
+  EXPECT_EQ(rule.head.args[1].term().constant(), Value::Double(-2.5));
+}
+
+TEST(Parser, SymbolicConstantsAndStrings) {
+  auto prog = ParseProgram("knows(alice, \"Bob Smith\").");
+  ASSERT_TRUE(prog.ok());
+  const Rule& rule = prog->rules()[0];
+  EXPECT_TRUE(rule.head.args[0].term().constant().is_symbol());
+  EXPECT_TRUE(rule.head.args[1].term().constant().is_symbol());
+  EXPECT_NE(rule.head.args[0].term().constant(),
+            rule.head.args[1].term().constant());
+}
+
+TEST(Parser, SharedInternerAcrossCalls) {
+  auto interner = std::make_shared<Interner>();
+  auto p1 = ParseProgram("p(a).", interner);
+  auto p2 = ParseProgram("q(a).", interner);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(p1->rules()[0].head.args[0].term().constant(),
+            p2->rules()[0].head.args[0].term().constant());
+}
+
+TEST(Parser, ErrorMissingDot) {
+  auto prog = ParseProgram("a :- b");
+  ASSERT_FALSE(prog.ok());
+  EXPECT_EQ(prog.status().code(), StatusCode::kParseError);
+  EXPECT_NE(prog.status().message().find("'.'"), std::string::npos);
+}
+
+TEST(Parser, ErrorDanglingComma) {
+  EXPECT_FALSE(ParseProgram("a :- b, .").ok());
+  EXPECT_FALSE(ParseProgram("p(1,).").ok());
+}
+
+TEST(Parser, ErrorDeltaInBody) {
+  // Δ-terms are head-only; in body position '<' is not valid term syntax.
+  auto prog = ParseProgram("a :- coin(flip<0.5>).");
+  EXPECT_FALSE(prog.ok());
+}
+
+TEST(Parser, PrinterRoundTrips) {
+  const char* source =
+      "infected(Y, flip<0.1>[X, Y]) :- infected(X, 1), connected(X, Y).";
+  auto prog = ParseProgram(source);
+  ASSERT_TRUE(prog.ok());
+  std::string printed = prog->rules()[0].ToString(prog->interner());
+  auto reparsed = ParseProgram(printed, prog->shared_interner());
+  ASSERT_TRUE(reparsed.ok()) << printed << " -> "
+                             << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->rules()[0], prog->rules()[0]);
+}
+
+TEST(Parser, ConstraintPrinterRoundTrips) {
+  auto prog = ParseProgram(":- p(X), not q(X).");
+  ASSERT_TRUE(prog.ok());
+  std::string printed = prog->rules()[0].ToString(prog->interner());
+  auto reparsed = ParseProgram(printed, prog->shared_interner());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->rules()[0], prog->rules()[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Program validation
+// ---------------------------------------------------------------------------
+
+TEST(ProgramValidate, AcceptsSafePrograms) {
+  auto prog = ParseProgram(
+      "p(X) :- q(X), not r(X).\n"
+      "s(X, flip<0.5>[X]) :- q(X).\n"
+      ":- p(X), s(X, 1).");
+  ASSERT_TRUE(prog.ok());
+  EXPECT_TRUE(prog->Validate().ok());
+}
+
+TEST(ProgramValidate, RejectsUnsafeNegativeVariable) {
+  auto prog = ParseProgram("p(X) :- q(X), not r(Y).");
+  ASSERT_TRUE(prog.ok());
+  Status st = prog->Validate();
+  EXPECT_EQ(st.code(), StatusCode::kUnsafeProgram);
+}
+
+TEST(ProgramValidate, RejectsUnboundHeadVariable) {
+  auto prog = ParseProgram("p(X, Y) :- q(X).");
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(prog->Validate().code(), StatusCode::kUnsafeProgram);
+}
+
+TEST(ProgramValidate, RejectsUnboundDeltaVariable) {
+  // Y appears only inside the Δ-term's event signature.
+  auto prog = ParseProgram("p(flip<0.5>[Y]) :- q(X).");
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(prog->Validate().code(), StatusCode::kUnsafeProgram);
+  // Same for distribution parameters.
+  auto prog2 = ParseProgram("p(flip<P>) :- q(X).");
+  ASSERT_TRUE(prog2.ok());
+  EXPECT_EQ(prog2->Validate().code(), StatusCode::kUnsafeProgram);
+}
+
+TEST(ProgramValidate, VariableDistributionParamsAreSafeWhenBound) {
+  auto prog = ParseProgram("p(flip<P>[X]) :- q(X, P).");
+  ASSERT_TRUE(prog.ok());
+  EXPECT_TRUE(prog->Validate().ok());
+}
+
+TEST(ProgramValidate, RejectsInconsistentArity) {
+  auto prog = ParseProgram("p(1). p(1, 2).");
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(prog->Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProgramValidate, RejectsEmptyConstraint) {
+  Program prog;
+  Rule rule;
+  rule.is_constraint = true;
+  prog.AddRule(rule);
+  EXPECT_EQ(prog.Validate().code(), StatusCode::kUnsafeProgram);
+}
+
+TEST(ProgramMeta, EdbIdbSplit) {
+  auto prog = ParseProgram(
+      "path(X, Y) :- edge(X, Y).\n"
+      "path(X, Z) :- path(X, Y), edge(Y, Z).");
+  ASSERT_TRUE(prog.ok());
+  uint32_t edge = prog->interner()->Lookup("edge");
+  uint32_t path = prog->interner()->Lookup("path");
+  EXPECT_TRUE(prog->ExtensionalPredicates().count(edge));
+  EXPECT_TRUE(prog->IntensionalPredicates().count(path));
+  EXPECT_FALSE(prog->IntensionalPredicates().count(edge));
+  EXPECT_EQ(prog->Predicates().size(), 2u);
+}
+
+TEST(ProgramMeta, PositiveAndPlainFlags) {
+  auto pos = ParseProgram("a(X) :- b(X).");
+  ASSERT_TRUE(pos.ok());
+  EXPECT_TRUE(pos->IsPositive());
+  EXPECT_TRUE(pos->IsPlain());
+
+  auto neg = ParseProgram("a(X) :- b(X), not c(X).");
+  ASSERT_TRUE(neg.ok());
+  EXPECT_FALSE(neg->IsPositive());
+
+  auto delta = ParseProgram("a(flip<0.5>) :- b(X).");
+  ASSERT_TRUE(delta.ok());
+  EXPECT_FALSE(delta->IsPlain());
+}
+
+TEST(ProgramMeta, DesugarConstraints) {
+  auto prog = ParseProgram("p(1). :- p(X), q(X). :- p(2).");
+  ASSERT_TRUE(prog.ok());
+  size_t before = prog->rules().size();
+  prog->DesugarConstraints();
+  // Both constraints become __fail rules; one Fail/Aux killer rule added.
+  EXPECT_EQ(prog->rules().size(), before + 1);
+  EXPECT_TRUE(prog->has_fail());
+  for (const Rule& rule : prog->rules()) {
+    EXPECT_FALSE(rule.is_constraint);
+  }
+  EXPECT_TRUE(prog->Validate().ok());
+}
+
+TEST(ProgramMeta, DesugarIsIdempotentOnConstraintFree) {
+  auto prog = ParseProgram("p(1).");
+  ASSERT_TRUE(prog.ok());
+  prog->DesugarConstraints();
+  EXPECT_EQ(prog->rules().size(), 1u);
+  EXPECT_FALSE(prog->has_fail());
+}
+
+}  // namespace
+}  // namespace gdlog

@@ -1,0 +1,287 @@
+// gdlog command-line interface: run a GDatalog¬ program on a database and
+// report outcomes, events, and marginal queries — exactly or by sampling.
+//
+//   gdlog_cli --program prog.gdl --db facts.gdl [options]
+//
+// Options:
+//   --program FILE        program in gdlog surface syntax (required)
+//   --db FILE             database of facts ("" = empty database)
+//   --grounder MODE       auto | simple | perfect       (default auto)
+//   --query ATOM          ground atom to report marginals for (repeatable)
+//   --events              print the event table (stable-model sets ↦ mass)
+//   --outcomes            print every possible outcome with its choices
+//   --mc N                Monte-Carlo mode with N samples (default: exact)
+//   --seed S              sampler / trigger seed          (default 2023)
+//   --max-outcomes N      exact-mode outcome budget       (default 1<<20)
+//   --max-depth N         chase depth budget              (default 4096)
+//   --support-limit N     truncation of infinite supports (default 64)
+//   --condition           condition marginals on consistency
+//   --json                exact mode: emit machine-readable JSON (sections
+//                         controlled by --outcomes / --events) and exit
+//   --dot                 print the dependency graph in DOT and exit
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gdatalog/engine.h"
+#include "gdatalog/export.h"
+#include "gdatalog/sampler.h"
+#include "ground/dependency_graph.h"
+
+namespace {
+
+struct CliOptions {
+  std::string program_path;
+  std::string db_path;
+  std::string grounder = "auto";
+  std::vector<std::string> queries;
+  bool print_events = false;
+  bool print_outcomes = false;
+  bool condition = false;
+  bool dot = false;
+  bool json = false;
+  size_t mc_samples = 0;  // 0 = exact
+  uint64_t seed = 2023;
+  size_t max_outcomes = 1u << 20;
+  size_t max_depth = 4096;
+  size_t support_limit = 64;
+};
+
+[[noreturn]] void Usage(const char* argv0, const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: %s --program FILE [--db FILE] [--grounder MODE]\n"
+               "          [--query ATOM]... [--events] [--outcomes]\n"
+               "          [--mc N] [--seed S] [--max-outcomes N]\n"
+               "          [--max-depth N] [--support-limit N] [--condition]\n"
+               "          [--json] [--dot]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+CliOptions ParseArgs(int argc, char** argv) {
+  CliOptions opts;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) Usage(argv[0], "missing argument value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (!std::strcmp(arg, "--program")) {
+      opts.program_path = need_value(i);
+    } else if (!std::strcmp(arg, "--db")) {
+      opts.db_path = need_value(i);
+    } else if (!std::strcmp(arg, "--grounder")) {
+      opts.grounder = need_value(i);
+    } else if (!std::strcmp(arg, "--query")) {
+      opts.queries.push_back(need_value(i));
+    } else if (!std::strcmp(arg, "--events")) {
+      opts.print_events = true;
+    } else if (!std::strcmp(arg, "--outcomes")) {
+      opts.print_outcomes = true;
+    } else if (!std::strcmp(arg, "--condition")) {
+      opts.condition = true;
+    } else if (!std::strcmp(arg, "--dot")) {
+      opts.dot = true;
+    } else if (!std::strcmp(arg, "--json")) {
+      opts.json = true;
+    } else if (!std::strcmp(arg, "--mc")) {
+      opts.mc_samples = std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--seed")) {
+      opts.seed = std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--max-outcomes")) {
+      opts.max_outcomes = std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--max-depth")) {
+      opts.max_depth = std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--support-limit")) {
+      opts.support_limit = std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+      Usage(argv[0]);
+    } else {
+      Usage(argv[0], (std::string("unknown flag: ") + arg).c_str());
+    }
+  }
+  if (opts.program_path.empty()) Usage(argv[0], "--program is required");
+  return opts;
+}
+
+int RunExact(const gdlog::GDatalog& engine, const CliOptions& opts) {
+  gdlog::ChaseOptions chase;
+  chase.max_outcomes = opts.max_outcomes;
+  chase.max_depth = opts.max_depth;
+  chase.support_limit = opts.support_limit;
+  auto space = engine.Infer(chase);
+  if (!space.ok()) {
+    std::fprintf(stderr, "inference error: %s\n",
+                 space.status().ToString().c_str());
+    return 1;
+  }
+
+  if (opts.json) {
+    gdlog::JsonExportOptions json_options;
+    json_options.include_outcomes = opts.print_outcomes;
+    json_options.include_models = opts.print_outcomes;
+    json_options.include_events = opts.print_events;
+    std::printf("%s\n",
+                gdlog::OutcomeSpaceToJson(*space, engine.translated(),
+                                          engine.program().interner(),
+                                          json_options)
+                    .c_str());
+    return 0;
+  }
+
+  std::printf("possible outcomes : %zu%s\n", space->outcomes.size(),
+              space->complete ? "" : " (exploration truncated)");
+  std::printf("finite mass       : %s\n",
+              space->finite_mass.ToString().c_str());
+  if (!space->complete) {
+    std::printf("residual (Ω∞+unexplored): %s\n",
+                space->residual_mass().ToString().c_str());
+  }
+  std::printf("P(consistent)     : %s (= %.6f)\n",
+              space->ProbConsistent().ToString().c_str(),
+              space->ProbConsistent().value());
+  std::printf("P(no stable model): %s\n",
+              space->ProbInconsistent().ToString().c_str());
+
+  const gdlog::Interner* names = engine.program().interner();
+
+  if (opts.print_events) {
+    std::printf("\nevents (stable-model sets -> mass):\n");
+    for (const auto& [models, mass] : space->Events()) {
+      std::printf("  mass %-10s |sms| = %zu\n", mass.ToString().c_str(),
+                  models.size());
+    }
+  }
+
+  if (opts.print_outcomes) {
+    std::printf("\noutcomes:\n");
+    for (const gdlog::PossibleOutcome& o : space->outcomes) {
+      std::printf("  Pr = %-10s |sms| = %zu, choices:\n",
+                  o.prob.ToString().c_str(), o.models.size());
+      for (const auto& [active, value] : o.choices.entries()) {
+        std::printf("    %s -> %s\n", active.ToString(names).c_str(),
+                    value.ToString(names).c_str());
+      }
+    }
+  }
+
+  for (const std::string& query : opts.queries) {
+    auto atom = engine.ParseGroundAtom(query);
+    if (!atom.ok()) {
+      std::fprintf(stderr, "bad query '%s': %s\n", query.c_str(),
+                   atom.status().ToString().c_str());
+      return 1;
+    }
+    if (opts.condition) {
+      auto bounds = space->MarginalGivenConsistent(*atom);
+      if (!bounds) {
+        std::printf("P(%s | consistent) undefined (P(consistent) = 0)\n",
+                    query.c_str());
+      } else {
+        std::printf("P(%s | consistent) in [%s, %s]\n", query.c_str(),
+                    bounds->lower.ToString().c_str(),
+                    bounds->upper.ToString().c_str());
+      }
+    } else {
+      gdlog::OutcomeSpace::Bounds bounds = space->Marginal(*atom);
+      std::printf("P(%s) in [%s, %s]\n", query.c_str(),
+                  bounds.lower.ToString().c_str(),
+                  bounds.upper.ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+int RunMonteCarlo(const gdlog::GDatalog& engine, const CliOptions& opts) {
+  gdlog::ChaseOptions chase;
+  chase.max_depth = opts.max_depth;
+  chase.support_limit = opts.support_limit;
+  gdlog::MonteCarloEstimator estimator(&engine.chase(), chase);
+
+  auto consistent =
+      estimator.EstimateProbConsistent(opts.mc_samples, opts.seed);
+  if (!consistent.ok()) {
+    std::fprintf(stderr, "sampling error: %s\n",
+                 consistent.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("samples            : %zu (+%zu truncated)\n",
+              consistent->samples, consistent->truncated);
+  std::printf("P(consistent)      : %.6f +- %.6f\n", consistent->mean,
+              2 * consistent->std_error);
+
+  for (const std::string& query : opts.queries) {
+    auto atom = engine.ParseGroundAtom(query);
+    if (!atom.ok()) {
+      std::fprintf(stderr, "bad query '%s': %s\n", query.c_str(),
+                   atom.status().ToString().c_str());
+      return 1;
+    }
+    auto lower =
+        estimator.EstimateMarginalLower(opts.mc_samples, opts.seed, *atom);
+    auto upper =
+        estimator.EstimateMarginalUpper(opts.mc_samples, opts.seed, *atom);
+    if (lower.ok() && upper.ok()) {
+      std::printf("P(%s) in [%.6f, %.6f] (+- %.6f)\n", query.c_str(),
+                  lower->mean, upper->mean, 2 * upper->std_error);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts = ParseArgs(argc, argv);
+
+  std::string program_text = ReadFile(opts.program_path);
+  std::string db_text = opts.db_path.empty() ? "" : ReadFile(opts.db_path);
+
+  gdlog::GDatalog::Options engine_options;
+  if (opts.grounder == "simple") {
+    engine_options.grounder = gdlog::GrounderKind::kSimple;
+  } else if (opts.grounder == "perfect") {
+    engine_options.grounder = gdlog::GrounderKind::kPerfect;
+  } else if (opts.grounder != "auto") {
+    Usage(argv[0], "grounder must be auto, simple or perfect");
+  }
+
+  auto engine = gdlog::GDatalog::Create(program_text, db_text,
+                                        std::move(engine_options));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  if (opts.dot) {
+    gdlog::DependencyGraph dg(engine->program());
+    std::fputs(dg.ToDot(engine->program().interner()).c_str(), stdout);
+    return 0;
+  }
+
+  if (!opts.json) {
+    std::printf("grounder          : %.*s (stratified: %s)\n",
+                static_cast<int>(engine->grounder().name().size()),
+                engine->grounder().name().data(),
+                engine->stratified() ? "yes" : "no");
+  }
+
+  if (opts.mc_samples > 0) return RunMonteCarlo(*engine, opts);
+  return RunExact(*engine, opts);
+}
