@@ -1,0 +1,92 @@
+#ifndef GDLOG_DIST_DISTRIBUTION_H_
+#define GDLOG_DIST_DISTRIBUTION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/prob.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/value.h"
+
+namespace gdlog {
+
+/// One parametric distribution δ of the distribution set Δ (§2). Following
+/// the paper, δ⟨p̄⟩ must be a *total* function from parameter tuples to
+/// discrete probability distributions: for out-of-range parameters the
+/// implementations concentrate all mass on a designated fallback outcome
+/// (mirroring the Appendix-B Die, which maps invalid p̄ to the outcome 0)
+/// rather than failing.
+///
+/// Probabilities are exact `Prob` rationals whenever the parameters came
+/// from decimal program text (0.1 ↦ 1/10), so tests and experiment output
+/// can assert masses like 19/100 exactly.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// The name used in Δ-terms (e.g. "flip" in flip<0.1>[X]).
+  virtual std::string_view name() const = 0;
+
+  /// True iff the distribution accepts parameter tuples of this dimension.
+  virtual bool AcceptsDim(size_t dim) const = 0;
+
+  /// The probability mass δ⟨params⟩(outcome). Zero off-support; never
+  /// fails — invalid parameters degenerate as described above.
+  virtual Prob Pmf(const std::vector<Value>& params,
+                   const Value& outcome) const = 0;
+
+  /// True iff δ⟨params⟩ has finite support (possibly because the
+  /// parameters are degenerate, e.g. geometric with p = 1). Finite
+  /// supports too large to enumerate (beyond an internal cap) report
+  /// false so the chase truncates them with residual-mass accounting
+  /// instead of materializing them.
+  virtual bool HasFiniteSupport(const std::vector<Value>& params) const = 0;
+
+  /// The support of δ⟨params⟩ in canonical order. Every returned outcome
+  /// has strictly positive mass. For infinite (or enumeration-capped)
+  /// supports, returns a window of at most `limit` outcomes positioned to
+  /// capture maximal mass — a prefix for monotone distributions, a
+  /// mode-centered window otherwise; the chase accounts the rest as
+  /// residual mass. For finite supports `limit` is advisory and 0 means
+  /// "no limit".
+  virtual std::vector<Value> Support(const std::vector<Value>& params,
+                                     size_t limit) const = 0;
+
+  /// Draws one outcome according to δ⟨params⟩.
+  virtual Value Sample(const std::vector<Value>& params, Rng* rng) const = 0;
+};
+
+/// The distribution set Δ: an owning name → Distribution map. Movable,
+/// not copyable (registered distributions are owned singletons).
+class DistributionRegistry {
+ public:
+  DistributionRegistry() = default;
+  DistributionRegistry(DistributionRegistry&&) = default;
+  DistributionRegistry& operator=(DistributionRegistry&&) = default;
+
+  /// The builtin Δ: flip, die, discrete, uniformint, binomial, geometric,
+  /// poisson.
+  static DistributionRegistry Builtins();
+
+  /// Registers `dist` under dist->name(); kAlreadyExists on duplicates.
+  Status Register(std::unique_ptr<Distribution> dist);
+
+  /// The distribution registered under `name`, or nullptr.
+  const Distribution* Lookup(std::string_view name) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Distribution>, std::less<>> by_name_;
+};
+
+/// Adds the extension distributions to `registry`: "normalgrid" (a
+/// discretized Gaussian over the grid μ + kΔx whose cell masses
+/// renormalize to 1) and "zipf" (Zipf over ranks 1..N with exponent s).
+Status RegisterExtensionDistributions(DistributionRegistry* registry);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_DIST_DISTRIBUTION_H_

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build everything, run all test suites.
+# This is the ROADMAP.md tier-1 line; CI and local checks both run it.
+# (ctest gets an explicit job count: bare `ctest -j` needs cmake >= 3.29.)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j "$(nproc)"

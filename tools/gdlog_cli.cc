@@ -19,6 +19,7 @@
 //   --json                exact mode: emit machine-readable JSON (sections
 //                         controlled by --outcomes / --events) and exit
 //   --dot                 print the dependency graph in DOT and exit
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -235,12 +236,21 @@ int RunMonteCarlo(const gdlog::GDatalog& engine, const CliOptions& opts) {
     }
     auto lower =
         estimator.EstimateMarginalLower(opts.mc_samples, opts.seed, *atom);
+    if (!lower.ok()) {
+      std::fprintf(stderr, "sampling error for '%s': %s\n", query.c_str(),
+                   lower.status().ToString().c_str());
+      return 1;
+    }
     auto upper =
         estimator.EstimateMarginalUpper(opts.mc_samples, opts.seed, *atom);
-    if (lower.ok() && upper.ok()) {
-      std::printf("P(%s) in [%.6f, %.6f] (+- %.6f)\n", query.c_str(),
-                  lower->mean, upper->mean, 2 * upper->std_error);
+    if (!upper.ok()) {
+      std::fprintf(stderr, "sampling error for '%s': %s\n", query.c_str(),
+                   upper.status().ToString().c_str());
+      return 1;
     }
+    std::printf("P(%s) in [%.6f, %.6f] (+- %.6f)\n", query.c_str(),
+                lower->mean, upper->mean,
+                2 * std::max(lower->std_error, upper->std_error));
   }
   return 0;
 }
