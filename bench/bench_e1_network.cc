@@ -64,6 +64,23 @@ void BM_NetworkExact_Ring(benchmark::State& state) {
 BENCHMARK(BM_NetworkExact_Ring)->Arg(3)->Arg(4)->Arg(5)->Arg(6)
     ->Unit(benchmark::kMillisecond);
 
+// Parallel frontier chase: the clique-4 space (2^12 leaves) exercised at
+// 1, 2, 4, and 8 workers. With a single hardware thread the non-serial
+// rows only measure scheduling overhead; on a multicore box they are the
+// speedup curve the baseline records.
+void BM_NetworkExact_Clique4_Threads(benchmark::State& state) {
+  auto engine = MustCreate(NetworkProgram(0.1), Clique(4));
+  gdlog::ChaseOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto space = MustInfer(engine, options);
+    benchmark::DoNotOptimize(space.finite_mass);
+  }
+  state.counters["threads"] = static_cast<double>(options.num_threads);
+}
+BENCHMARK(BM_NetworkExact_Clique4_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 }  // namespace
 
 int main(int argc, char** argv) {

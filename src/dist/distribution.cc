@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <unordered_map>
 #include <utility>
 
 namespace gdlog {
@@ -85,28 +86,67 @@ bool IntParam(const Value& v, int64_t* out) {
   return false;
 }
 
-/// One-entry parameter-tuple cache. The chase re-evaluates the same
-/// parameter tuple once per support outcome, so parsing/renormalizing on
-/// every Pmf call would make enumeration quadratic. Single-threaded, like
-/// the engine.
+/// Immutable, hash-indexed parameter-table cache. The chase re-evaluates
+/// the same parameter tuple once per support outcome, so parsing or
+/// renormalizing on every Pmf call would make enumeration quadratic — and
+/// the parallel chase calls Pmf from many threads at once, so the cache
+/// must be safe for concurrent readers.
+///
+/// The whole table lives behind one atomically swapped shared_ptr snapshot:
+/// readers atomically load the current snapshot and look their tuple up in
+/// it without taking a lock; a miss parses off to the side and publishes a
+/// copy-on-write successor snapshot with a compare-exchange (losing the
+/// race just means someone else's snapshot won — the entry for our tuple is
+/// still found or re-added on retry). Entries are shared_ptr<const T>, so a
+/// reader's table survives any concurrent eviction. Invalid parameter
+/// tuples cache a nullptr entry (negative caching).
+///
+/// The size is bounded: at kMaxEntries the successor snapshot starts over
+/// from just the new entry, so a workload alternating between many tuples
+/// can neither grow the table without bound nor thrash a hot entry out one
+/// insert at a time.
 template <typename T>
-class ParamCache {
+class ParamTableCache {
  public:
+  static constexpr size_t kMaxEntries = 64;
+
   /// The parsed value for `params`, or nullptr when `parse` rejects them.
   /// `parse` is bool(const std::vector<Value>&, T*).
   template <typename ParseFn>
-  const T* Get(const std::vector<Value>& params, ParseFn parse) const {
-    if (params != params_ || params_.empty()) {
-      params_ = params;
-      valid_ = parse(params, &value_);
+  std::shared_ptr<const T> Get(const std::vector<Value>& params,
+                               ParseFn parse) const {
+    std::shared_ptr<const Map> snapshot = std::atomic_load(&snapshot_);
+    if (snapshot != nullptr) {
+      auto it = snapshot->find(params);
+      if (it != snapshot->end()) return it->second;
     }
-    return valid_ ? &value_ : nullptr;
+    auto parsed = std::make_shared<T>();
+    std::shared_ptr<const T> value;
+    if (parse(params, parsed.get())) value = std::move(parsed);
+    for (;;) {
+      auto next = std::make_shared<Map>();
+      if (snapshot != nullptr && snapshot->size() < kMaxEntries) {
+        *next = *snapshot;
+      }
+      (*next)[params] = value;
+      if (std::atomic_compare_exchange_weak(
+              &snapshot_, &snapshot,
+              std::shared_ptr<const Map>(std::move(next)))) {
+        return value;
+      }
+      // Lost the race; `snapshot` now holds the winner. Reuse its entry if
+      // it already covers our tuple.
+      if (snapshot != nullptr) {
+        auto it = snapshot->find(params);
+        if (it != snapshot->end()) return it->second;
+      }
+    }
   }
 
  private:
-  mutable std::vector<Value> params_;
-  mutable T value_{};
-  mutable bool valid_ = false;
+  using Map =
+      std::unordered_map<Tuple, std::shared_ptr<const T>, TupleHash>;
+  mutable std::shared_ptr<const Map> snapshot_;
 };
 
 /// Inverse-CDF draw over parallel outcome/mass vectors (masses sum to ~1).
@@ -227,7 +267,7 @@ class DieDist : public Distribution {
 
   Prob Pmf(const std::vector<Value>& params,
            const Value& outcome) const override {
-    const FaceTable* table = Faces(params);
+    std::shared_ptr<const FaceTable> table = Faces(params);
     if (table == nullptr) {
       return IsInt(outcome, 0) ? Prob::One() : Prob::Zero();
     }
@@ -245,13 +285,13 @@ class DieDist : public Distribution {
 
   std::vector<Value> Support(const std::vector<Value>& params,
                              size_t) const override {
-    const FaceTable* table = Faces(params);
+    std::shared_ptr<const FaceTable> table = Faces(params);
     if (table == nullptr) return {Value::Int(0)};
     return table->outcomes;
   }
 
   Value Sample(const std::vector<Value>& params, Rng* rng) const override {
-    const FaceTable* table = Faces(params);
+    std::shared_ptr<const FaceTable> table = Faces(params);
     if (table == nullptr) return Value::Int(0);
     return SampleByMasses(table->outcomes, table->weights, rng);
   }
@@ -264,7 +304,8 @@ class DieDist : public Distribution {
   };
 
   /// Validated face table, or nullptr on invalid parameters.
-  const FaceTable* Faces(const std::vector<Value>& params) const {
+  std::shared_ptr<const FaceTable> Faces(
+      const std::vector<Value>& params) const {
     return cache_.Get(params, ParseFaces);
   }
 
@@ -297,7 +338,7 @@ class DieDist : public Distribution {
     return true;
   }
 
-  ParamCache<FaceTable> cache_;
+  ParamTableCache<FaceTable> cache_;
 };
 
 // ---------------------------------------------------------------------------
@@ -314,14 +355,13 @@ class DiscreteDist : public Distribution {
 
   Prob Pmf(const std::vector<Value>& params,
            const Value& outcome) const override {
-    const Entries* table = Table(params);
+    std::shared_ptr<const Entries> table = Table(params);
     if (table == nullptr) {
       return IsInt(outcome, 0) ? Prob::One() : Prob::Zero();
     }
-    for (size_t i = 0; i < table->outcomes.size(); ++i) {
-      if (table->outcomes[i] == outcome) return Prob(table->masses[i]);
-    }
-    return Prob::Zero();
+    auto it = table->index.find(outcome);
+    if (it == table->index.end()) return Prob::Zero();
+    return Prob(table->masses[it->second]);
   }
 
   bool HasFiniteSupport(const std::vector<Value>&) const override {
@@ -330,13 +370,13 @@ class DiscreteDist : public Distribution {
 
   std::vector<Value> Support(const std::vector<Value>& params,
                              size_t) const override {
-    const Entries* table = Table(params);
+    std::shared_ptr<const Entries> table = Table(params);
     if (table == nullptr) return {Value::Int(0)};
     return table->outcomes;
   }
 
   Value Sample(const std::vector<Value>& params, Rng* rng) const override {
-    const Entries* table = Table(params);
+    std::shared_ptr<const Entries> table = Table(params);
     if (table == nullptr) return Value::Int(0);
     return SampleByMasses(table->outcomes, table->weights, rng);
   }
@@ -346,11 +386,15 @@ class DiscreteDist : public Distribution {
     std::vector<Value> outcomes;
     std::vector<Rational> masses;
     std::vector<double> weights;  ///< masses as doubles, for sampling
+    /// outcome → position in the parallel vectors; makes Pmf O(1) instead
+    /// of a linear scan over the support.
+    std::unordered_map<Value, size_t> index;
   };
 
   /// Normalized table of distinct positive-mass outcomes, or nullptr on
   /// malformed parameters.
-  const Entries* Table(const std::vector<Value>& params) const {
+  std::shared_ptr<const Entries> Table(
+      const std::vector<Value>& params) const {
     return cache_.Get(params, ParseTable);
   }
 
@@ -362,6 +406,7 @@ class DiscreteDist : public Distribution {
     if (params.size() < 2 || params.size() % 2 != 0) return false;
     outcomes->clear();
     masses->clear();
+    table->index.clear();
     Rational total = Rational::Zero();
     for (size_t i = 0; i + 1 < params.size(); i += 2) {
       const Value& outcome = params[i];
@@ -370,26 +415,22 @@ class DiscreteDist : public Distribution {
       Rational mass = ParamRational(mass_value);
       if (std::isnan(mass.ToDouble()) || mass < Rational::Zero()) return false;
       total = total + mass;
-      size_t at = outcomes->size();
-      for (size_t j = 0; j < outcomes->size(); ++j) {
-        if ((*outcomes)[j] == outcome) {
-          at = j;
-          break;
-        }
-      }
-      if (at == outcomes->size()) {
+      auto [it, inserted] = table->index.emplace(outcome, outcomes->size());
+      if (inserted) {
         outcomes->push_back(outcome);
         masses->push_back(mass);
       } else {
-        (*masses)[at] = (*masses)[at] + mass;
+        (*masses)[it->second] = (*masses)[it->second] + mass;
       }
     }
     if (!(Rational::Zero() < total)) return false;
+    table->index.clear();
     size_t kept = 0;
     for (size_t i = 0; i < outcomes->size(); ++i) {
       if (!(Rational::Zero() < (*masses)[i])) continue;
       (*outcomes)[kept] = (*outcomes)[i];
       (*masses)[kept] = RationalDiv((*masses)[i], total);
+      table->index.emplace((*outcomes)[kept], kept);
       ++kept;
     }
     outcomes->resize(kept);
@@ -400,7 +441,7 @@ class DiscreteDist : public Distribution {
     return true;
   }
 
-  ParamCache<Entries> cache_;
+  ParamTableCache<Entries> cache_;
 };
 
 // ---------------------------------------------------------------------------
@@ -804,7 +845,7 @@ class NormalGridDist : public Distribution {
 
   Prob Pmf(const std::vector<Value>& params,
            const Value& outcome) const override {
-    const Grid* grid = GetGrid(params);
+    std::shared_ptr<const Grid> grid = GetGrid(params);
     if (grid == nullptr) {
       return outcome == Fallback(params) ? Prob::One() : Prob::Zero();
     }
@@ -827,7 +868,7 @@ class NormalGridDist : public Distribution {
 
   std::vector<Value> Support(const std::vector<Value>& params,
                              size_t limit) const override {
-    const Grid* grid = GetGrid(params);
+    std::shared_ptr<const Grid> grid = GetGrid(params);
     if (grid == nullptr) return {Fallback(params)};
     std::vector<Value> support;
     for (int64_t k = -grid->half_cells; k <= grid->half_cells; ++k) {
@@ -843,7 +884,7 @@ class NormalGridDist : public Distribution {
   }
 
   Value Sample(const std::vector<Value>& params, Rng* rng) const override {
-    const Grid* grid = GetGrid(params);
+    std::shared_ptr<const Grid> grid = GetGrid(params);
     if (grid == nullptr) return Fallback(params);
     double u = rng->NextDouble() * grid->total;
     // First cell whose cumulative weight exceeds u; flat (zero-weight)
@@ -889,7 +930,8 @@ class NormalGridDist : public Distribution {
   /// Parsed grid for `params`, or nullptr on invalid parameters. Cached —
   /// the renormalization constant sums up to 8193 erf cells, far too hot
   /// to redo per Pmf call.
-  const Grid* GetGrid(const std::vector<Value>& params) const {
+  std::shared_ptr<const Grid> GetGrid(
+      const std::vector<Value>& params) const {
     return cache_.Get(params, ParseParams);
   }
 
@@ -934,7 +976,7 @@ class NormalGridDist : public Distribution {
     return true;
   }
 
-  ParamCache<Grid> cache_;
+  ParamTableCache<Grid> cache_;
 };
 
 // ---------------------------------------------------------------------------
@@ -949,7 +991,7 @@ class ZipfDist : public Distribution {
 
   Prob Pmf(const std::vector<Value>& params,
            const Value& outcome) const override {
-    const ZData* z = Data(params);
+    std::shared_ptr<const ZData> z = Data(params);
     if (z == nullptr) {
       return IsInt(outcome, 1) ? Prob::One() : Prob::Zero();
     }
@@ -962,14 +1004,14 @@ class ZipfDist : public Distribution {
   }
 
   bool HasFiniteSupport(const std::vector<Value>& params) const override {
-    const ZData* z = Data(params);
+    std::shared_ptr<const ZData> z = Data(params);
     if (z == nullptr) return true;
     return static_cast<uint64_t>(z->n) <= kMaxEnumerable;
   }
 
   std::vector<Value> Support(const std::vector<Value>& params,
                              size_t limit) const override {
-    const ZData* z = Data(params);
+    std::shared_ptr<const ZData> z = Data(params);
     if (z == nullptr) return {Value::Int(1)};
     size_t cap = limit > 0 ? limit : static_cast<size_t>(kMaxEnumerable);
     std::vector<Value> support;
@@ -981,7 +1023,7 @@ class ZipfDist : public Distribution {
   }
 
   Value Sample(const std::vector<Value>& params, Rng* rng) const override {
-    const ZData* z = Data(params);
+    std::shared_ptr<const ZData> z = Data(params);
     if (z == nullptr) return Value::Int(1);
     double s = z->s;
     int64_t n = z->n;
@@ -1016,7 +1058,8 @@ class ZipfDist : public Distribution {
     std::vector<double> cum;  ///< cumulative k⁻ˢ over the exact region
   };
 
-  const ZData* Data(const std::vector<Value>& params) const {
+  std::shared_ptr<const ZData> Data(
+      const std::vector<Value>& params) const {
     return cache_.Get(params, Parse);
   }
 
@@ -1065,7 +1108,7 @@ class ZipfDist : public Distribution {
     return std::min(n, kExactCutover * 16);
   }
 
-  ParamCache<ZData> cache_;
+  ParamTableCache<ZData> cache_;
 };
 
 }  // namespace

@@ -24,6 +24,13 @@ namespace gdlog {
 /// Probabilities are exact `Prob` rationals whenever the parameters came
 /// from decimal program text (0.1 ↦ 1/10), so tests and experiment output
 /// can assert masses like 19/100 exactly.
+///
+/// Thread-safety: every const member function must be safe to call
+/// concurrently from any number of threads — the parallel chase evaluates
+/// Pmf/Support/HasFiniteSupport on the shared registry singletons from all
+/// workers at once. Implementations that memoize parsed parameter tables
+/// do so through an internally synchronized immutable cache; they carry no
+/// externally visible mutable state.
 class Distribution {
  public:
   virtual ~Distribution() = default;

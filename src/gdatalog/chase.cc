@@ -1,6 +1,13 @@
 #include "gdatalog/chase.h"
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/thread_pool.h"
 
 namespace gdlog {
 
@@ -14,13 +21,64 @@ std::vector<Value> ActiveParams(const GroundAtom& active,
                             active.args.begin() + sig.param_count);
 }
 
+/// Order-independent fingerprint of a chase node (its choice set). Mixing
+/// this into trigger_shuffle_seed makes the shuffled trigger pick a pure
+/// function of the node, so the pick sequence cannot depend on the order
+/// in which workers happen to reach nodes.
+uint64_t HashChoices(const ChoiceSet& choices) {
+  uint64_t h = 0x243f6a8885a308d3ULL;
+  for (const auto& [active, outcome] : choices.entries()) {
+    h = HashCombine(h, active.Hash());
+    h = HashCombine(h, outcome.Hash());
+  }
+  return h;
+}
+
 }  // namespace
 
+/// One chase node awaiting expansion. The parent's grounding fixpoint
+/// state is shared read-only (never mutated after the parent finishes);
+/// each child clones it and extends the clone.
+struct ChaseEngine::WorkItem {
+  ChoiceSet choices;
+  Prob path_prob = Prob::One();
+  size_t depth = 0;
+  std::shared_ptr<const GroundRuleSet> parent_grounding;  ///< null at root
+  std::shared_ptr<const FactStore> parent_heads;
+  GroundAtom new_active;  ///< the choice added vs. the parent; valid iff
+                          ///< parent_grounding != nullptr
+};
+
 struct ChaseEngine::ExploreState {
-  const ChaseOptions* options;
-  OutcomeSpace space;
-  Rng trigger_rng{0};
-  bool budget_hit = false;
+  const ChaseOptions* options = nullptr;
+  bool incremental = false;
+
+  /// Leaves enumerated so far (monotone; fetch_add reserves a slot, so at
+  /// most max_outcomes outcomes are ever recorded).
+  std::atomic<size_t> outcome_count{0};
+  std::atomic<bool> budget_hit{false};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  Status first_error = Status::OK();
+
+  /// Per-worker accumulators; merged deterministically after the frontier
+  /// drains (no locking on the hot path).
+  struct Partial {
+    std::vector<PossibleOutcome> outcomes;
+    /// Support-truncation contributions: (node's choice set, tail mass).
+    /// Kept keyed so the merge can sum them in canonical order — double
+    /// (inexact) masses then round identically for every thread count.
+    std::vector<std::pair<ChoiceSet, Prob>> truncations;
+    size_t depth_truncated = 0;
+    size_t pruned = 0;
+  };
+  std::vector<Partial> partials;
+
+  void RecordError(const Status& status) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (first_error.ok()) first_error = status;
+    failed.store(true, std::memory_order_release);
+  }
 };
 
 Result<StableModelSet> ChaseEngine::SolveOutcome(
@@ -60,81 +118,103 @@ Result<StableModelSet> ChaseEngine::SolveOutcome(
   return models;
 }
 
-Status ChaseEngine::Dfs(ExploreState& state, ChoiceSet& choices,
-                        Prob path_prob, size_t depth,
-                        const GroundRuleSet* parent_grounding,
-                        const FactStore* parent_heads,
-                        const GroundAtom* new_active) const {
+void ChaseEngine::ProcessNode(ExploreState& state, WorkItem item,
+                              size_t worker,
+                              std::vector<WorkItem>* children) const {
   const ChaseOptions& options = *state.options;
+  ExploreState::Partial& partial = state.partials[worker];
 
+  if (state.failed.load(std::memory_order_acquire)) return;
   if (options.max_outcomes != 0 &&
-      state.space.outcomes.size() >= options.max_outcomes) {
-    state.budget_hit = true;
-    return Status::OK();
+      state.outcome_count.load(std::memory_order_relaxed) >=
+          options.max_outcomes) {
+    state.budget_hit.store(true, std::memory_order_relaxed);
+    return;
   }
   if (options.min_path_prob > 0.0 &&
-      path_prob.value() < options.min_path_prob) {
-    ++state.space.pruned_paths;
-    state.budget_hit = true;
-    return Status::OK();
+      item.path_prob.value() < options.min_path_prob) {
+    ++partial.pruned;
+    state.budget_hit.store(true, std::memory_order_relaxed);
+    return;
   }
 
-  bool incremental =
-      options.incremental && grounder_->SupportsIncremental();
   auto grounding = std::make_shared<GroundRuleSet>();
-  FactStore heads;
-  if (incremental) {
-    if (parent_grounding == nullptr) {
-      GDLOG_RETURN_IF_ERROR(
-          grounder_->GroundWithState(choices, grounding.get(), &heads));
+  auto heads = std::make_shared<FactStore>();
+  Status ground_status;
+  if (state.incremental) {
+    if (item.parent_grounding == nullptr) {
+      ground_status =
+          grounder_->GroundWithState(item.choices, grounding.get(),
+                                     heads.get());
     } else {
       // Branch: clone the parent's fixpoint state and extend it with the
       // newly recorded choice (sound by monotonicity, Definition 3.3).
-      *grounding = parent_grounding->Clone();
-      heads = *parent_heads;
-      GDLOG_RETURN_IF_ERROR(
-          grounder_->Extend(choices, *new_active, grounding.get(), &heads));
+      // The heads copy is copy-on-write, so the clone costs one pointer
+      // per predicate until the extension actually derives new facts.
+      *grounding = item.parent_grounding->Clone();
+      *heads = *item.parent_heads;
+      ground_status = grounder_->Extend(item.choices, item.new_active,
+                                        grounding.get(), heads.get());
     }
   } else {
-    GDLOG_RETURN_IF_ERROR(grounder_->Ground(choices, grounding.get()));
+    ground_status = grounder_->Ground(item.choices, grounding.get());
+  }
+  if (!ground_status.ok()) {
+    state.RecordError(ground_status);
+    return;
   }
 
   std::vector<GroundAtom> triggers =
-      FindTriggers(*translated_, *grounding, choices);
+      FindTriggers(*translated_, *grounding, item.choices);
 
   if (triggers.empty()) {
     // A leaf: λ(v) is a terminal — the result of this finite maximal path
     // is the possible outcome Σ ∪ G(Σ) with Pr = Π δ⟨p̄⟩(o).
+    if (options.max_outcomes != 0) {
+      size_t slot =
+          state.outcome_count.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= options.max_outcomes) {
+        state.budget_hit.store(true, std::memory_order_relaxed);
+        return;
+      }
+    } else {
+      state.outcome_count.fetch_add(1, std::memory_order_relaxed);
+    }
     PossibleOutcome outcome;
-    outcome.choices = choices;
-    outcome.prob = path_prob;
+    outcome.prob = item.path_prob;
     if (options.compute_models) {
-      GDLOG_ASSIGN_OR_RETURN(
-          outcome.models,
-          SolveOutcome(choices, *grounding, options.solver_max_nodes));
+      auto models =
+          SolveOutcome(item.choices, *grounding, options.solver_max_nodes);
+      if (!models.ok()) {
+        state.RecordError(models.status());
+        return;
+      }
+      outcome.models = std::move(models).value();
     }
     if (options.keep_groundings) outcome.grounding = grounding;
-    state.space.finite_mass = state.space.finite_mass + outcome.prob;
-    state.space.outcomes.push_back(std::move(outcome));
-    return Status::OK();
+    outcome.choices = std::move(item.choices);
+    partial.outcomes.push_back(std::move(outcome));
+    return;
   }
 
-  if (depth >= options.max_depth) {
-    ++state.space.depth_truncated_paths;
-    state.budget_hit = true;
-    return Status::OK();
+  if (item.depth >= options.max_depth) {
+    ++partial.depth_truncated;
+    state.budget_hit.store(true, std::memory_order_relaxed);
+    return;
   }
 
   // Pick one trigger; Lemma 4.4 makes the choice irrelevant for the set of
   // finite results, which E4 verifies by shuffling here.
   size_t pick = 0;
-  if (options.trigger_shuffle_seed != 0) {
-    pick = static_cast<size_t>(state.trigger_rng.NextBounded(triggers.size()));
+  if (options.trigger_shuffle_seed != 0 && triggers.size() > 1) {
+    Rng rng(options.trigger_shuffle_seed ^ HashChoices(item.choices));
+    pick = static_cast<size_t>(rng.NextBounded(triggers.size()));
   }
   const GroundAtom& trigger = triggers[pick];
   const DeltaSignature* sig = translated_->SignatureByActive(trigger.predicate);
   if (sig == nullptr) {
-    return Status::Internal("trigger is not an Active atom");
+    state.RecordError(Status::Internal("trigger is not an Active atom"));
+    return;
   }
   std::vector<Value> params = ActiveParams(trigger, *sig);
 
@@ -143,40 +223,128 @@ Status ChaseEngine::Dfs(ExploreState& state, ChoiceSet& choices,
       sig->dist->Support(params, finite_support ? 0 : options.support_limit);
 
   Prob enumerated_mass = Prob::Zero();
-  for (const Value& o : support) {
+  children->reserve(children->size() + support.size());
+  for (size_t i = 0; i < support.size(); ++i) {
+    const Value& o = support[i];
     Prob p = sig->dist->Pmf(params, o);
     enumerated_mass = enumerated_mass + p;
-    bool ok = choices.Assign(trigger, o);
-    if (!ok) return Status::Internal("functionally inconsistent choice");
-    GDLOG_RETURN_IF_ERROR(Dfs(state, choices, path_prob * p, depth + 1,
-                              grounding.get(), &heads, &trigger));
-    choices.Unassign(trigger);
+    WorkItem child;
+    // The last child may steal the parent's choice set outright — unless
+    // the truncation accounting below still needs it.
+    if (finite_support && i + 1 == support.size()) {
+      child.choices = std::move(item.choices);
+    } else {
+      child.choices = item.choices;
+    }
+    if (!child.choices.Assign(trigger, o)) {
+      state.RecordError(Status::Internal("functionally inconsistent choice"));
+      return;
+    }
+    child.path_prob = item.path_prob * p;
+    child.depth = item.depth + 1;
+    if (state.incremental) {
+      child.parent_grounding = grounding;
+      child.parent_heads = heads;
+      child.new_active = trigger;
+    }
+    children->push_back(std::move(child));
   }
   if (!finite_support) {
     // Tail mass of the truncated support joins the residual.
     Prob tail = Prob::One() - enumerated_mass;
     if (tail.value() > 0.0) {
-      state.space.support_truncation_mass =
-          state.space.support_truncation_mass + path_prob * tail;
-      state.budget_hit = true;
+      partial.truncations.emplace_back(item.choices, item.path_prob * tail);
+      state.budget_hit.store(true, std::memory_order_relaxed);
     }
   }
-  return Status::OK();
 }
 
 Result<OutcomeSpace> ChaseEngine::Explore(const ChaseOptions& options) const {
   ExploreState state;
   state.options = &options;
-  if (options.trigger_shuffle_seed != 0) {
-    state.trigger_rng.Seed(options.trigger_shuffle_seed);
+  state.incremental =
+      options.incremental && grounder_->SupportsIncremental();
+
+  size_t workers = options.num_threads != 0
+                       ? options.num_threads
+                       : ThreadPool::DefaultWorkerCount();
+  if (workers < 1) workers = 1;
+  state.partials.resize(workers);
+
+  WorkItem root;
+  if (workers == 1) {
+    // Serial: an explicit LIFO stack reproduces the former recursive DFS,
+    // including which outcomes are enumerated when a budget binds.
+    std::vector<WorkItem> stack;
+    std::vector<WorkItem> children;
+    stack.push_back(std::move(root));
+    while (!stack.empty()) {
+      WorkItem item = std::move(stack.back());
+      stack.pop_back();
+      children.clear();
+      ProcessNode(state, std::move(item), /*worker=*/0, &children);
+      // Reversed so the stack pops children in support order (DFS parity).
+      for (size_t i = children.size(); i > 0; --i) {
+        stack.push_back(std::move(children[i - 1]));
+      }
+    }
+  } else {
+    ThreadPool pool(workers);
+    std::function<void(WorkItem)> enqueue = [&](WorkItem item) {
+      auto boxed = std::make_shared<WorkItem>(std::move(item));
+      pool.Submit([this, &state, &enqueue, boxed](size_t worker) {
+        std::vector<WorkItem> children;
+        ProcessNode(state, std::move(*boxed), worker, &children);
+        for (WorkItem& child : children) enqueue(std::move(child));
+      });
+    };
+    enqueue(std::move(root));
+    pool.WaitIdle();
   }
-  ChoiceSet choices;
-  GDLOG_RETURN_IF_ERROR(Dfs(state, choices, Prob::One(), 0,
-                            /*parent_grounding=*/nullptr,
-                            /*parent_heads=*/nullptr,
-                            /*new_active=*/nullptr));
-  state.space.complete = !state.budget_hit;
-  return std::move(state.space);
+
+  if (!state.first_error.ok()) return state.first_error;
+
+  // Deterministic merge: gather the per-worker partials, order everything
+  // by the canonical choice-set order, and only then accumulate masses.
+  // The set of enumerated leaves is schedule-independent whenever no
+  // budget binds (Lemma 4.4 order-invariance), so sorting makes the whole
+  // OutcomeSpace — including the rounding of inexact double masses —
+  // bit-identical for every thread count.
+  OutcomeSpace space;
+  size_t total_outcomes = 0;
+  for (const ExploreState::Partial& partial : state.partials) {
+    total_outcomes += partial.outcomes.size();
+  }
+  space.outcomes.reserve(total_outcomes);
+  std::vector<std::pair<ChoiceSet, Prob>> truncations;
+  for (ExploreState::Partial& partial : state.partials) {
+    for (PossibleOutcome& outcome : partial.outcomes) {
+      space.outcomes.push_back(std::move(outcome));
+    }
+    for (auto& truncation : partial.truncations) {
+      truncations.push_back(std::move(truncation));
+    }
+    space.depth_truncated_paths += partial.depth_truncated;
+    space.pruned_paths += partial.pruned;
+  }
+  std::sort(space.outcomes.begin(), space.outcomes.end(),
+            [](const PossibleOutcome& a, const PossibleOutcome& b) {
+              return a.choices < b.choices;
+            });
+  for (const PossibleOutcome& outcome : space.outcomes) {
+    space.finite_mass = space.finite_mass + outcome.prob;
+  }
+  std::sort(truncations.begin(), truncations.end(),
+            [](const std::pair<ChoiceSet, Prob>& a,
+               const std::pair<ChoiceSet, Prob>& b) {
+              return a.first < b.first;
+            });
+  for (const auto& [choices, tail] : truncations) {
+    (void)choices;
+    space.support_truncation_mass = space.support_truncation_mass + tail;
+  }
+  space.complete = !state.budget_hit.load(std::memory_order_relaxed);
+  return space;
 }
 
 Result<ChaseEngine::PathSample> ChaseEngine::SamplePath(

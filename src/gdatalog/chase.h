@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "gdatalog/grounder.h"
 #include "gdatalog/outcome.h"
@@ -33,8 +34,10 @@ struct ChaseOptions {
   bool compute_models = true;
   /// Node budget for the stable-model solver per outcome.
   uint64_t solver_max_nodes = 10'000'000;
-  /// 0 = resolve triggers in canonical (sorted) order; otherwise pick the
-  /// trigger pseudo-randomly from this seed. Lemma 4.4 guarantees the
+  /// 0 = resolve triggers in canonical (sorted) order; otherwise pick each
+  /// node's trigger pseudo-randomly from this seed (mixed with the node's
+  /// choice set, so the pick is a pure function of the node and identical
+  /// for every thread count and schedule). Lemma 4.4 guarantees the
   /// resulting outcome space is identical — exercised by experiment E4.
   uint64_t trigger_shuffle_seed = 0;
   /// Extend the parent node's grounding instead of re-deriving it from
@@ -42,6 +45,16 @@ struct ChaseOptions {
   /// Definition 3.3). Used when the grounder supports it (the simple
   /// grounder does; the perfect grounder falls back to from-scratch).
   bool incremental = true;
+  /// Worker threads for Explore: 0 = one per hardware thread, 1 = serial
+  /// (the pre-parallel behavior, no pool spawned). Branches of the chase
+  /// tree are independent once a trigger is resolved, so workers drain a
+  /// work-stealing frontier of chase nodes; per-worker partial outcome
+  /// spaces are merged in canonical choice-set order, so whenever no
+  /// budget binds the resulting OutcomeSpace is identical — outcome order,
+  /// probabilities, masses and all — for every thread count. When
+  /// max_outcomes does bind, *which* outcomes are enumerated depends on
+  /// scheduling (their count still respects the budget).
+  size_t num_threads = 0;
 };
 
 /// Drives the chase of Definition 4.2: iteratively grounds the program
@@ -56,7 +69,9 @@ class ChaseEngine {
       : translated_(translated), db_(db), grounder_(grounder) {}
 
   /// Exhaustively explores the chase tree under the given budgets and
-  /// returns the resulting outcome space.
+  /// returns the resulting outcome space. With options.num_threads != 1
+  /// the frontier is chased in parallel; results are deterministic as
+  /// described on ChaseOptions::num_threads.
   Result<OutcomeSpace> Explore(const ChaseOptions& options) const;
 
   /// One random maximal path: every trigger is resolved by sampling the
@@ -84,10 +99,13 @@ class ChaseEngine {
 
  private:
   struct ExploreState;
-  Status Dfs(ExploreState& state, ChoiceSet& choices, Prob path_prob,
-             size_t depth, const GroundRuleSet* parent_grounding,
-             const FactStore* parent_heads,
-             const GroundAtom* new_active) const;
+  struct WorkItem;
+  /// Expands one chase node: grounds it, emits the outcome when it is a
+  /// leaf, otherwise resolves one trigger and appends one child work item
+  /// per support outcome to `children`. Thread-safe: touches only
+  /// `state`'s atomics, the worker's partial space, and the item itself.
+  void ProcessNode(ExploreState& state, WorkItem item, size_t worker,
+                   std::vector<WorkItem>* children) const;
 
   const TranslatedProgram* translated_;
   const FactStore* db_;

@@ -49,6 +49,10 @@ Result<GDatalog> GDatalog::FromProgram(Program pi, FactStore db,
   // constraint-bearing program non-stratified.
   GDLOG_RETURN_IF_ERROR(state->program.Validate());
   state->db = std::move(db);
+  // The database D is shared read-only by every chase worker; building its
+  // column indices eagerly means concurrent readers never mutate it, even
+  // lazily.
+  state->db.Freeze();
   state->registry =
       options.registry != nullptr
           ? std::move(options.registry)

@@ -64,7 +64,10 @@ class GDatalog {
   const ChaseEngine& chase() const;
 
   /// Exhaustive inference: explores the chase tree and returns the outcome
-  /// space (Definition 3.8, up to the exploration budgets).
+  /// space (Definition 3.8, up to the exploration budgets). Runs the
+  /// parallel frontier chase per ChaseOptions::num_threads (default: one
+  /// worker per hardware thread; 1 = serial); the result is deterministic
+  /// across thread counts whenever no budget binds.
   Result<OutcomeSpace> Infer(const ChaseOptions& options = ChaseOptions{}) const;
 
   /// Parses a ground atom in surface syntax ("infected(2, 1)") against this

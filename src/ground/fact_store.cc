@@ -1,6 +1,7 @@
 #include "ground/fact_store.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "ast/parser.h"
 #include "util/hash.h"
@@ -30,18 +31,95 @@ std::string GroundAtom::ToString(const Interner* interner) const {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Relation
+// ---------------------------------------------------------------------------
+
+FactStore::Relation::Relation(const Relation& other)
+    : rows(other.rows), set(other.set) {
+  size_t n = other.arity.load(std::memory_order_acquire);
+  if (n == 0 || other.columns == nullptr) return;
+  arity.store(n, std::memory_order_relaxed);
+  columns = std::make_unique<ColumnIndex[]>(n);
+  // `columns_once` stays fresh in the clone; EnsureColumns() tolerates an
+  // already-populated array (call_once simply re-publishes the same arity).
+  for (size_t col = 0; col < n; ++col) {
+    if (other.columns[col].built.load(std::memory_order_acquire)) {
+      columns[col].map = other.columns[col].map;
+      columns[col].built.store(true, std::memory_order_release);
+    }
+  }
+}
+
+size_t FactStore::Relation::EnsureColumns() const {
+  if (rows.empty()) return 0;
+  std::call_once(columns_once, [&] {
+    if (columns == nullptr) {
+      size_t n = rows.front().size();
+      if (n == 0) return;
+      columns = std::make_unique<ColumnIndex[]>(n);
+      arity.store(n, std::memory_order_release);
+    }
+  });
+  return arity.load(std::memory_order_acquire);
+}
+
+const FactStore::ColumnIndex& FactStore::Relation::BuiltColumn(
+    size_t col) const {
+  ColumnIndex& index = columns[col];
+  if (!index.built.load(std::memory_order_acquire)) {
+    std::call_once(index.once, [&] {
+      for (uint32_t row = 0; row < rows.size(); ++row) {
+        if (col < rows[row].size()) {
+          index.map[rows[row][col]].push_back(row);
+        }
+      }
+      index.built.store(true, std::memory_order_release);
+    });
+  }
+  return index;
+}
+
+// ---------------------------------------------------------------------------
+// FactStore
+// ---------------------------------------------------------------------------
+
+FactStore::Relation& FactStore::MutableRelation(uint32_t predicate) {
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) {
+    it = relations_.emplace(predicate, std::make_shared<Relation>()).first;
+  } else if (it->second.use_count() > 1) {
+    // Shared with another store (a chase sibling or our parent): detach.
+    it->second = std::make_shared<Relation>(*it->second);
+  }
+  return *it->second;
+}
+
 bool FactStore::Insert(uint32_t predicate, Tuple tuple) {
-  Relation& rel = relations_[predicate];
+  assert(!frozen_ && "Insert() on a frozen FactStore");
+  // Duplicate check against the (possibly shared) relation first: the
+  // grounding fixpoint dedups through rejected Inserts, and detaching a
+  // copy-on-write relation just to discover the tuple was already there
+  // would defeat the cheap-branch design.
+  auto shared_it = relations_.find(predicate);
+  if (shared_it != relations_.end() &&
+      shared_it->second->set.count(tuple) != 0) {
+    return false;
+  }
+  Relation& rel = MutableRelation(predicate);
   auto [it, inserted] = rel.set.insert(tuple);
   (void)it;
   if (!inserted) return false;
   uint32_t row = static_cast<uint32_t>(rel.rows.size());
   rel.rows.push_back(std::move(tuple));
   const Tuple& stored = rel.rows.back();
-  // Keep already-built column indices current.
-  for (size_t col = 0; col < rel.index_built.size(); ++col) {
-    if (rel.index_built[col] && col < stored.size()) {
-      rel.indices[col][stored[col]].push_back(row);
+  // Keep already-built column indices current. (This store is uniquely
+  // owned here, so touching built indices cannot race with readers.)
+  size_t arity = rel.arity.load(std::memory_order_acquire);
+  for (size_t col = 0; col < arity && col < stored.size(); ++col) {
+    ColumnIndex& index = rel.columns[col];
+    if (index.built.load(std::memory_order_acquire)) {
+      index.map[stored[col]].push_back(row);
     }
   }
   ++total_;
@@ -51,14 +129,14 @@ bool FactStore::Insert(uint32_t predicate, Tuple tuple) {
 bool FactStore::Contains(uint32_t predicate, const Tuple& tuple) const {
   auto it = relations_.find(predicate);
   if (it == relations_.end()) return false;
-  return it->second.set.count(tuple) != 0;
+  return it->second->set.count(tuple) != 0;
 }
 
 const std::vector<Tuple>& FactStore::Rows(uint32_t predicate) const {
   static const std::vector<Tuple> kEmpty;
   auto it = relations_.find(predicate);
   if (it == relations_.end()) return kEmpty;
-  return it->second.rows;
+  return it->second->rows;
 }
 
 const std::vector<uint32_t>* FactStore::IndexLookup(uint32_t predicate,
@@ -66,35 +144,33 @@ const std::vector<uint32_t>* FactStore::IndexLookup(uint32_t predicate,
                                                     const Value& v) const {
   auto it = relations_.find(predicate);
   if (it == relations_.end()) return nullptr;
-  const Relation& rel = it->second;
-  if (rel.rows.empty()) return nullptr;
-  size_t arity = rel.rows.front().size();
-  if (col >= arity) return nullptr;
-  if (rel.indices.size() < arity) {
-    rel.indices.resize(arity);
-    rel.index_built.resize(arity, false);
-  }
-  if (!rel.index_built[col]) {
-    for (uint32_t row = 0; row < rel.rows.size(); ++row) {
-      rel.indices[col][rel.rows[row][col]].push_back(row);
-    }
-    rel.index_built[col] = true;
-  }
-  auto hit = rel.indices[col].find(v);
-  if (hit == rel.indices[col].end()) return nullptr;
+  const Relation& rel = *it->second;
+  if (col >= rel.EnsureColumns()) return nullptr;
+  const ColumnIndex& index = rel.BuiltColumn(col);
+  auto hit = index.map.find(v);
+  if (hit == index.map.end()) return nullptr;
   return &hit->second;
+}
+
+void FactStore::Freeze() {
+  for (auto& [pred, rel] : relations_) {
+    (void)pred;
+    size_t arity = rel->EnsureColumns();
+    for (size_t col = 0; col < arity; ++col) rel->BuiltColumn(col);
+  }
+  frozen_ = true;
 }
 
 size_t FactStore::Count(uint32_t predicate) const {
   auto it = relations_.find(predicate);
   if (it == relations_.end()) return 0;
-  return it->second.rows.size();
+  return it->second->rows.size();
 }
 
 std::vector<uint32_t> FactStore::Predicates() const {
   std::vector<uint32_t> out;
   for (const auto& [pred, rel] : relations_) {
-    if (!rel.rows.empty()) out.push_back(pred);
+    if (!rel->rows.empty()) out.push_back(pred);
   }
   std::sort(out.begin(), out.end());
   return out;

@@ -1,7 +1,10 @@
 #ifndef GDLOG_GROUND_FACT_STORE_H_
 #define GDLOG_GROUND_FACT_STORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -38,14 +41,31 @@ struct GroundAtomHash {
   size_t operator()(const GroundAtom& a) const { return a.Hash(); }
 };
 
-/// A relational instance: per-predicate tuple sets with lazily built
-/// per-column hash indices. This is both the database D and the "heads so
-/// far" instance that the grounding operators match against.
+/// A relational instance: per-predicate tuple sets with per-column hash
+/// indices. This is both the database D and the "heads so far" instance
+/// that the grounding operators match against.
+///
+/// Concurrency and copying contract (the parallel chase relies on both):
+///
+///  - Copies are copy-on-write: a copy shares the per-predicate relation
+///    storage with its source and clones a relation only when it first
+///    inserts into it. Branching a chase node therefore costs one pointer
+///    per predicate, not one deep copy of every tuple.
+///  - All const member functions are safe to call concurrently from any
+///    number of threads, including the lazy first build of a column index
+///    (guarded by a per-relation std::once_flag) and concurrent
+///    copy-construction of the store. Insert() is NOT thread-safe against
+///    anything else touching the same FactStore object; stores under
+///    construction must be thread-confined (they are: each chase node
+///    extends its own copy).
+///  - Freeze() builds every column index eagerly so a long-lived shared
+///    store (the database D) never mutates again, even lazily.
 class FactStore {
  public:
   FactStore() = default;
 
-  /// Inserts a fact; returns true iff it was new.
+  /// Inserts a fact; returns true iff it was new. Must not be called on a
+  /// frozen store, nor concurrently with any other access to this object.
   bool Insert(uint32_t predicate, Tuple tuple);
   bool Insert(const GroundAtom& atom) {
     return Insert(atom.predicate, atom.args);
@@ -56,14 +76,21 @@ class FactStore {
     return Contains(atom.predicate, atom.args);
   }
 
-  /// All rows of `predicate` in insertion order (empty if unknown).
+  /// All rows of `predicate` in insertion order. Unknown predicates yield
+  /// a reference to a shared function-local static empty vector — no
+  /// allocation per call.
   const std::vector<Tuple>& Rows(uint32_t predicate) const;
 
   /// Row indices of `predicate` whose column `col` equals `v`.
-  /// Builds the column index on first use. Returns nullptr when no row
-  /// matches.
+  /// Builds the column index on first use (thread-safely). Returns nullptr
+  /// when no row matches.
   const std::vector<uint32_t>* IndexLookup(uint32_t predicate, size_t col,
                                            const Value& v) const;
+
+  /// Builds all column indices eagerly and forbids further Insert()s, so
+  /// concurrent readers never mutate even lazily. Idempotent.
+  void Freeze();
+  bool frozen() const { return frozen_; }
 
   /// Number of rows for `predicate`.
   size_t Count(uint32_t predicate) const;
@@ -80,18 +107,48 @@ class FactStore {
   std::string ToString(const Interner* interner = nullptr) const;
 
  private:
-  struct Relation {
-    std::vector<Tuple> rows;
-    std::unordered_set<Tuple, TupleHash> set;
-    // col -> value -> row indices; built lazily, extended on insert once
-    // built.
-    mutable std::vector<std::unordered_map<Value, std::vector<uint32_t>>>
-        indices;
-    mutable std::vector<bool> index_built;
+  /// One column's value → row-indices hash index. `built` is the
+  /// publication flag: set (release) only after `map` is complete, so a
+  /// reader that observes it (acquire) may use `map` without locking, and
+  /// a relation clone copies `map` only when it observes `built`.
+  struct ColumnIndex {
+    std::once_flag once;
+    std::atomic<bool> built{false};
+    std::unordered_map<Value, std::vector<uint32_t>> map;
   };
 
-  std::unordered_map<uint32_t, Relation> relations_;
+  struct Relation {
+    Relation() = default;
+    /// Clone for copy-on-write: copies rows and the membership set, and
+    /// adopts only column indices already published by the source (an
+    /// index mid-build in another thread is simply rebuilt lazily by the
+    /// clone when first needed).
+    Relation(const Relation& other);
+    Relation& operator=(const Relation&) = delete;
+
+    std::vector<Tuple> rows;
+    std::unordered_set<Tuple, TupleHash> set;
+
+    /// Fixed-size array of `arity` column indices, allocated on first
+    /// index use under `columns_once` (the arity is only known once a row
+    /// exists).
+    mutable std::once_flag columns_once;
+    mutable std::atomic<size_t> arity{0};
+    mutable std::unique_ptr<ColumnIndex[]> columns;
+
+    /// Ensures `columns` is allocated; returns the arity (0 = no rows yet,
+    /// nothing to index).
+    size_t EnsureColumns() const;
+    /// Builds (at most once) and returns column `col`'s index.
+    const ColumnIndex& BuiltColumn(size_t col) const;
+  };
+
+  /// The relation for `predicate`, cloned first if shared (copy-on-write).
+  Relation& MutableRelation(uint32_t predicate);
+
+  std::unordered_map<uint32_t, std::shared_ptr<Relation>> relations_;
   size_t total_ = 0;
+  bool frozen_ = false;
 };
 
 /// Parses a database given as newline/whitespace-separated ground atoms in

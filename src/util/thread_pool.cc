@@ -1,0 +1,120 @@
+#include "util/thread_pool.h"
+
+#include <chrono>
+
+namespace gdlog {
+
+namespace {
+/// Index of the pool worker the current thread is, or SIZE_MAX outside a
+/// pool. Written once per worker thread at startup; lets Submit() route a
+/// task spawned by a worker onto that worker's own deque.
+thread_local size_t tls_worker_index = SIZE_MAX;
+thread_local const ThreadPool* tls_pool = nullptr;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t workers) {
+  if (workers < 1) workers = 1;
+  queues_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  WaitIdle();
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    work_cv_.notify_all();
+  }
+  for (std::thread& t : threads_) t.join();
+}
+
+size_t ThreadPool::DefaultWorkerCount() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+void ThreadPool::Submit(Task task) {
+  size_t target;
+  if (tls_pool == this && tls_worker_index < queues_.size()) {
+    target = tls_worker_index;
+  } else {
+    target = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
+  }
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  {
+    // Notify under the idle mutex so a worker between its empty scan and
+    // its wait cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    work_cv_.notify_one();
+  }
+}
+
+bool ThreadPool::TryGetTask(size_t index, Task* out) {
+  {
+    Queue& own = *queues_[index];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  for (size_t step = 1; step < queues_.size(); ++step) {
+    Queue& victim = *queues_[(index + step) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      *out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tls_worker_index = index;
+  tls_pool = this;
+  Task task;
+  for (;;) {
+    if (TryGetTask(index, &task)) {
+      task(index);
+      task = nullptr;  // release captures before signaling idle
+      if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(idle_mu_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    if (stop_.load(std::memory_order_acquire)) return;
+    // The bounded wait is a backstop against any wakeup race the
+    // notify-under-lock in Submit() does not already close.
+    work_cv_.wait_for(lock, std::chrono::milliseconds(10), [&] {
+      return stop_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+  }
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  idle_cv_.wait(lock, [&] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace gdlog

@@ -1,0 +1,81 @@
+#ifndef GDLOG_UTIL_THREAD_POOL_H_
+#define GDLOG_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gdlog {
+
+/// A work-stealing task pool for the parallel chase (and any future
+/// fan-out workload). Each worker owns a deque: it pushes and pops its own
+/// work LIFO — so a tree-shaped computation explores depth-first and keeps
+/// the frontier small — and steals FIFO from the front of a victim's deque
+/// when its own runs dry, which hands over the oldest (largest-subtree)
+/// items, the classic work-stealing heuristic.
+///
+/// Tasks receive the index of the worker running them (0 .. workers()-1),
+/// which callers use to index per-worker accumulators without locking.
+/// Tasks may Submit() further tasks; WaitIdle() returns only once every
+/// task, including transitively spawned ones, has finished. Tasks must not
+/// throw (the engine reports failures through Status side channels).
+class ThreadPool {
+ public:
+  using Task = std::function<void(size_t worker)>;
+
+  /// Spawns `workers` threads (at least 1). The constructing thread never
+  /// runs tasks; it coordinates via Submit()/WaitIdle().
+  explicit ThreadPool(size_t workers);
+
+  /// Joins all workers. Pending tasks are drained first (the destructor
+  /// calls WaitIdle()).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t workers() const { return queues_.size(); }
+
+  /// Enqueues a task. Called from a worker, the task lands on that
+  /// worker's own deque (LIFO locality); called from outside, tasks are
+  /// distributed round-robin.
+  void Submit(Task task);
+
+  /// Blocks until no task is queued or running.
+  void WaitIdle();
+
+  /// std::thread::hardware_concurrency(), clamped to at least 1.
+  static size_t DefaultWorkerCount();
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void WorkerLoop(size_t index);
+  /// Pops from the back of worker `index`'s own deque, else steals from the
+  /// front of another's. Returns false when every deque is empty.
+  bool TryGetTask(size_t index, Task* out);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> threads_;
+
+  std::mutex idle_mu_;
+  std::condition_variable work_cv_;   ///< signaled when a task is queued
+  std::condition_variable idle_cv_;   ///< signaled when inflight_ hits 0
+  std::atomic<size_t> inflight_{0};   ///< queued + running tasks
+  std::atomic<size_t> queued_{0};     ///< queued, not yet picked up
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_UTIL_THREAD_POOL_H_

@@ -38,6 +38,20 @@ TEST(FactStore, RowsPreserveInsertionOrder) {
   EXPECT_TRUE(store.Rows(99).empty());
 }
 
+TEST(FactStore, RowsForUnknownPredicateIsAllocationFreeStatic) {
+  // Unknown predicates must all map to the one shared function-local
+  // static empty vector — no per-call allocation, and a stable address the
+  // caller may hold across calls.
+  FactStore store;
+  store.Insert(1, {Value::Int(1)});
+  const std::vector<Tuple>& a = store.Rows(404);
+  const std::vector<Tuple>& b = store.Rows(405);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(&a, &b);
+  FactStore other;
+  EXPECT_EQ(&other.Rows(404), &a);  // shared across stores too
+}
+
 TEST(FactStore, IndexLookupFindsMatchingRows) {
   FactStore store;
   for (int i = 0; i < 10; ++i) {

@@ -1,0 +1,311 @@
+// Parallel frontier chase: Explore with 1, 2, and 8 workers must produce
+// bit-identical outcome spaces — same outcomes in the same (canonical)
+// order, same probabilities, same models, same masses — on the paper's
+// examples, with and without trigger shuffling (Lemma 4.4), with both
+// grounders, and under infinite-support truncation. Also covers the
+// concurrency-bearing utilities underneath: the work-stealing ThreadPool
+// and the copy-on-write FactStore.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gdatalog/engine.h"
+#include "ground/fact_store.h"
+#include "util/thread_pool.h"
+
+namespace gdlog {
+namespace {
+
+constexpr const char* kNetworkProgram = R"(
+  infected(Y, flip<0.1>[X, Y]) :- infected(X, 1), connected(X, Y).
+  uninfected(X) :- router(X), not infected(X, 1).
+  :- uninfected(X), uninfected(Y), connected(X, Y).
+)";
+
+std::string Clique(int n) {
+  std::string db;
+  for (int i = 1; i <= n; ++i) db += "router(" + std::to_string(i) + ").\n";
+  for (int i = 1; i <= n; ++i) {
+    for (int j = 1; j <= n; ++j) {
+      if (i != j) {
+        db += "connected(" + std::to_string(i) + ", " + std::to_string(j) +
+              ").\n";
+      }
+    }
+  }
+  db += "infected(1, 1).\n";
+  return db;
+}
+
+constexpr const char* kDimeQuarterProgram = R"(
+  dimetail(X, flip<0.5>[X]) :- dime(X).
+  somedimetail :- dimetail(X, 1).
+  quartertail(X, flip<0.5>[X]) :- quarter(X), not somedimetail.
+)";
+constexpr const char* kDimeQuarterDb = "dime(1). dime(2). quarter(3).";
+
+/// Asserts that `a` and `b` are the same outcome space, element by element
+/// and in the same order (the merge sorts canonically for every thread
+/// count, so equality must hold positionally, not just as sets).
+void ExpectIdenticalSpaces(const OutcomeSpace& a, const OutcomeSpace& b,
+                           const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_TRUE(a.outcomes[i].choices == b.outcomes[i].choices)
+        << "outcome " << i;
+    EXPECT_EQ(a.outcomes[i].prob, b.outcomes[i].prob) << "outcome " << i;
+    EXPECT_EQ(a.outcomes[i].models, b.outcomes[i].models) << "outcome " << i;
+  }
+  EXPECT_EQ(a.finite_mass, b.finite_mass);
+  EXPECT_EQ(a.residual_mass(), b.residual_mass());
+  EXPECT_EQ(a.support_truncation_mass, b.support_truncation_mass);
+  EXPECT_EQ(a.depth_truncated_paths, b.depth_truncated_paths);
+  EXPECT_EQ(a.pruned_paths, b.pruned_paths);
+  EXPECT_EQ(a.complete, b.complete);
+}
+
+struct DeterminismCase {
+  const char* label;
+  const char* program;
+  std::string db;
+  uint64_t trigger_shuffle_seed;
+  GrounderKind grounder;
+};
+
+class ParallelDeterminismTest
+    : public ::testing::TestWithParam<DeterminismCase> {};
+
+TEST_P(ParallelDeterminismTest, SameSpaceForEveryThreadCount) {
+  const DeterminismCase& c = GetParam();
+  GDatalog::Options options;
+  options.grounder = c.grounder;
+  auto engine = GDatalog::Create(c.program, c.db, std::move(options));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  ChaseOptions serial;
+  serial.num_threads = 1;
+  serial.trigger_shuffle_seed = c.trigger_shuffle_seed;
+  auto base = engine->Infer(serial);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  EXPECT_TRUE(base->complete);
+
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    ChaseOptions parallel = serial;
+    parallel.num_threads = threads;
+    auto space = engine->Infer(parallel);
+    ASSERT_TRUE(space.ok()) << space.status().ToString();
+    ExpectIdenticalSpaces(*base, *space,
+                          std::string(c.label) + " threads=" +
+                              std::to_string(threads));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperExamples, ParallelDeterminismTest,
+    ::testing::Values(
+        DeterminismCase{"network-auto", kNetworkProgram, Clique(3), 0,
+                        GrounderKind::kAuto},
+        DeterminismCase{"network-simple-incremental", kNetworkProgram,
+                        Clique(3), 0, GrounderKind::kSimple},
+        DeterminismCase{"network-shuffled", kNetworkProgram, Clique(3),
+                        31337, GrounderKind::kAuto},
+        DeterminismCase{"network-n4-shuffled", kNetworkProgram, Clique(4),
+                        99, GrounderKind::kSimple},
+        DeterminismCase{"dime-quarter", kDimeQuarterProgram, kDimeQuarterDb,
+                        0, GrounderKind::kAuto},
+        DeterminismCase{"dime-quarter-shuffled", kDimeQuarterProgram,
+                        kDimeQuarterDb, 17, GrounderKind::kSimple}));
+
+TEST(ParallelChase, AutoThreadCountMatchesSerial) {
+  auto engine = GDatalog::Create(kNetworkProgram, Clique(3));
+  ASSERT_TRUE(engine.ok());
+  ChaseOptions serial;
+  serial.num_threads = 1;
+  ChaseOptions auto_threads;
+  auto_threads.num_threads = 0;  // hardware concurrency
+  auto a = engine->Infer(serial);
+  auto b = engine->Infer(auto_threads);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectIdenticalSpaces(*a, *b, "auto thread count");
+}
+
+TEST(ParallelChase, SupportTruncationMassIsThreadCountInvariant) {
+  // Countably infinite support: the residual accounting (truncation mass
+  // summed in canonical node order) must not depend on which worker
+  // truncated which node.
+  auto engine = GDatalog::Create(
+      "n(X, geometric<0.5>[X]) :- item(X).", "item(1). item(2). item(3).");
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ChaseOptions serial;
+  serial.num_threads = 1;
+  serial.support_limit = 6;
+  auto base = engine->Infer(serial);
+  ASSERT_TRUE(base.ok());
+  EXPECT_FALSE(base->complete);
+  EXPECT_LT(base->finite_mass.value(), 1.0);
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    ChaseOptions parallel = serial;
+    parallel.num_threads = threads;
+    auto space = engine->Infer(parallel);
+    ASSERT_TRUE(space.ok());
+    ExpectIdenticalSpaces(*base, *space,
+                          "truncation threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelChase, MaxOutcomesBudgetIsRespectedUnderParallelism) {
+  auto engine = GDatalog::Create(kNetworkProgram, Clique(3));
+  ASSERT_TRUE(engine.ok());
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    ChaseOptions options;
+    options.num_threads = threads;
+    options.max_outcomes = 3;
+    auto space = engine->Infer(options);
+    ASSERT_TRUE(space.ok());
+    // Which outcomes are enumerated under a binding budget is
+    // schedule-dependent; the count and the incompleteness flag are not.
+    EXPECT_EQ(space->outcomes.size(), 3u) << "threads=" << threads;
+    EXPECT_FALSE(space->complete) << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTaskIncludingNestedSpawns) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.workers(), 4u);
+  std::atomic<int> count{0};
+  // A binary spawn tree of depth 8: 2^8 - 1 = 255 tasks in total.
+  std::function<void(int)> spawn_tree = [&](int depth) {
+    pool.Submit([&, depth](size_t worker) {
+      EXPECT_LT(worker, 4u);
+      count.fetch_add(1);
+      if (depth > 1) {
+        spawn_tree(depth - 1);
+        spawn_tree(depth - 1);
+      }
+    });
+  };
+  spawn_tree(8);
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 255);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&](size_t) { count.fetch_add(1); });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(count.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, DefaultWorkerCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultWorkerCount(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Copy-on-write FactStore
+// ---------------------------------------------------------------------------
+
+TEST(FactStoreCow, CopiesAreIndependent) {
+  FactStore base;
+  base.Insert(1, {Value::Int(1), Value::Int(2)});
+  base.Insert(1, {Value::Int(3), Value::Int(4)});
+  base.Insert(2, {Value::Int(5)});
+
+  FactStore copy = base;
+  EXPECT_EQ(copy.size(), 3u);
+  EXPECT_TRUE(copy.Contains(1, {Value::Int(1), Value::Int(2)}));
+
+  // Writing to the copy must not leak into the base, and vice versa.
+  copy.Insert(1, {Value::Int(9), Value::Int(9)});
+  EXPECT_EQ(copy.Count(1), 3u);
+  EXPECT_EQ(base.Count(1), 2u);
+  base.Insert(2, {Value::Int(6)});
+  EXPECT_EQ(base.Count(2), 2u);
+  EXPECT_EQ(copy.Count(2), 1u);
+}
+
+TEST(FactStoreCow, BuiltIndicesSurviveCopyAndStayCorrect) {
+  FactStore base;
+  base.Insert(1, {Value::Int(1), Value::Int(10)});
+  base.Insert(1, {Value::Int(1), Value::Int(20)});
+  base.Insert(1, {Value::Int(2), Value::Int(30)});
+  const auto* ones = base.IndexLookup(1, 0, Value::Int(1));
+  ASSERT_NE(ones, nullptr);
+  EXPECT_EQ(ones->size(), 2u);
+
+  FactStore copy = base;
+  copy.Insert(1, {Value::Int(1), Value::Int(40)});
+  const auto* copy_ones = copy.IndexLookup(1, 0, Value::Int(1));
+  ASSERT_NE(copy_ones, nullptr);
+  EXPECT_EQ(copy_ones->size(), 3u);
+  // The base's index is untouched by the copy's insert.
+  ones = base.IndexLookup(1, 0, Value::Int(1));
+  ASSERT_NE(ones, nullptr);
+  EXPECT_EQ(ones->size(), 2u);
+}
+
+TEST(FactStoreCow, FrozenStoreServesConcurrentReaders) {
+  FactStore store;
+  for (int i = 0; i < 100; ++i) {
+    store.Insert(1, {Value::Int(i % 7), Value::Int(i)});
+  }
+  store.Freeze();
+  ASSERT_TRUE(store.frozen());
+  std::vector<std::thread> readers;
+  std::atomic<int> hits{0};
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        const auto* rows = store.IndexLookup(1, 0, Value::Int(i % 7));
+        if (rows != nullptr && !rows->empty()) hits.fetch_add(1);
+        FactStore copy = store;  // cheap shared-relation copy
+        if (copy.Count(1) == 100) hits.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(hits.load(), 8 * 200 * 2);
+}
+
+TEST(FactStoreCow, LazyIndexBuildIsSafeAcrossSharingCopies) {
+  // Two copies sharing one relation, each lazily building indices from its
+  // own thread: call_once must serialize the build on the shared storage.
+  FactStore base;
+  for (int i = 0; i < 50; ++i) {
+    base.Insert(1, {Value::Int(i % 5), Value::Int(i)});
+  }
+  FactStore a = base;
+  FactStore b = base;
+  std::thread ta([&] {
+    for (int i = 0; i < 100; ++i) {
+      a.IndexLookup(1, 0, Value::Int(i % 5));
+      a.IndexLookup(1, 1, Value::Int(i % 50));
+    }
+  });
+  std::thread tb([&] {
+    for (int i = 0; i < 100; ++i) {
+      b.IndexLookup(1, 0, Value::Int(i % 5));
+      b.IndexLookup(1, 1, Value::Int(i % 50));
+    }
+  });
+  ta.join();
+  tb.join();
+  const auto* rows = base.IndexLookup(1, 0, Value::Int(0));
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->size(), 10u);
+}
+
+}  // namespace
+}  // namespace gdlog

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Records google-benchmark baselines for every experiment binary
+# (build/bench/bench_e*) into BENCH_BASELINE.json, keyed by binary name,
+# so perf PRs have numbers to beat. Each binary's verification table goes
+# to the console; the timing data goes through --benchmark_format=json.
+#
+# Usage: tools/bench_baseline.sh [build_dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir=${1:-build}
+out=BENCH_BASELINE.json
+
+if ! ls "$build_dir"/bench/bench_e* >/dev/null 2>&1; then
+  echo "error: no bench binaries under $build_dir/bench (configure with" \
+       "google-benchmark installed and build first)" >&2
+  exit 1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+for bin in "$build_dir"/bench/bench_e*; do
+  [ -x "$bin" ] || continue
+  name=$(basename "$bin")
+  echo "== $name" >&2
+  "$bin" --benchmark_out="$tmp/$name.json" --benchmark_out_format=json \
+    >/dev/null
+done
+
+python3 - "$tmp" > "$out" <<'EOF'
+import json, os, sys
+
+directory = sys.argv[1]
+merged = {
+    "_meta": {
+        "note": "Baselines recorded by tools/bench_baseline.sh; "
+                "re-run it after perf work and compare real_time per "
+                "benchmark. The recording host's core count is in each "
+                "entry's context.num_cpus — thread-scaling rows "
+                "(e.g. BM_NetworkExact_Clique4_Threads) only show "
+                "speedup when num_cpus > 1.",
+    }
+}
+for filename in sorted(os.listdir(directory)):
+    with open(os.path.join(directory, filename)) as fh:
+        merged[filename[: -len(".json")]] = json.load(fh)
+print(json.dumps(merged, indent=1, sort_keys=True))
+EOF
+
+echo "wrote $out" >&2

@@ -15,6 +15,11 @@
 //   --max-outcomes N      exact-mode outcome budget       (default 1<<20)
 //   --max-depth N         chase depth budget              (default 4096)
 //   --support-limit N     truncation of infinite supports (default 64)
+//   --threads N           exact-mode chase workers (0 = one per hardware
+//                         thread, 1 = serial; default 0). Results are
+//                         identical for any N when no budget binds.
+//   --extensions          also register the extension distributions
+//                         (zipf, normalgrid)
 //   --condition           condition marginals on consistency
 //   --json                exact mode: emit machine-readable JSON (sections
 //                         controlled by --outcomes / --events) and exit
@@ -24,6 +29,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -45,11 +51,13 @@ struct CliOptions {
   bool condition = false;
   bool dot = false;
   bool json = false;
+  bool extensions = false;
   size_t mc_samples = 0;  // 0 = exact
   uint64_t seed = 2023;
   size_t max_outcomes = 1u << 20;
   size_t max_depth = 4096;
   size_t support_limit = 64;
+  size_t threads = 0;  // 0 = hardware concurrency
 };
 
 [[noreturn]] void Usage(const char* argv0, const char* error = nullptr) {
@@ -59,7 +67,7 @@ struct CliOptions {
                "          [--query ATOM]... [--events] [--outcomes]\n"
                "          [--mc N] [--seed S] [--max-outcomes N]\n"
                "          [--max-depth N] [--support-limit N] [--condition]\n"
-               "          [--json] [--dot]\n",
+               "          [--threads N] [--extensions] [--json] [--dot]\n",
                argv0);
   std::exit(2);
 }
@@ -111,6 +119,10 @@ CliOptions ParseArgs(int argc, char** argv) {
       opts.max_depth = std::strtoull(need_value(i), nullptr, 10);
     } else if (!std::strcmp(arg, "--support-limit")) {
       opts.support_limit = std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--threads")) {
+      opts.threads = std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--extensions")) {
+      opts.extensions = true;
     } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
       Usage(argv[0]);
     } else {
@@ -126,6 +138,7 @@ int RunExact(const gdlog::GDatalog& engine, const CliOptions& opts) {
   chase.max_outcomes = opts.max_outcomes;
   chase.max_depth = opts.max_depth;
   chase.support_limit = opts.support_limit;
+  chase.num_threads = opts.threads;
   auto space = engine.Infer(chase);
   if (!space.ok()) {
     std::fprintf(stderr, "inference error: %s\n",
@@ -264,6 +277,16 @@ int main(int argc, char** argv) {
   std::string db_text = opts.db_path.empty() ? "" : ReadFile(opts.db_path);
 
   gdlog::GDatalog::Options engine_options;
+  if (opts.extensions) {
+    auto registry = std::make_unique<gdlog::DistributionRegistry>(
+        gdlog::DistributionRegistry::Builtins());
+    auto st = gdlog::RegisterExtensionDistributions(registry.get());
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    engine_options.registry = std::move(registry);
+  }
   if (opts.grounder == "simple") {
     engine_options.grounder = gdlog::GrounderKind::kSimple;
   } else if (opts.grounder == "perfect") {
