@@ -840,6 +840,11 @@ class PoissonDist : public Distribution {
 
 class NormalGridDist : public Distribution {
  public:
+  /// `max_half_cells` is the grid half-width cap K (ExtensionOptions);
+  /// range-checked by RegisterExtensionDistributions.
+  explicit NormalGridDist(int64_t max_half_cells)
+      : max_half_cells_(max_half_cells) {}
+
   std::string_view name() const override { return "normalgrid"; }
   bool AcceptsDim(size_t dim) const override { return dim == 3; }
 
@@ -928,14 +933,18 @@ class NormalGridDist : public Distribution {
   }
 
   /// Parsed grid for `params`, or nullptr on invalid parameters. Cached —
-  /// the renormalization constant sums up to 8193 erf cells, far too hot
-  /// to redo per Pmf call.
+  /// the renormalization constant sums up to 2K+1 erf cells (8193 at the
+  /// default cap), far too hot to redo per Pmf call.
   std::shared_ptr<const Grid> GetGrid(
       const std::vector<Value>& params) const {
-    return cache_.Get(params, ParseParams);
+    int64_t cap = max_half_cells_;
+    return cache_.Get(params, [cap](const std::vector<Value>& p, Grid* g) {
+      return ParseParams(p, g, cap);
+    });
   }
 
-  static bool ParseParams(const std::vector<Value>& params, Grid* grid) {
+  static bool ParseParams(const std::vector<Value>& params, Grid* grid,
+                          int64_t max_half_cells) {
     if (params.size() != 3 || !IsFiniteNumeric(params[0]) ||
         !IsFiniteNumeric(params[1]) || !IsFiniteNumeric(params[2])) {
       return false;
@@ -958,7 +967,9 @@ class NormalGridDist : public Distribution {
     // Clamp in the double domain: σ/Δx can exceed int64 range.
     double cells = std::ceil(8.0 * grid->sigma / grid->step);
     if (!(cells >= 1.0)) cells = 1.0;
-    if (cells > 4096.0) cells = 4096.0;
+    if (cells > static_cast<double>(max_half_cells)) {
+      cells = static_cast<double>(max_half_cells);
+    }
     grid->half_cells = static_cast<int64_t>(cells);
     size_t cells_count = static_cast<size_t>(2 * grid->half_cells + 1);
     grid->weights.clear();
@@ -976,6 +987,7 @@ class NormalGridDist : public Distribution {
     return true;
   }
 
+  int64_t max_half_cells_;
   ParamTableCache<Grid> cache_;
 };
 
@@ -1146,8 +1158,20 @@ DistributionRegistry DistributionRegistry::Builtins() {
   return registry;
 }
 
-Status RegisterExtensionDistributions(DistributionRegistry* registry) {
-  GDLOG_RETURN_IF_ERROR(registry->Register(std::make_unique<NormalGridDist>()));
+Status RegisterExtensionDistributions(DistributionRegistry* registry,
+                                      const ExtensionOptions& options) {
+  // The cap bounds both enumeration and the cached weight tables; the
+  // upper limit matches kMaxEnumerable so a single grid can never claim a
+  // support the chase would refuse to materialize elsewhere.
+  constexpr int64_t kMaxHalfCellsLimit = int64_t{1} << 20;
+  if (options.normalgrid_max_half_cells < 1 ||
+      options.normalgrid_max_half_cells > kMaxHalfCellsLimit) {
+    return Status::InvalidArgument(
+        "normalgrid_max_half_cells must be in [1, 2^20], got " +
+        std::to_string(options.normalgrid_max_half_cells));
+  }
+  GDLOG_RETURN_IF_ERROR(registry->Register(
+      std::make_unique<NormalGridDist>(options.normalgrid_max_half_cells)));
   GDLOG_RETURN_IF_ERROR(registry->Register(std::make_unique<ZipfDist>()));
   return Status::OK();
 }

@@ -89,10 +89,23 @@ class DistributionRegistry {
   std::map<std::string, std::unique_ptr<Distribution>, std::less<>> by_name_;
 };
 
+/// Knobs for the extension distributions.
+struct ExtensionOptions {
+  /// Half-width cap K on normalgrid's enumeration grid: the grid spans
+  /// k ∈ [-K, K] around μ, so at most 2K+1 cells are materialized no
+  /// matter how small the step is relative to σ (renormalization keeps the
+  /// distribution total). Larger caps buy finer grids at the price of
+  /// enumeration and per-parameter-table memory. Valid range [1, 2^20].
+  int64_t normalgrid_max_half_cells = 4096;
+};
+
 /// Adds the extension distributions to `registry`: "normalgrid" (a
 /// discretized Gaussian over the grid μ + kΔx whose cell masses
 /// renormalize to 1) and "zipf" (Zipf over ranks 1..N with exponent s).
-Status RegisterExtensionDistributions(DistributionRegistry* registry);
+/// Fails with kInvalidArgument when an option is out of range.
+Status RegisterExtensionDistributions(DistributionRegistry* registry,
+                                      const ExtensionOptions& options =
+                                          ExtensionOptions{});
 
 }  // namespace gdlog
 

@@ -1,11 +1,11 @@
 #include "gdatalog/chase.h"
 
 #include <algorithm>
-#include <atomic>
 #include <functional>
-#include <mutex>
 #include <utility>
 
+#include "gdatalog/chase_internal.h"
+#include "gdatalog/shard.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
 
@@ -35,51 +35,6 @@ uint64_t HashChoices(const ChoiceSet& choices) {
 }
 
 }  // namespace
-
-/// One chase node awaiting expansion. The parent's grounding fixpoint
-/// state is shared read-only (never mutated after the parent finishes);
-/// each child clones it and extends the clone.
-struct ChaseEngine::WorkItem {
-  ChoiceSet choices;
-  Prob path_prob = Prob::One();
-  size_t depth = 0;
-  std::shared_ptr<const GroundRuleSet> parent_grounding;  ///< null at root
-  std::shared_ptr<const FactStore> parent_heads;
-  GroundAtom new_active;  ///< the choice added vs. the parent; valid iff
-                          ///< parent_grounding != nullptr
-};
-
-struct ChaseEngine::ExploreState {
-  const ChaseOptions* options = nullptr;
-  bool incremental = false;
-
-  /// Leaves enumerated so far (monotone; fetch_add reserves a slot, so at
-  /// most max_outcomes outcomes are ever recorded).
-  std::atomic<size_t> outcome_count{0};
-  std::atomic<bool> budget_hit{false};
-  std::atomic<bool> failed{false};
-  std::mutex error_mu;
-  Status first_error = Status::OK();
-
-  /// Per-worker accumulators; merged deterministically after the frontier
-  /// drains (no locking on the hot path).
-  struct Partial {
-    std::vector<PossibleOutcome> outcomes;
-    /// Support-truncation contributions: (node's choice set, tail mass).
-    /// Kept keyed so the merge can sum them in canonical order — double
-    /// (inexact) masses then round identically for every thread count.
-    std::vector<std::pair<ChoiceSet, Prob>> truncations;
-    size_t depth_truncated = 0;
-    size_t pruned = 0;
-  };
-  std::vector<Partial> partials;
-
-  void RecordError(const Status& status) {
-    std::lock_guard<std::mutex> lock(error_mu);
-    if (first_error.ok()) first_error = status;
-    failed.store(true, std::memory_order_release);
-  }
-};
 
 Result<StableModelSet> ChaseEngine::SolveOutcome(
     const ChoiceSet& choices, const GroundRuleSet& grounding,
@@ -122,9 +77,18 @@ void ChaseEngine::ProcessNode(ExploreState& state, WorkItem item,
                               size_t worker,
                               std::vector<WorkItem>* children) const {
   const ChaseOptions& options = *state.options;
-  ExploreState::Partial& partial = state.partials[worker];
+  PartialSpace& partial = state.partials[worker];
 
   if (state.failed.load(std::memory_order_acquire)) return;
+  // Plan mode: nodes at the prefix depth become shard tasks as-is — all
+  // remaining checks (pruning, budgets) re-run identically when the shard
+  // that owns the task processes it.
+  if (state.plan_tasks != nullptr && item.depth >= state.plan_prefix_depth) {
+    ++state.plan_cut_tasks;
+    state.plan_tasks->push_back(
+        ShardTask{std::move(item.choices), item.path_prob});
+    return;
+  }
   if (options.max_outcomes != 0 &&
       state.outcome_count.load(std::memory_order_relaxed) >=
           options.max_outcomes) {
@@ -133,7 +97,7 @@ void ChaseEngine::ProcessNode(ExploreState& state, WorkItem item,
   }
   if (options.min_path_prob > 0.0 &&
       item.path_prob.value() < options.min_path_prob) {
-    ++partial.pruned;
+    ++partial.pruned_paths;
     state.budget_hit.store(true, std::memory_order_relaxed);
     return;
   }
@@ -170,6 +134,14 @@ void ChaseEngine::ProcessNode(ExploreState& state, WorkItem item,
   if (triggers.empty()) {
     // A leaf: λ(v) is a terminal — the result of this finite maximal path
     // is the possible outcome Σ ∪ G(Σ) with Pr = Π δ⟨p̄⟩(o).
+    if (state.plan_tasks != nullptr) {
+      // Leaves above the prefix cut become tasks too: the owning shard
+      // re-grounds them and emits the outcome (with its models), so the
+      // planner never solves models and the plan stays cheap.
+      state.plan_tasks->push_back(
+          ShardTask{std::move(item.choices), item.path_prob});
+      return;
+    }
     if (options.max_outcomes != 0) {
       size_t slot =
           state.outcome_count.fetch_add(1, std::memory_order_relaxed);
@@ -198,7 +170,7 @@ void ChaseEngine::ProcessNode(ExploreState& state, WorkItem item,
   }
 
   if (item.depth >= options.max_depth) {
-    ++partial.depth_truncated;
+    ++partial.depth_truncated_paths;
     state.budget_hit.store(true, std::memory_order_relaxed);
     return;
   }
@@ -259,6 +231,43 @@ void ChaseEngine::ProcessNode(ExploreState& state, WorkItem item,
   }
 }
 
+void ChaseEngine::DrainFrontier(ExploreState& state,
+                                std::vector<WorkItem> roots) const {
+  if (state.partials.size() == 1) {
+    // Serial: an explicit LIFO stack reproduces the former recursive DFS,
+    // including which outcomes are enumerated when a budget binds.
+    // Reversed pushes make the stack pop roots (and, below, children) in
+    // their given order.
+    std::vector<WorkItem> stack;
+    std::vector<WorkItem> children;
+    stack.reserve(roots.size());
+    for (size_t i = roots.size(); i > 0; --i) {
+      stack.push_back(std::move(roots[i - 1]));
+    }
+    while (!stack.empty()) {
+      WorkItem item = std::move(stack.back());
+      stack.pop_back();
+      children.clear();
+      ProcessNode(state, std::move(item), /*worker=*/0, &children);
+      for (size_t i = children.size(); i > 0; --i) {
+        stack.push_back(std::move(children[i - 1]));
+      }
+    }
+    return;
+  }
+  ThreadPool pool(state.partials.size());
+  std::function<void(WorkItem)> enqueue = [&](WorkItem item) {
+    auto boxed = std::make_shared<WorkItem>(std::move(item));
+    pool.Submit([this, &state, &enqueue, boxed](size_t worker) {
+      std::vector<WorkItem> children;
+      ProcessNode(state, std::move(*boxed), worker, &children);
+      for (WorkItem& child : children) enqueue(std::move(child));
+    });
+  };
+  for (WorkItem& root : roots) enqueue(std::move(root));
+  pool.WaitIdle();
+}
+
 Result<OutcomeSpace> ChaseEngine::Explore(const ChaseOptions& options) const {
   ExploreState state;
   state.options = &options;
@@ -271,80 +280,19 @@ Result<OutcomeSpace> ChaseEngine::Explore(const ChaseOptions& options) const {
   if (workers < 1) workers = 1;
   state.partials.resize(workers);
 
-  WorkItem root;
-  if (workers == 1) {
-    // Serial: an explicit LIFO stack reproduces the former recursive DFS,
-    // including which outcomes are enumerated when a budget binds.
-    std::vector<WorkItem> stack;
-    std::vector<WorkItem> children;
-    stack.push_back(std::move(root));
-    while (!stack.empty()) {
-      WorkItem item = std::move(stack.back());
-      stack.pop_back();
-      children.clear();
-      ProcessNode(state, std::move(item), /*worker=*/0, &children);
-      // Reversed so the stack pops children in support order (DFS parity).
-      for (size_t i = children.size(); i > 0; --i) {
-        stack.push_back(std::move(children[i - 1]));
-      }
-    }
-  } else {
-    ThreadPool pool(workers);
-    std::function<void(WorkItem)> enqueue = [&](WorkItem item) {
-      auto boxed = std::make_shared<WorkItem>(std::move(item));
-      pool.Submit([this, &state, &enqueue, boxed](size_t worker) {
-        std::vector<WorkItem> children;
-        ProcessNode(state, std::move(*boxed), worker, &children);
-        for (WorkItem& child : children) enqueue(std::move(child));
-      });
-    };
-    enqueue(std::move(root));
-    pool.WaitIdle();
-  }
+  std::vector<WorkItem> roots(1);
+  DrainFrontier(state, std::move(roots));
 
   if (!state.first_error.ok()) return state.first_error;
 
-  // Deterministic merge: gather the per-worker partials, order everything
-  // by the canonical choice-set order, and only then accumulate masses.
+  // Deterministic merge (shard.cc): order everything by the canonical
+  // choice-set order across all partials, only then accumulate masses.
   // The set of enumerated leaves is schedule-independent whenever no
   // budget binds (Lemma 4.4 order-invariance), so sorting makes the whole
   // OutcomeSpace — including the rounding of inexact double masses —
-  // bit-identical for every thread count.
-  OutcomeSpace space;
-  size_t total_outcomes = 0;
-  for (const ExploreState::Partial& partial : state.partials) {
-    total_outcomes += partial.outcomes.size();
-  }
-  space.outcomes.reserve(total_outcomes);
-  std::vector<std::pair<ChoiceSet, Prob>> truncations;
-  for (ExploreState::Partial& partial : state.partials) {
-    for (PossibleOutcome& outcome : partial.outcomes) {
-      space.outcomes.push_back(std::move(outcome));
-    }
-    for (auto& truncation : partial.truncations) {
-      truncations.push_back(std::move(truncation));
-    }
-    space.depth_truncated_paths += partial.depth_truncated;
-    space.pruned_paths += partial.pruned;
-  }
-  std::sort(space.outcomes.begin(), space.outcomes.end(),
-            [](const PossibleOutcome& a, const PossibleOutcome& b) {
-              return a.choices < b.choices;
-            });
-  for (const PossibleOutcome& outcome : space.outcomes) {
-    space.finite_mass = space.finite_mass + outcome.prob;
-  }
-  std::sort(truncations.begin(), truncations.end(),
-            [](const std::pair<ChoiceSet, Prob>& a,
-               const std::pair<ChoiceSet, Prob>& b) {
-              return a.first < b.first;
-            });
-  for (const auto& [choices, tail] : truncations) {
-    (void)choices;
-    space.support_truncation_mass = space.support_truncation_mass + tail;
-  }
-  space.complete = !state.budget_hit.load(std::memory_order_relaxed);
-  return space;
+  // bit-identical for every thread count, and likewise for every shard
+  // count when the partials come from ExploreShard.
+  return MergePartialSpaces(state.TakePartials(), options.max_outcomes);
 }
 
 Result<ChaseEngine::PathSample> ChaseEngine::SamplePath(

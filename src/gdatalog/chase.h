@@ -11,6 +11,9 @@
 
 namespace gdlog {
 
+struct ShardPlan;
+struct PartialSpace;
+
 /// Budgets and knobs for chase-tree exploration (§4). The chase tree of a
 /// program may be infinite (countably infinite distribution supports,
 /// non-terminating value invention); exploration therefore carries budgets,
@@ -74,6 +77,24 @@ class ChaseEngine {
   /// described on ChaseOptions::num_threads.
   Result<OutcomeSpace> Explore(const ChaseOptions& options) const;
 
+  /// Plans a decomposition of the chase tree into `num_shards` shards by
+  /// expanding the first `prefix_depth` choice levels serially and
+  /// partitioning the resulting frontier (shard.h). `prefix_depth` 0 picks
+  /// the smallest depth whose frontier holds at least a few tasks per
+  /// shard. The plan is deterministic — independent processes recompute
+  /// the identical plan — and cheap (only the prefix levels are grounded).
+  Result<ShardPlan> PlanShards(const ChaseOptions& options, size_t num_shards,
+                               size_t prefix_depth = 0) const;
+
+  /// Executes one shard of `plan`: explores the subtree below every task
+  /// assigned to `shard_index`, using the parallel frontier per
+  /// ChaseOptions::num_threads, and returns the pre-merge partial (sorted
+  /// canonically, so the serialized partial is identical for every thread
+  /// count). Shard 0 additionally carries the plan-level accounting.
+  /// Recombine with MergePartialSpaces (shard.h).
+  Result<PartialSpace> ExploreShard(const ShardPlan& plan, size_t shard_index,
+                                    const ChaseOptions& options) const;
+
   /// One random maximal path: every trigger is resolved by sampling the
   /// distribution. `truncated` is set when the depth budget aborted the
   /// walk (an Ω∞/error-event sample).
@@ -102,10 +123,17 @@ class ChaseEngine {
   struct WorkItem;
   /// Expands one chase node: grounds it, emits the outcome when it is a
   /// leaf, otherwise resolves one trigger and appends one child work item
-  /// per support outcome to `children`. Thread-safe: touches only
-  /// `state`'s atomics, the worker's partial space, and the item itself.
+  /// per support outcome to `children`. In plan mode (state.plan_tasks
+  /// != nullptr) frontier nodes — those at the prefix depth, plus leaves
+  /// above it — are recorded as shard tasks instead of being expanded.
+  /// Thread-safe: touches only `state`'s atomics, the worker's partial
+  /// space, and the item itself.
   void ProcessNode(ExploreState& state, WorkItem item, size_t worker,
                    std::vector<WorkItem>* children) const;
+  /// Drains `roots` and everything they spawn: serially on an explicit
+  /// LIFO stack when state has one partial (DFS parity with the
+  /// pre-parallel engine), on the work-stealing pool otherwise.
+  void DrainFrontier(ExploreState& state, std::vector<WorkItem> roots) const;
 
   const TranslatedProgram* translated_;
   const FactStore* db_;

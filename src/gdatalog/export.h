@@ -2,8 +2,10 @@
 #define GDLOG_GDATALOG_EXPORT_H_
 
 #include <string>
+#include <string_view>
 
 #include "gdatalog/outcome.h"
+#include "gdatalog/shard.h"
 #include "gdatalog/translation.h"
 
 namespace gdlog {
@@ -36,6 +38,25 @@ std::string OutcomeSpaceToJson(const OutcomeSpace& space,
                                const Interner* interner,
                                const JsonExportOptions& options =
                                    JsonExportOptions{});
+
+/// Serializes one shard's partial outcome space (plus its plan coordinates)
+/// to a single-line JSON document. The encoding is lossless — exact
+/// rationals as numerator/denominator, inexact masses and double constants
+/// as hex-float strings, symbols by name — so a partial can cross a process
+/// (or machine) boundary and merge into a space bit-identical to a
+/// single-process run. Groundings are not serialized (keep_groundings has
+/// no sharded counterpart).
+std::string PartialSpaceToJson(const PartialSpace& partial,
+                               const ShardPartialMeta& meta,
+                               const Interner* interner);
+
+/// Parses a document produced by PartialSpaceToJson. Names are resolved
+/// against `interner` by lookup only: the caller must have loaded the same
+/// program (and hence interned the same predicates/symbols) that produced
+/// the partial; unknown names are an error, not an extension point.
+Result<PartialSpace> PartialSpaceFromJson(std::string_view json,
+                                          const Interner& interner,
+                                          ShardPartialMeta* meta);
 
 }  // namespace gdlog
 

@@ -1,0 +1,111 @@
+#ifndef GDLOG_GDATALOG_SHARD_H_
+#define GDLOG_GDATALOG_SHARD_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "gdatalog/chase.h"
+#include "gdatalog/outcome.h"
+
+namespace gdlog {
+
+/// One frontier node of the shard plan: a chase-tree node identified by its
+/// choice-set prefix. Its depth is choices.size() — every chase edge records
+/// exactly one choice — so the prefix alone reconstructs the node (the
+/// grounding G(Σ) is a function of Σ by Definition 3.3).
+struct ShardTask {
+  ChoiceSet choices;
+  Prob path_prob = Prob::One();
+};
+
+/// A shard's (or a worker's) contribution to an outcome space, kept in the
+/// pre-merge representation: outcomes and per-node truncation entries are
+/// carried individually so the final merge can order *everything* by the
+/// canonical choice-set order before accumulating masses — which is what
+/// makes the merged space bit-identical to a single-process run even though
+/// double (inexact) mass sums are order-sensitive.
+struct PartialSpace {
+  std::vector<PossibleOutcome> outcomes;
+  /// Support-truncation contributions: (truncated node's choice set, tail
+  /// mass), summed only at merge time, in canonical order.
+  std::vector<std::pair<ChoiceSet, Prob>> truncations;
+  size_t depth_truncated_paths = 0;
+  size_t pruned_paths = 0;
+  /// True iff some budget (outcome count, depth, support truncation,
+  /// min-path probability) bound while producing this partial.
+  bool budget_hit = false;
+};
+
+/// A deterministic decomposition of the chase tree: the frontier after
+/// expanding every node of the first `prefix_depth` choice levels, in
+/// canonical choice-set order. Task i belongs to shard i % num_shards.
+/// The plan is a pure function of (program, database, grounder, options,
+/// num_shards, prefix_depth), so independent processes — or machines —
+/// recompute the identical plan from the program text alone and never need
+/// to exchange it.
+struct ShardPlan {
+  size_t num_shards = 1;
+  size_t prefix_depth = 0;
+  std::vector<ShardTask> tasks;
+  /// Accounting that accrued while expanding the prefix levels themselves
+  /// (truncated infinite supports, pruned prefixes). Owned by shard 0's
+  /// partial so it is counted exactly once globally.
+  PartialSpace plan_accounting;
+};
+
+/// Identifies a serialized partial for merge-time validation: its shard
+/// coordinates plus the exploration budgets it was produced under.
+/// Partials produced under different budgets (support truncation, depth,
+/// pruning, shuffling) describe different spaces — a merger must refuse
+/// them rather than sum inconsistent masses.
+struct ShardPartialMeta {
+  size_t num_shards = 1;
+  size_t shard_index = 0;
+  size_t prefix_depth = 0;
+  size_t max_outcomes = 0;
+  size_t max_depth = 0;
+  size_t support_limit = 0;
+  uint64_t trigger_shuffle_seed = 0;
+  double min_path_prob = 0.0;
+
+  bool SamePlanAndBudgets(const ShardPartialMeta& other) const {
+    return num_shards == other.num_shards &&
+           prefix_depth == other.prefix_depth &&
+           max_outcomes == other.max_outcomes &&
+           max_depth == other.max_depth &&
+           support_limit == other.support_limit &&
+           trigger_shuffle_seed == other.trigger_shuffle_seed &&
+           min_path_prob == other.min_path_prob;
+  }
+};
+
+/// The meta describing shard `shard_index` of `plan` explored under
+/// `options` — what a worker attaches to its serialized partial.
+ShardPartialMeta MakeShardPartialMeta(const ShardPlan& plan,
+                                      size_t shard_index,
+                                      const ChaseOptions& options);
+
+/// Recombines per-shard partials into the outcome space of the whole chase
+/// tree. Outcomes and truncation entries are sorted in canonical choice-set
+/// order across *all* partials before masses are summed, so for any shard
+/// count (and any thread count within each shard) the result is
+/// bit-identical to ChaseEngine::Explore whenever no budget binds. When
+/// `max_outcomes` != 0 and the union exceeds it, the canonically-first
+/// `max_outcomes` outcomes are kept and the space is marked incomplete
+/// (a single process enumerates a schedule-dependent subset instead; only
+/// the count and the flag are comparable in that regime).
+OutcomeSpace MergePartialSpaces(std::vector<PartialSpace> partials,
+                                size_t max_outcomes);
+
+/// Convenience in-process driver: plans `num_shards` shards, explores each
+/// one (sequentially, in this process) and merges. Used by tests and as a
+/// reference for the subprocess orchestration in gdlog_cli.
+Result<OutcomeSpace> ShardedExplore(const ChaseEngine& engine,
+                                    const ChaseOptions& options,
+                                    size_t num_shards,
+                                    size_t prefix_depth = 0);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_GDATALOG_SHARD_H_

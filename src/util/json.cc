@@ -1,7 +1,9 @@
 #include "util/json.h"
 
 #include <cassert>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 
 namespace gdlog {
 
@@ -105,6 +107,248 @@ JsonWriter& JsonWriter::Null() {
   MaybeComma();
   out_ += "null";
   return *this;
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue — recursive-descent parser.
+// ---------------------------------------------------------------------------
+
+/// Friend of JsonValue; parses one document over a borrowed string_view.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    GDLOG_RETURN_IF_ERROR(ParseValue(&value, /*depth=*/0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Error("trailing content");
+    return value;
+  }
+
+ private:
+  /// Deeper nesting than this is rejected (the recursive descent would
+  /// otherwise turn attacker-sized inputs into stack exhaustion).
+  static constexpr size_t kMaxDepth = 96;
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError("json: " + what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, size_t depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind_ = JsonValue::Kind::kString;
+        return ParseString(&out->scalar_);
+      case 't':
+        if (!ConsumeWord("true")) return Error("bad literal");
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = true;
+        return Status::OK();
+      case 'f':
+        if (!ConsumeWord("false")) return Error("bad literal");
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = false;
+        return Status::OK();
+      case 'n':
+        if (!ConsumeWord("null")) return Error("bad literal");
+        out->kind_ = JsonValue::Kind::kNull;
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, size_t depth) {
+    ++pos_;  // '{'
+    out->kind_ = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      std::string key;
+      GDLOG_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      JsonValue value;
+      GDLOG_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->members_.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, size_t depth) {
+    ++pos_;  // '['
+    out->kind_ = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    for (;;) {
+      JsonValue value;
+      GDLOG_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->array_.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    for (; pos_ < text_.size(); ++pos_) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (++pos_ >= text_.size()) break;
+      switch (text_[pos_]) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 >= text_.size()) return Error("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 1; i <= 4; ++i) {
+            char h = text_[pos_ + i];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+            else return Error("bad \\u escape");
+          }
+          pos_ += 4;
+          // UTF-8 encode the code point (the writer only ever emits
+          // escapes below 0x20, but accept the full BMP on input).
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  // RFC 8259 number grammar: -?int frac? exp?, where int is "0" or a
+  // nonzero-led digit run. strtod would also accept "+1", "01", ".5",
+  // "0x1p3" — forms other JSON tooling rejects, so scan the grammar
+  // explicitly and keep the raw text for callers.
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    Consume('-');
+    auto digits = [&]() -> size_t {
+      size_t n = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (Consume('0')) {
+      // A leading zero stands alone ("0", "0.5"); "01" is not JSON.
+    } else if (digits() == 0) {
+      return Error("bad value");
+    }
+    if (Consume('.') && digits() == 0) return Error("bad number");
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (!Consume('+')) Consume('-');
+      if (digits() == 0) return Error("bad number");
+    }
+    out->kind_ = JsonValue::Kind::kNumber;
+    out->scalar_ = std::string(text_.substr(start, pos_ - start));
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+double JsonValue::NumberAsDouble() const {
+  return std::strtod(scalar_.c_str(), nullptr);
+}
+
+Result<long long> JsonValue::NumberAsInt() const {
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(scalar_.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("json number out of int64 range: " +
+                                   scalar_);
+  }
+  if (end != scalar_.c_str() + scalar_.size()) {
+    return Status::InvalidArgument("json number is not an integer: " +
+                                   scalar_);
+  }
+  return value;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
 }
 
 }  // namespace gdlog

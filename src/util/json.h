@@ -1,7 +1,13 @@
 #ifndef GDLOG_UTIL_JSON_H_
 #define GDLOG_UTIL_JSON_H_
 
+#include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
 
 namespace gdlog {
 
@@ -26,8 +32,14 @@ class JsonWriter {
   JsonWriter& Bool(bool value);
   JsonWriter& Null();
 
-  /// Convenience: Key + value.
+  /// Convenience: Key + value. The const char* overload exists because a
+  /// string literal would otherwise convert to bool (a standard pointer
+  /// conversion, which overload resolution prefers over the user-defined
+  /// conversion to string_view) and silently serialize as `true`.
   JsonWriter& KV(std::string_view key, std::string_view value) {
+    return Key(key).String(value);
+  }
+  JsonWriter& KV(std::string_view key, const char* value) {
     return Key(key).String(value);
   }
   JsonWriter& KV(std::string_view key, double value) {
@@ -50,6 +62,56 @@ class JsonWriter {
   /// Stack of "needs comma before next element" flags per nesting level.
   std::string stack_;
   bool pending_key_ = false;
+};
+
+/// A parsed JSON document — the read-side counterpart of JsonWriter, used
+/// to import serialized partial outcome spaces (gdatalog/export.h) and by
+/// any tooling that consumes the CLI's --json output. Numbers keep their
+/// source text so callers can parse int64s and hex-float doubles exactly
+/// instead of round-tripping through a lossy double.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one JSON document (trailing whitespace allowed, trailing
+  /// content rejected). Depth-limited; ParseError carries the byte offset.
+  static Result<JsonValue> Parse(std::string_view text);
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  /// The number's source text, verbatim (e.g. "1e-3", "-42").
+  const std::string& number_text() const { return scalar_; }
+  double NumberAsDouble() const;
+  /// Exact for any int64; kInvalidArgument on fractions or overflow.
+  Result<long long> NumberAsInt() const;
+  const std::string& string_value() const { return scalar_; }
+
+  const std::vector<JsonValue>& array() const { return array_; }
+  /// Object members in document order (duplicate keys are preserved;
+  /// Find returns the first).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  /// The value of `key`, or nullptr when absent.
+  const JsonValue* Find(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string scalar_;  ///< number text or string payload
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
 };
 
 }  // namespace gdlog

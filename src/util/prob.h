@@ -25,6 +25,13 @@ class Rational {
   /// round-trips; otherwise returns an inexact rational.
   static Rational FromDecimal(double d);
 
+  /// An inexact rational carrying exactly this double approximation.
+  /// Used to rehydrate serialized inexact probabilities without the
+  /// may-become-exact heuristics of FromDecimal (a deserialized value must
+  /// stay bit-identical to the one that was written, exactness bit
+  /// included).
+  static Rational Approx(double d) { return Inexact(d); }
+
   int64_t numerator() const { return num_; }
   int64_t denominator() const { return den_; }
 

@@ -1,0 +1,128 @@
+#include "util/subprocess.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace gdlog {
+
+namespace {
+
+void CloseQuietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+Result<Subprocess> Subprocess::Spawn(const std::vector<std::string>& argv) {
+  if (argv.empty()) return Status::InvalidArgument("empty subprocess argv");
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return Status::Internal(std::string("pipe: ") + ::strerror(errno));
+  }
+
+  std::vector<char*> c_argv;
+  c_argv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    c_argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  c_argv.push_back(nullptr);
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    CloseQuietly(pipe_fds[0]);
+    CloseQuietly(pipe_fds[1]);
+    return Status::Internal(std::string("fork: ") + ::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: stdout becomes the pipe's write end; stderr stays inherited.
+    ::close(pipe_fds[0]);
+    if (::dup2(pipe_fds[1], STDOUT_FILENO) < 0) ::_exit(127);
+    ::close(pipe_fds[1]);
+    ::execvp(c_argv[0], c_argv.data());
+    // Exec failed; 127 is the shell convention for "command not found".
+    ::_exit(127);
+  }
+  ::close(pipe_fds[1]);
+  return Subprocess(static_cast<int>(pid), pipe_fds[0]);
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      stdout_fd_(std::exchange(other.stdout_fd_, -1)) {}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    Abandon();
+    pid_ = std::exchange(other.pid_, -1);
+    stdout_fd_ = std::exchange(other.stdout_fd_, -1);
+  }
+  return *this;
+}
+
+Subprocess::~Subprocess() { Abandon(); }
+
+void Subprocess::Abandon() {
+  CloseQuietly(std::exchange(stdout_fd_, -1));
+  // An abandoned handle means nobody wants the result (e.g. the shard
+  // driver bailing out after one worker failed): kill the child outright —
+  // closing the pipe alone only stops it at its *next* write, which for a
+  // compute-bound worker could be hours away — then reap it so no zombie
+  // survives.
+  pid_t pid = std::exchange(pid_, -1);
+  if (pid >= 0) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+  }
+}
+
+Result<int> Subprocess::Wait(std::string* stdout_data) {
+  if (pid_ < 0) return Status::Internal("subprocess already waited on");
+  stdout_data->clear();
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(stdout_fd_, buf, sizeof(buf));
+    if (n > 0) {
+      stdout_data->append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) break;
+    if (errno == EINTR) continue;
+    // The result is lost either way; don't sit in waitpid behind a
+    // compute-bound child that may not exit for hours (same rationale as
+    // Abandon()).
+    Status st = Status::Internal(std::string("read: ") + ::strerror(errno));
+    Abandon();
+    return st;
+  }
+  CloseQuietly(std::exchange(stdout_fd_, -1));
+
+  int wstatus = 0;
+  pid_t pid = std::exchange(pid_, -1);
+  for (;;) {
+    if (::waitpid(pid, &wstatus, 0) >= 0) break;
+    if (errno == EINTR) continue;
+    return Status::Internal(std::string("waitpid: ") + ::strerror(errno));
+  }
+  if (WIFEXITED(wstatus)) return WEXITSTATUS(wstatus);
+  if (WIFSIGNALED(wstatus)) return 128 + WTERMSIG(wstatus);
+  return Status::Internal("subprocess ended in unknown state");
+}
+
+std::string Subprocess::SelfExecutable(const std::string& fallback_argv0) {
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return fallback_argv0;
+}
+
+}  // namespace gdlog

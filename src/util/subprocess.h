@@ -1,0 +1,54 @@
+#ifndef GDLOG_UTIL_SUBPROCESS_H_
+#define GDLOG_UTIL_SUBPROCESS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gdlog {
+
+/// A child process with captured stdout — the transport beneath the CLI's
+/// multi-process shard orchestration (gdlog_cli --shards). The child's
+/// stderr is inherited so diagnostics stream through to the operator;
+/// stdout is piped and read to EOF by Wait(). POSIX-only (fork/execvp), as
+/// is the rest of the build.
+class Subprocess {
+ public:
+  /// Starts `argv` (argv[0] is the executable, resolved via PATH when it
+  /// contains no slash). The caller may spawn several children before
+  /// waiting on any of them — that is what runs shards concurrently.
+  static Result<Subprocess> Spawn(const std::vector<std::string>& argv);
+
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  ~Subprocess();
+
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+
+  /// Reads the child's stdout to EOF into `stdout_data`, then reaps it and
+  /// returns its exit code (128 + signal for abnormal termination). A
+  /// child blocked writing past the pipe buffer simply waits until this
+  /// call drains it — callers waiting on children one by one cannot
+  /// deadlock. Valid once.
+  Result<int> Wait(std::string* stdout_data);
+
+  /// The path of the currently running executable (/proc/self/exe when
+  /// resolvable, `fallback_argv0` otherwise) — how the shard driver
+  /// re-invokes itself as a worker.
+  static std::string SelfExecutable(const std::string& fallback_argv0);
+
+ private:
+  Subprocess(int pid, int stdout_fd) : pid_(pid), stdout_fd_(stdout_fd) {}
+
+  /// Destructor path for a handle nobody Wait()ed on: SIGKILL + reap.
+  void Abandon();
+
+  int pid_ = -1;
+  int stdout_fd_ = -1;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_UTIL_SUBPROCESS_H_

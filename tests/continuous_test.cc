@@ -60,6 +60,48 @@ TEST_F(ContinuousTest, NormalGridShiftsWithMu) {
   EXPECT_GT(peak, 0.15);  // step/σ = 0.5 ⇒ peak ≈ 0.197
 }
 
+TEST_F(ContinuousTest, NormalGridHalfCellCapIsConfigurable) {
+  // σ/Δx = 10^6 wants 8·10^6 half-cells; the default registration clamps
+  // the grid at ±4096 cells, a custom registration at the requested cap.
+  std::vector<Value> params = {Value::Double(0.0), Value::Double(1.0),
+                               Value::Double(1e-6)};
+  const Distribution* capped_default = registry_.Lookup("normalgrid");
+  EXPECT_EQ(capped_default->Support(params, 0).size(), 2u * 4096 + 1);
+
+  DistributionRegistry custom = DistributionRegistry::Builtins();
+  ExtensionOptions options;
+  options.normalgrid_max_half_cells = 64;
+  ASSERT_TRUE(RegisterExtensionDistributions(&custom, options).ok());
+  const Distribution* capped_small = custom.Lookup("normalgrid");
+  std::vector<Value> small_support = capped_small->Support(params, 0);
+  EXPECT_EQ(small_support.size(), 2u * 64 + 1);
+  // The truncated grid still renormalizes to total mass 1.
+  double total = 0.0;
+  for (const Value& v : small_support) {
+    total += capped_small->Pmf(params, v).value();
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // A narrow grid (σ spans few cells) is unaffected by a generous cap.
+  DistributionRegistry wide = DistributionRegistry::Builtins();
+  options.normalgrid_max_half_cells = int64_t{1} << 20;
+  ASSERT_TRUE(RegisterExtensionDistributions(&wide, options).ok());
+  std::vector<Value> narrow = {Value::Double(0.0), Value::Double(1.0),
+                               Value::Double(0.5)};
+  EXPECT_EQ(wide.Lookup("normalgrid")->Support(narrow, 0).size(),
+            registry_.Lookup("normalgrid")->Support(narrow, 0).size());
+}
+
+TEST_F(ContinuousTest, NormalGridHalfCellCapIsRangeValidated) {
+  for (int64_t bad : {int64_t{0}, int64_t{-5}, (int64_t{1} << 20) + 1}) {
+    DistributionRegistry registry = DistributionRegistry::Builtins();
+    ExtensionOptions options;
+    options.normalgrid_max_half_cells = bad;
+    Status st = RegisterExtensionDistributions(&registry, options);
+    EXPECT_FALSE(st.ok()) << "cap " << bad;
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << "cap " << bad;
+  }
+}
+
 TEST_F(ContinuousTest, NormalGridInvalidParamsDegenerate) {
   const Distribution* normal = registry_.Lookup("normalgrid");
   std::vector<Value> params = {Value::Double(3.0), Value::Double(-1.0),

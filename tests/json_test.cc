@@ -53,6 +53,92 @@ TEST(JsonWriter, EmptyContainers) {
   EXPECT_EQ(c.str(), R"({"x":[]})");
 }
 
+TEST(JsonParse, Scalars) {
+  auto t = JsonValue::Parse("true");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->is_bool());
+  EXPECT_TRUE(t->bool_value());
+  auto n = JsonValue::Parse(" null ");
+  ASSERT_TRUE(n.ok());
+  EXPECT_TRUE(n->is_null());
+  auto s = JsonValue::Parse(R"("a\"b\nA")");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->string_value(), "a\"b\nA");
+  auto num = JsonValue::Parse("-1.5e3");
+  ASSERT_TRUE(num.ok());
+  EXPECT_EQ(num->number_text(), "-1.5e3");
+  EXPECT_DOUBLE_EQ(num->NumberAsDouble(), -1500.0);
+}
+
+TEST(JsonParse, IntegersAreExact) {
+  auto big = JsonValue::Parse("9223372036854775807");
+  ASSERT_TRUE(big.ok());
+  auto value = big->NumberAsInt();
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, INT64_MAX);
+  // Fractions and overflow are rejected, not silently rounded.
+  auto frac = JsonValue::Parse("1.5");
+  ASSERT_TRUE(frac.ok());
+  EXPECT_FALSE(frac->NumberAsInt().ok());
+  auto over = JsonValue::Parse("9223372036854775808");
+  ASSERT_TRUE(over.ok());
+  EXPECT_FALSE(over->NumberAsInt().ok());
+}
+
+TEST(JsonParse, ObjectsArraysAndFind) {
+  auto doc = JsonValue::Parse(
+      R"({"a":[1,2,{"b":"x"}],"c":{"d":false},"e":null})");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_EQ(a->array()[2].Find("b")->string_value(), "x");
+  EXPECT_FALSE(doc->Find("c")->Find("d")->bool_value());
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter json;
+  json.BeginObject()
+      .KV("s", "tricky \"\\\n\t chars")
+      .KV("n", 0.1)
+      .KV("i", static_cast<long long>(-42))
+      .KV("b", false)
+      .Key("a")
+      .BeginArray()
+      .Null()
+      .EndArray()
+      .EndObject();
+  auto doc = JsonValue::Parse(json.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("s")->string_value(), "tricky \"\\\n\t chars");
+  EXPECT_DOUBLE_EQ(doc->Find("n")->NumberAsDouble(), 0.1);
+  EXPECT_EQ(*doc->Find("i")->NumberAsInt(), -42);
+  EXPECT_TRUE(doc->Find("a")->array()[0].is_null());
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,", R"({"a")", R"({"a":})", "tru", "01x", "[1] extra",
+        R"("unterminated)", R"({"a":1,})", "[,]", "nan",
+        // RFC 8259 number grammar: no leading '+', no leading zeros, no
+        // bare or trailing decimal point, no hex.
+        "[+1]", "[01]", "[.5]", "[1.]", "[1e]", "[0x1p3]"}) {
+    EXPECT_FALSE(JsonValue::Parse(bad).ok()) << "input: " << bad;
+  }
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+  std::string shallow(20, '[');
+  shallow += std::string(20, ']');
+  EXPECT_TRUE(JsonValue::Parse(shallow).ok());
+}
+
 TEST(JsonExport, CoinOutcomeSpace) {
   auto engine = GDatalog::Create(
       "coin(flip<0.5>). :- coin(0).\n"

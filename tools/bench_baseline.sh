@@ -4,9 +4,23 @@
 # so perf PRs have numbers to beat. Each binary's verification table goes
 # to the console; the timing data goes through --benchmark_format=json.
 #
-# Usage: tools/bench_baseline.sh [build_dir]
+# Usage: tools/bench_baseline.sh [--quick] [build_dir]
+#
+# --quick caps per-benchmark measurement time (0.05s instead of the
+# library's adaptive default) so the full E1-E11 sweep fits a CI smoke
+# job; quick numbers are noisier and meant for artifacts/trend lines, not
+# for committing as the canonical baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+quick_args=()
+if [ "${1:-}" = "--quick" ]; then
+  # Unsuffixed seconds: google-benchmark <= 1.6 rejects the "0.05s" form
+  # outright (and silently ignores the flag), while 1.8+ merely deprecates
+  # the bare double — the bare form is the one every shipped version obeys.
+  quick_args=(--benchmark_min_time=0.05)
+  shift
+fi
 
 build_dir=${1:-build}
 out=BENCH_BASELINE.json
@@ -25,7 +39,7 @@ for bin in "$build_dir"/bench/bench_e*; do
   name=$(basename "$bin")
   echo "== $name" >&2
   "$bin" --benchmark_out="$tmp/$name.json" --benchmark_out_format=json \
-    >/dev/null
+    ${quick_args[@]+"${quick_args[@]}"} >/dev/null
 done
 
 python3 - "$tmp" > "$out" <<'EOF'

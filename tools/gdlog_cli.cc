@@ -15,11 +15,29 @@
 //   --max-outcomes N      exact-mode outcome budget       (default 1<<20)
 //   --max-depth N         chase depth budget              (default 4096)
 //   --support-limit N     truncation of infinite supports (default 64)
-//   --threads N           exact-mode chase workers (0 = one per hardware
-//                         thread, 1 = serial; default 0). Results are
-//                         identical for any N when no budget binds.
+//   --threads N           exact-mode chase workers per process (0 = one per
+//                         hardware thread, 1 = serial; default 0). Results
+//                         are identical for any N when no budget binds.
+//   --shards N            exact mode: decompose the chase tree by
+//                         choice-set prefix into N shards, explore them in
+//                         N worker subprocesses and merge — the merged
+//                         space (and its --json export) is byte-identical
+//                         to the single-process run when no budget binds
+//   --shard-index I       run only shard I (0-based) and print the partial
+//                         outcome space as JSON — the worker mode spawned
+//                         by --shards, also usable manually to spread
+//                         shards across machines (merge with --merge)
+//   --shard-prefix-depth K  choice-prefix depth of the shard plan
+//                         (default 0 = auto-pick from the frontier width)
+//   --merge FILE          merge partial-space JSON files (one --merge per
+//                         file, one shard each) instead of exploring;
+//                         requires the same --program/--db the partials
+//                         were produced from
 //   --extensions          also register the extension distributions
 //                         (zipf, normalgrid)
+//   --normalgrid-max-cells K  half-width cap on normalgrid's enumeration
+//                         grid, in cells (default 4096, range [1, 2^20];
+//                         requires --extensions)
 //   --condition           condition marginals on consistency
 //   --json                exact mode: emit machine-readable JSON (sections
 //                         controlled by --outcomes / --events) and exit
@@ -32,14 +50,19 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gdatalog/engine.h"
 #include "gdatalog/export.h"
 #include "gdatalog/sampler.h"
+#include "gdatalog/shard.h"
 #include "ground/dependency_graph.h"
+#include "util/subprocess.h"
 
 namespace {
+
+constexpr size_t kNoShardIndex = static_cast<size_t>(-1);
 
 struct CliOptions {
   std::string program_path;
@@ -58,6 +81,12 @@ struct CliOptions {
   size_t max_depth = 4096;
   size_t support_limit = 64;
   size_t threads = 0;  // 0 = hardware concurrency
+  size_t shards = 0;   // 0 = no sharding
+  size_t shard_index = kNoShardIndex;  // set = worker mode
+  size_t shard_prefix_depth = 0;       // 0 = auto
+  std::vector<std::string> merge_files;
+  long long normalgrid_max_cells = -1;  // -1 = default
+  std::string argv0;
 };
 
 [[noreturn]] void Usage(const char* argv0, const char* error = nullptr) {
@@ -67,7 +96,10 @@ struct CliOptions {
                "          [--query ATOM]... [--events] [--outcomes]\n"
                "          [--mc N] [--seed S] [--max-outcomes N]\n"
                "          [--max-depth N] [--support-limit N] [--condition]\n"
-               "          [--threads N] [--extensions] [--json] [--dot]\n",
+               "          [--threads N] [--shards N [--shard-index I]]\n"
+               "          [--shard-prefix-depth K] [--merge FILE]...\n"
+               "          [--extensions] [--normalgrid-max-cells K]\n"
+               "          [--json] [--dot]\n",
                argv0);
   std::exit(2);
 }
@@ -121,8 +153,18 @@ CliOptions ParseArgs(int argc, char** argv) {
       opts.support_limit = std::strtoull(need_value(i), nullptr, 10);
     } else if (!std::strcmp(arg, "--threads")) {
       opts.threads = std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--shards")) {
+      opts.shards = std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--shard-index")) {
+      opts.shard_index = std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--shard-prefix-depth")) {
+      opts.shard_prefix_depth = std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--merge")) {
+      opts.merge_files.push_back(need_value(i));
     } else if (!std::strcmp(arg, "--extensions")) {
       opts.extensions = true;
+    } else if (!std::strcmp(arg, "--normalgrid-max-cells")) {
+      opts.normalgrid_max_cells = std::strtoll(need_value(i), nullptr, 10);
     } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
       Usage(argv[0]);
     } else {
@@ -130,54 +172,80 @@ CliOptions ParseArgs(int argc, char** argv) {
     }
   }
   if (opts.program_path.empty()) Usage(argv[0], "--program is required");
+  if (opts.shard_index != kNoShardIndex) {
+    if (opts.shards < 1) Usage(argv[0], "--shard-index requires --shards");
+    if (opts.shard_index >= opts.shards) {
+      Usage(argv[0], "--shard-index must be < --shards");
+    }
+  }
+  if (!opts.merge_files.empty() && opts.shards > 0) {
+    Usage(argv[0], "--merge and --shards are mutually exclusive");
+  }
+  if (opts.mc_samples > 0 && (opts.shards > 0 || !opts.merge_files.empty())) {
+    Usage(argv[0], "sharding applies to exact mode only (drop --mc)");
+  }
+  if (opts.normalgrid_max_cells >= 0 && !opts.extensions) {
+    Usage(argv[0], "--normalgrid-max-cells requires --extensions");
+  }
   return opts;
 }
 
-int RunExact(const gdlog::GDatalog& engine, const CliOptions& opts) {
+gdlog::ChaseOptions MakeChaseOptions(const CliOptions& opts) {
   gdlog::ChaseOptions chase;
   chase.max_outcomes = opts.max_outcomes;
   chase.max_depth = opts.max_depth;
   chase.support_limit = opts.support_limit;
   chase.num_threads = opts.threads;
-  auto space = engine.Infer(chase);
+  return chase;
+}
+
+int ReportSpace(const gdlog::GDatalog& engine, const gdlog::OutcomeSpace& space,
+                const CliOptions& opts);
+
+int RunExact(const gdlog::GDatalog& engine, const CliOptions& opts) {
+  auto space = engine.Infer(MakeChaseOptions(opts));
   if (!space.ok()) {
     std::fprintf(stderr, "inference error: %s\n",
                  space.status().ToString().c_str());
     return 1;
   }
+  return ReportSpace(engine, *space, opts);
+}
 
+int ReportSpace(const gdlog::GDatalog& engine, const gdlog::OutcomeSpace& space,
+                const CliOptions& opts) {
   if (opts.json) {
     gdlog::JsonExportOptions json_options;
     json_options.include_outcomes = opts.print_outcomes;
     json_options.include_models = opts.print_outcomes;
     json_options.include_events = opts.print_events;
     std::printf("%s\n",
-                gdlog::OutcomeSpaceToJson(*space, engine.translated(),
+                gdlog::OutcomeSpaceToJson(space, engine.translated(),
                                           engine.program().interner(),
                                           json_options)
                     .c_str());
     return 0;
   }
 
-  std::printf("possible outcomes : %zu%s\n", space->outcomes.size(),
-              space->complete ? "" : " (exploration truncated)");
+  std::printf("possible outcomes : %zu%s\n", space.outcomes.size(),
+              space.complete ? "" : " (exploration truncated)");
   std::printf("finite mass       : %s\n",
-              space->finite_mass.ToString().c_str());
-  if (!space->complete) {
+              space.finite_mass.ToString().c_str());
+  if (!space.complete) {
     std::printf("residual (Ω∞+unexplored): %s\n",
-                space->residual_mass().ToString().c_str());
+                space.residual_mass().ToString().c_str());
   }
   std::printf("P(consistent)     : %s (= %.6f)\n",
-              space->ProbConsistent().ToString().c_str(),
-              space->ProbConsistent().value());
+              space.ProbConsistent().ToString().c_str(),
+              space.ProbConsistent().value());
   std::printf("P(no stable model): %s\n",
-              space->ProbInconsistent().ToString().c_str());
+              space.ProbInconsistent().ToString().c_str());
 
   const gdlog::Interner* names = engine.program().interner();
 
   if (opts.print_events) {
     std::printf("\nevents (stable-model sets -> mass):\n");
-    for (const auto& [models, mass] : space->Events()) {
+    for (const auto& [models, mass] : space.Events()) {
       std::printf("  mass %-10s |sms| = %zu\n", mass.ToString().c_str(),
                   models.size());
     }
@@ -185,7 +253,7 @@ int RunExact(const gdlog::GDatalog& engine, const CliOptions& opts) {
 
   if (opts.print_outcomes) {
     std::printf("\noutcomes:\n");
-    for (const gdlog::PossibleOutcome& o : space->outcomes) {
+    for (const gdlog::PossibleOutcome& o : space.outcomes) {
       std::printf("  Pr = %-10s |sms| = %zu, choices:\n",
                   o.prob.ToString().c_str(), o.models.size());
       for (const auto& [active, value] : o.choices.entries()) {
@@ -203,7 +271,7 @@ int RunExact(const gdlog::GDatalog& engine, const CliOptions& opts) {
       return 1;
     }
     if (opts.condition) {
-      auto bounds = space->MarginalGivenConsistent(*atom);
+      auto bounds = space.MarginalGivenConsistent(*atom);
       if (!bounds) {
         std::printf("P(%s | consistent) undefined (P(consistent) = 0)\n",
                     query.c_str());
@@ -213,13 +281,185 @@ int RunExact(const gdlog::GDatalog& engine, const CliOptions& opts) {
                     bounds->upper.ToString().c_str());
       }
     } else {
-      gdlog::OutcomeSpace::Bounds bounds = space->Marginal(*atom);
+      gdlog::OutcomeSpace::Bounds bounds = space.Marginal(*atom);
       std::printf("P(%s) in [%s, %s]\n", query.c_str(),
                   bounds.lower.ToString().c_str(),
                   bounds.upper.ToString().c_str());
     }
   }
   return 0;
+}
+
+// Worker mode (--shards N --shard-index I): recompute the deterministic
+// shard plan, explore shard I, and print the partial outcome space as a
+// single JSON line on stdout — the only stdout output, so the driver (or an
+// operator piping to a file for a cross-machine merge) captures it cleanly.
+int RunShardWorker(const gdlog::GDatalog& engine, const CliOptions& opts) {
+  gdlog::ChaseOptions chase = MakeChaseOptions(opts);
+  auto plan = engine.chase().PlanShards(chase, opts.shards,
+                                        opts.shard_prefix_depth);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "shard planning error: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+  auto partial = engine.chase().ExploreShard(*plan, opts.shard_index, chase);
+  if (!partial.ok()) {
+    std::fprintf(stderr, "shard %zu error: %s\n", opts.shard_index,
+                 partial.status().ToString().c_str());
+    return 1;
+  }
+  gdlog::ShardPartialMeta meta =
+      gdlog::MakeShardPartialMeta(*plan, opts.shard_index, chase);
+  std::printf("%s\n",
+              gdlog::PartialSpaceToJson(*partial, meta,
+                                        engine.program().interner())
+                  .c_str());
+  return 0;
+}
+
+/// Validates the partials — mutually consistent plan and budgets, budgets
+/// matching this invocation's flags, every shard 0..N-1 exactly once —
+/// then merges and reports. Returns the process exit code.
+int MergeAndReport(const gdlog::GDatalog& engine, const CliOptions& opts,
+                   std::vector<gdlog::PartialSpace> partials,
+                   const std::vector<gdlog::ShardPartialMeta>& metas) {
+  // Partials produced under different budgets describe different outcome
+  // spaces; so do partials produced under budgets other than the ones this
+  // merge invocation will report against.
+  gdlog::ShardPartialMeta expected = metas.front();
+  expected.max_outcomes = opts.max_outcomes;
+  expected.max_depth = opts.max_depth;
+  expected.support_limit = opts.support_limit;
+  expected.trigger_shuffle_seed = 0;  // not exposed by the CLI
+  expected.min_path_prob = 0.0;
+  std::vector<bool> seen(expected.num_shards, false);
+  for (const gdlog::ShardPartialMeta& meta : metas) {
+    if (!meta.SamePlanAndBudgets(expected)) {
+      std::fprintf(stderr,
+                   "error: partial for shard %zu was produced under a "
+                   "different shard plan or different exploration budgets "
+                   "than this invocation\n",
+                   meta.shard_index);
+      return 1;
+    }
+    if (seen[meta.shard_index]) {
+      std::fprintf(stderr, "error: duplicate partial for shard %zu\n",
+                   meta.shard_index);
+      return 1;
+    }
+    seen[meta.shard_index] = true;
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    if (!seen[i]) {
+      std::fprintf(stderr, "error: missing partial for shard %zu of %zu\n",
+                   i, seen.size());
+      return 1;
+    }
+  }
+  gdlog::OutcomeSpace space =
+      gdlog::MergePartialSpaces(std::move(partials), opts.max_outcomes);
+  return ReportSpace(engine, space, opts);
+}
+
+// Driver mode (--shards N without --shard-index): spawn one worker
+// subprocess per shard — this binary re-invoked with --shard-index —
+// collect the partial spaces over pipes, merge, and report exactly like a
+// single-process run.
+int RunShardDriver(const gdlog::GDatalog& engine, const CliOptions& opts) {
+  std::string exe = gdlog::Subprocess::SelfExecutable(opts.argv0);
+  // With the default --threads 0, every worker would start one chase
+  // thread per hardware thread — N shards × all cores oversubscribes the
+  // machine N-fold. Split the cores across the workers instead (an
+  // explicit --threads value is forwarded as given: the operator asked
+  // for it, e.g. when the workers land on different machines). Thread
+  // count never changes results, only speed.
+  size_t worker_threads = opts.threads;
+  if (worker_threads == 0) {
+    size_t hw = std::thread::hardware_concurrency();
+    if (hw < 1) hw = 1;
+    worker_threads = std::max<size_t>(1, hw / opts.shards);
+  }
+  std::vector<gdlog::Subprocess> workers;
+  for (size_t shard = 0; shard < opts.shards; ++shard) {
+    std::vector<std::string> argv = {
+        exe,
+        "--program", opts.program_path,
+        "--grounder", opts.grounder,
+        "--max-outcomes", std::to_string(opts.max_outcomes),
+        "--max-depth", std::to_string(opts.max_depth),
+        "--support-limit", std::to_string(opts.support_limit),
+        "--threads", std::to_string(worker_threads),
+        "--shards", std::to_string(opts.shards),
+        "--shard-prefix-depth", std::to_string(opts.shard_prefix_depth),
+        "--shard-index", std::to_string(shard),
+    };
+    if (!opts.db_path.empty()) {
+      argv.push_back("--db");
+      argv.push_back(opts.db_path);
+    }
+    if (opts.extensions) argv.push_back("--extensions");
+    if (opts.normalgrid_max_cells >= 0) {
+      argv.push_back("--normalgrid-max-cells");
+      argv.push_back(std::to_string(opts.normalgrid_max_cells));
+    }
+    auto worker = gdlog::Subprocess::Spawn(argv);
+    if (!worker.ok()) {
+      std::fprintf(stderr, "error spawning shard %zu: %s\n", shard,
+                   worker.status().ToString().c_str());
+      return 1;
+    }
+    workers.push_back(std::move(*worker));
+  }
+
+  std::vector<gdlog::PartialSpace> partials;
+  std::vector<gdlog::ShardPartialMeta> metas;
+  for (size_t shard = 0; shard < workers.size(); ++shard) {
+    std::string output;
+    auto exit_code = workers[shard].Wait(&output);
+    if (!exit_code.ok()) {
+      std::fprintf(stderr, "error waiting for shard %zu: %s\n", shard,
+                   exit_code.status().ToString().c_str());
+      return 1;
+    }
+    if (*exit_code != 0) {
+      std::fprintf(stderr, "shard %zu worker exited with code %d\n", shard,
+                   *exit_code);
+      return 1;
+    }
+    gdlog::ShardPartialMeta meta;
+    auto partial = gdlog::PartialSpaceFromJson(
+        output, *engine.program().interner(), &meta);
+    if (!partial.ok()) {
+      std::fprintf(stderr, "bad partial from shard %zu: %s\n", shard,
+                   partial.status().ToString().c_str());
+      return 1;
+    }
+    partials.push_back(std::move(*partial));
+    metas.push_back(meta);
+  }
+  return MergeAndReport(engine, opts, std::move(partials), metas);
+}
+
+// Merge mode (--merge FILE...): recombine partials written by workers run
+// elsewhere (other machines, earlier invocations) against the same program.
+int RunMerge(const gdlog::GDatalog& engine, const CliOptions& opts) {
+  std::vector<gdlog::PartialSpace> partials;
+  std::vector<gdlog::ShardPartialMeta> metas;
+  for (const std::string& path : opts.merge_files) {
+    std::string text = ReadFile(path);
+    gdlog::ShardPartialMeta meta;
+    auto partial = gdlog::PartialSpaceFromJson(
+        text, *engine.program().interner(), &meta);
+    if (!partial.ok()) {
+      std::fprintf(stderr, "bad partial '%s': %s\n", path.c_str(),
+                   partial.status().ToString().c_str());
+      return 1;
+    }
+    partials.push_back(std::move(*partial));
+    metas.push_back(meta);
+  }
+  return MergeAndReport(engine, opts, std::move(partials), metas);
 }
 
 int RunMonteCarlo(const gdlog::GDatalog& engine, const CliOptions& opts) {
@@ -272,6 +512,7 @@ int RunMonteCarlo(const gdlog::GDatalog& engine, const CliOptions& opts) {
 
 int main(int argc, char** argv) {
   CliOptions opts = ParseArgs(argc, argv);
+  opts.argv0 = argv[0];
 
   std::string program_text = ReadFile(opts.program_path);
   std::string db_text = opts.db_path.empty() ? "" : ReadFile(opts.db_path);
@@ -280,7 +521,12 @@ int main(int argc, char** argv) {
   if (opts.extensions) {
     auto registry = std::make_unique<gdlog::DistributionRegistry>(
         gdlog::DistributionRegistry::Builtins());
-    auto st = gdlog::RegisterExtensionDistributions(registry.get());
+    gdlog::ExtensionOptions extension_options;
+    if (opts.normalgrid_max_cells >= 0) {
+      extension_options.normalgrid_max_half_cells = opts.normalgrid_max_cells;
+    }
+    auto st = gdlog::RegisterExtensionDistributions(registry.get(),
+                                                    extension_options);
     if (!st.ok()) {
       std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
       return 1;
@@ -308,6 +554,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Worker mode prints nothing but the partial-space JSON.
+  if (opts.shard_index != kNoShardIndex) return RunShardWorker(*engine, opts);
+
   if (!opts.json) {
     std::printf("grounder          : %.*s (stratified: %s)\n",
                 static_cast<int>(engine->grounder().name().size()),
@@ -316,5 +565,7 @@ int main(int argc, char** argv) {
   }
 
   if (opts.mc_samples > 0) return RunMonteCarlo(*engine, opts);
+  if (!opts.merge_files.empty()) return RunMerge(*engine, opts);
+  if (opts.shards > 0) return RunShardDriver(*engine, opts);
   return RunExact(*engine, opts);
 }
