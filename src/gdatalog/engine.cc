@@ -118,4 +118,37 @@ Result<GroundAtom> GDatalog::ParseGroundAtom(std::string_view text) const {
   return atom;
 }
 
+Result<GroundAtom> GDatalog::LookupGroundAtom(std::string_view text) const {
+  std::string rule_text = std::string(text);
+  if (rule_text.empty() || rule_text.back() != '.') rule_text += ".";
+  auto local_interner = std::make_shared<Interner>();
+  auto parsed = ParseProgram(rule_text, local_interner);
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->rules().size() != 1 || !parsed->rules()[0].IsFact()) {
+    return Status::InvalidArgument("expected a single ground atom: " +
+                                   std::string(text));
+  }
+  const Interner& names = *state_->program.interner();
+  auto remap = [&](uint32_t local_id) -> Result<uint32_t> {
+    const std::string& name = local_interner->Name(local_id);
+    uint32_t id = names.Lookup(name);
+    if (id == Interner::kNotFound) {
+      return Status::NotFound("name never occurs in the program: " + name);
+    }
+    return id;
+  };
+  const HeadAtom& head = parsed->rules()[0].head;
+  GroundAtom atom;
+  GDLOG_ASSIGN_OR_RETURN(atom.predicate, remap(head.predicate));
+  for (const HeadArg& arg : head.args) {
+    Value value = arg.term().constant();
+    if (value.kind() == Value::Kind::kSymbol) {
+      GDLOG_ASSIGN_OR_RETURN(uint32_t id, remap(value.symbol_id()));
+      value = Value::Symbol(id);
+    }
+    atom.args.push_back(value);
+  }
+  return atom;
+}
+
 }  // namespace gdlog

@@ -71,8 +71,19 @@ class GDatalog {
   Result<OutcomeSpace> Infer(const ChaseOptions& options = ChaseOptions{}) const;
 
   /// Parses a ground atom in surface syntax ("infected(2, 1)") against this
-  /// engine's interner, for use with OutcomeSpace::Marginal.
+  /// engine's interner, for use with OutcomeSpace::Marginal. Interns names
+  /// the program never mentioned, so it must not run concurrently with
+  /// anything else reading this engine.
   Result<GroundAtom> ParseGroundAtom(std::string_view text) const;
+
+  /// Like ParseGroundAtom, but resolves names by lookup only — it parses
+  /// against a private interner and remaps onto the engine's, never
+  /// mutating shared state, so any number of threads may call it while
+  /// others run Infer() or export results (the serving layer's contract).
+  /// A predicate or symbol the program never interned cannot occur in any
+  /// outcome; it is reported as kNotFound and callers may treat the
+  /// atom's marginal as trivially zero.
+  Result<GroundAtom> LookupGroundAtom(std::string_view text) const;
 
  private:
   struct State;

@@ -11,9 +11,7 @@
 
 namespace gdlog {
 
-namespace {
-
-void WriteProb(JsonWriter& json, const Prob& prob) {
+void WriteProbJson(JsonWriter& json, const Prob& prob) {
   json.BeginObject();
   json.KV("value", prob.value());
   json.Key("rational");
@@ -24,6 +22,8 @@ void WriteProb(JsonWriter& json, const Prob& prob) {
   }
   json.EndObject();
 }
+
+namespace {
 
 // ---------------------------------------------------------------------------
 // Lossless partial-space encoding (PartialSpaceToJson / FromJson). Unlike
@@ -232,13 +232,13 @@ std::string OutcomeSpaceToJson(const OutcomeSpace& space,
   json.KV("complete", space.complete);
   json.KV("num_outcomes", static_cast<long long>(space.outcomes.size()));
   json.Key("finite_mass");
-  WriteProb(json, space.finite_mass);
+  WriteProbJson(json, space.finite_mass);
   json.Key("residual_mass");
-  WriteProb(json, space.residual_mass());
+  WriteProbJson(json, space.residual_mass());
   json.Key("prob_consistent");
-  WriteProb(json, space.ProbConsistent());
+  WriteProbJson(json, space.ProbConsistent());
   json.Key("prob_inconsistent");
-  WriteProb(json, space.ProbInconsistent());
+  WriteProbJson(json, space.ProbInconsistent());
   json.KV("depth_truncated_paths",
           static_cast<long long>(space.depth_truncated_paths));
   json.KV("pruned_paths", static_cast<long long>(space.pruned_paths));
@@ -248,7 +248,7 @@ std::string OutcomeSpaceToJson(const OutcomeSpace& space,
     for (const PossibleOutcome& outcome : space.outcomes) {
       json.BeginObject();
       json.Key("prob");
-      WriteProb(json, outcome.prob);
+      WriteProbJson(json, outcome.prob);
       json.KV("num_models", static_cast<long long>(outcome.models.size()));
       json.Key("choices").BeginArray();
       for (const auto& [active, value] : outcome.choices.entries()) {
@@ -285,7 +285,7 @@ std::string OutcomeSpaceToJson(const OutcomeSpace& space,
     for (const auto& [models, mass] : events) {
       json.BeginObject();
       json.Key("mass");
-      WriteProb(json, mass);
+      WriteProbJson(json, mass);
       json.KV("num_models", static_cast<long long>(models.size()));
       json.KV("num_outcomes",
               static_cast<long long>(outcome_counts[models]));
@@ -355,7 +355,14 @@ std::string PartialSpaceToJson(const PartialSpace& partial,
 Result<PartialSpace> PartialSpaceFromJson(std::string_view json_text,
                                           const Interner& interner,
                                           ShardPartialMeta* meta) {
-  GDLOG_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(json_text));
+  // Partials come from a JsonWriter in a sibling worker process, which
+  // copies symbol-name bytes verbatim — and the surface lexer admits
+  // arbitrary bytes in string constants — so strings here must read back
+  // exactly as written rather than pass the untrusted-wire UTF-8 checks.
+  JsonParseOptions parse_options;
+  parse_options.strict_strings = false;
+  GDLOG_ASSIGN_OR_RETURN(JsonValue doc,
+                         JsonValue::Parse(json_text, parse_options));
   if (!doc.is_object()) return FieldError("document is not an object");
   const JsonValue* format = doc.Find("format");
   if (format == nullptr || !format->is_string() ||

@@ -7,8 +7,15 @@
 #include "gdatalog/outcome.h"
 #include "gdatalog/shard.h"
 #include "gdatalog/translation.h"
+#include "util/json.h"
 
 namespace gdlog {
+
+/// Writes a probability in the reporting-export shape —
+/// {"value": <double>, "rational": "a/b" | null} — used by the CLI's
+/// --json export and the serving layer's marginal responses (which must
+/// render masses identically).
+void WriteProbJson(JsonWriter& json, const Prob& prob);
 
 /// Options for OutcomeSpaceToJson.
 struct JsonExportOptions {

@@ -1,0 +1,164 @@
+#include "server/cache.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace gdlog {
+
+std::string InferenceCache::Fingerprint(std::string_view program_id,
+                                        uint64_t revision,
+                                        const ChaseOptions& options) {
+  // min_path_prob is a double; %a renders its bits exactly, so two options
+  // differing only in the last ulp get distinct keys.
+  char mpp[40];
+  std::snprintf(mpp, sizeof(mpp), "%a", options.min_path_prob);
+  std::string key;
+  key.reserve(program_id.size() + 96);
+  key += program_id;
+  key += "|rev=";
+  key += std::to_string(revision);
+  key += "|mo=";
+  key += std::to_string(options.max_outcomes);
+  key += "|md=";
+  key += std::to_string(options.max_depth);
+  key += "|sl=";
+  key += std::to_string(options.support_limit);
+  key += "|mpp=";
+  key += mpp;
+  key += "|ss=";
+  key += std::to_string(options.trigger_shuffle_seed);
+  key += "|smn=";
+  key += std::to_string(options.solver_max_nodes);
+  return key;
+}
+
+size_t InferenceCache::ApproxBytes(const OutcomeSpace& space) {
+  // Heap-node overheads are rough constants; the point is a stable,
+  // monotone estimate, not an allocator audit.
+  constexpr size_t kNodeOverhead = 48;
+  auto atom_bytes = [](const GroundAtom& atom) {
+    return sizeof(GroundAtom) + atom.args.capacity() * sizeof(Value);
+  };
+  size_t bytes = sizeof(OutcomeSpace);
+  for (const PossibleOutcome& outcome : space.outcomes) {
+    bytes += sizeof(PossibleOutcome);
+    for (const auto& [active, value] : outcome.choices.entries()) {
+      bytes += kNodeOverhead + atom_bytes(active) + sizeof(value);
+    }
+    for (const StableModel& model : outcome.models) {
+      bytes += kNodeOverhead + sizeof(StableModel);
+      for (const GroundAtom& atom : model) bytes += atom_bytes(atom);
+    }
+  }
+  return bytes;
+}
+
+Result<std::shared_ptr<const OutcomeSpace>> InferenceCache::LookupOrCompute(
+    const std::string& key, const ComputeFn& compute) {
+  std::shared_ptr<Inflight> flight;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.space;
+    }
+    auto in = inflight_.find(key);
+    if (in != inflight_.end()) {
+      // Someone else is already chasing this key: wait for their result
+      // instead of burning a second chase on identical work.
+      ++coalesced_;
+      std::shared_ptr<Inflight> theirs = in->second;
+      cv_.wait(lock, [&] { return theirs->done; });
+      if (!theirs->status.ok()) return theirs->status;
+      return theirs->space;
+    }
+    ++misses_;
+    flight = std::make_shared<Inflight>();
+    inflight_.emplace(key, flight);
+  }
+
+  // The chase runs without the lock: concurrent lookups of *other* keys
+  // proceed, and same-key lookups block on the inflight entry above.
+  Result<OutcomeSpace> result = compute();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (result.ok()) {
+    flight->space =
+        std::make_shared<const OutcomeSpace>(std::move(*result));
+    InsertLocked(key, flight->space);
+  } else {
+    flight->status = result.status();
+  }
+  flight->done = true;
+  inflight_.erase(key);
+  cv_.notify_all();
+  if (!flight->status.ok()) return flight->status;
+  return flight->space;
+}
+
+void InferenceCache::InsertLocked(
+    const std::string& key, std::shared_ptr<const OutcomeSpace> space) {
+  size_t bytes = ApproxBytes(*space);
+  if (bytes > capacity_bytes_) return;  // would evict everything for nothing
+  lru_.push_front(key);
+  EntryData data;
+  data.space = std::move(space);
+  data.bytes = bytes;
+  data.lru_it = lru_.begin();
+  entries_[key] = std::move(data);
+  bytes_ += bytes;
+  ++inserts_;
+  while (bytes_ > capacity_bytes_ && lru_.size() > 1) {
+    auto victim = entries_.find(lru_.back());
+    ++evictions_;
+    EraseLocked(victim);
+  }
+}
+
+void InferenceCache::EraseLocked(
+    std::unordered_map<std::string, EntryData>::iterator it) {
+  bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+size_t InferenceCache::ErasePrefix(std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (std::string_view(it->first).substr(0, prefix.size()) == prefix) {
+      auto victim = it++;
+      EraseLocked(victim);
+      ++evictions_;
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+void InferenceCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+InferenceCache::Stats InferenceCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.coalesced = coalesced_;
+  stats.evictions = evictions_;
+  stats.inserts = inserts_;
+  stats.entries = entries_.size();
+  stats.bytes = bytes_;
+  stats.capacity_bytes = capacity_bytes_;
+  return stats;
+}
+
+}  // namespace gdlog

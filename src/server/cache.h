@@ -1,0 +1,119 @@
+#ifndef GDLOG_SERVER_CACHE_H_
+#define GDLOG_SERVER_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "gdatalog/chase.h"
+#include "gdatalog/outcome.h"
+
+namespace gdlog {
+
+/// Maps a canonical fingerprint of (program id, DB revision, the
+/// semantics-affecting ChaseOptions) to a shared immutable OutcomeSpace.
+///
+/// Why exact results are cacheable at all: the chase is deterministic —
+/// for a fixed program, database, grounder and budgets, Explore() produces
+/// the identical outcome space for every thread count and schedule
+/// whenever no budget binds (ChaseOptions::num_threads contract, pinned by
+/// parallel_chase_test/shard_test). The fingerprint therefore names the
+/// result, not the computation. When a budget does bind the space is one
+/// valid truncation; the cache serves whichever was computed first, which
+/// is no weaker than what a fresh run promises.
+///
+/// Concurrency: LRU-bounded by an approximate memory footprint, with
+/// single-flight deduplication — N concurrent lookups of the same key run
+/// one chase, and the other N-1 block until it lands (counted as
+/// `coalesced`).
+class InferenceCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;        ///< Served from the cache.
+    uint64_t misses = 0;      ///< Led a compute (one chase each).
+    uint64_t coalesced = 0;   ///< Waited on another lookup's compute.
+    uint64_t evictions = 0;   ///< Entries dropped to respect the bound.
+    uint64_t inserts = 0;     ///< Entries ever stored.
+    size_t entries = 0;       ///< Current entry count.
+    size_t bytes = 0;         ///< Current approximate footprint.
+    size_t capacity_bytes = 0;
+  };
+
+  using ComputeFn = std::function<Result<OutcomeSpace>()>;
+
+  explicit InferenceCache(size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Returns the cached space for `key`, or runs `compute` (outside the
+  /// cache lock) and caches its result. Concurrent callers with the same
+  /// key share one compute; a failed compute is returned to every waiter
+  /// and never cached. A space larger than the whole capacity is returned
+  /// uncached.
+  Result<std::shared_ptr<const OutcomeSpace>> LookupOrCompute(
+      const std::string& key, const ComputeFn& compute);
+
+  /// Drops every entry whose key starts with `prefix` (fingerprints embed
+  /// the program id first, so this is "forget program X"). Returns the
+  /// number dropped; they count as evictions.
+  size_t ErasePrefix(std::string_view prefix);
+
+  void Clear();
+
+  Stats stats() const;
+
+  /// Canonical cache key: program id and DB revision plus exactly the
+  /// ChaseOptions fields that affect the resulting space — max_outcomes,
+  /// max_depth, support_limit, min_path_prob, trigger_shuffle_seed,
+  /// solver_max_nodes. num_threads, incremental and keep_groundings are
+  /// deliberately excluded (they change the computation, not the result);
+  /// compute_models is forced true by the serving layer.
+  static std::string Fingerprint(std::string_view program_id,
+                                 uint64_t revision,
+                                 const ChaseOptions& options);
+
+  /// Approximate heap footprint of a space (outcomes, choice sets, stable
+  /// models) — the unit of the LRU bound.
+  static size_t ApproxBytes(const OutcomeSpace& space);
+
+ private:
+  struct EntryData {
+    std::shared_ptr<const OutcomeSpace> space;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  struct Inflight {
+    bool done = false;
+    Status status;
+    std::shared_ptr<const OutcomeSpace> space;
+  };
+
+  /// Inserts under mu_ and evicts from the LRU tail until within bounds.
+  void InsertLocked(const std::string& key,
+                    std::shared_ptr<const OutcomeSpace> space);
+  void EraseLocked(std::unordered_map<std::string, EntryData>::iterator it);
+
+  const size_t capacity_bytes_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< signaled when an inflight completes
+  std::unordered_map<std::string, EntryData> entries_;
+  std::list<std::string> lru_;  ///< front = most recent
+  std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
+  size_t bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t coalesced_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t inserts_ = 0;
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_SERVER_CACHE_H_

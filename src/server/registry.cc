@@ -1,0 +1,133 @@
+#include "server/registry.h"
+
+#include <utility>
+
+#include "util/hash.h"
+
+namespace gdlog {
+
+Result<GDatalog> BuildEngine(const ProgramSpec& spec) {
+  GDatalog::Options options;
+  options.grounder = spec.grounder;
+  if (spec.extensions) {
+    auto registry = std::make_unique<DistributionRegistry>(
+        DistributionRegistry::Builtins());
+    ExtensionOptions extension_options;
+    if (spec.normalgrid_max_cells >= 0) {
+      extension_options.normalgrid_max_half_cells = spec.normalgrid_max_cells;
+    }
+    GDLOG_RETURN_IF_ERROR(
+        RegisterExtensionDistributions(registry.get(), extension_options));
+    options.registry = std::move(registry);
+  }
+  return GDatalog::Create(spec.program_text, spec.db_text,
+                          std::move(options));
+}
+
+uint64_t ProgramRegistry::SpecHash(const ProgramSpec& spec) const {
+  std::hash<std::string> h;
+  size_t x = Mix64(h(spec.program_text));
+  x = HashCombine(x, h(spec.db_text));
+  x = HashCombine(x, static_cast<size_t>(spec.grounder));
+  x = HashCombine(x, spec.extensions ? 1u : 0u);
+  x = HashCombine(x, static_cast<size_t>(spec.normalgrid_max_cells));
+  return x;
+}
+
+ProgramRegistry::Info ProgramRegistry::InfoFor(const Entry& entry,
+                                               bool created) {
+  Info info;
+  info.id = entry.id;
+  info.revision = entry.revision;
+  info.stratified = entry.engine.stratified();
+  info.grounder = std::string(entry.engine.grounder().name());
+  info.created = created;
+  return info;
+}
+
+Result<ProgramRegistry::Info> ProgramRegistry::Register(ProgramSpec spec) {
+  uint64_t hash = SpecHash(spec);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_hash_.find(hash);
+    if (it != by_hash_.end()) {
+      auto existing = by_id_.find(it->second);
+      if (existing != by_id_.end() && existing->second->spec == spec) {
+        return InfoFor(*existing->second, /*created=*/false);
+      }
+    }
+  }
+  // Engine construction (parse/validate/translate/ground setup) is the
+  // expensive part; run it unlocked so registrations don't block lookups.
+  GDLOG_ASSIGN_OR_RETURN(GDatalog engine, BuildEngine(spec));
+  std::lock_guard<std::mutex> lock(mu_);
+  // Re-check: another thread may have registered the same spec meanwhile.
+  auto it = by_hash_.find(hash);
+  if (it != by_hash_.end()) {
+    auto existing = by_id_.find(it->second);
+    if (existing != by_id_.end() && existing->second->spec == spec) {
+      return InfoFor(*existing->second, /*created=*/false);
+    }
+  }
+  std::string id = "p" + std::to_string(next_id_++);
+  auto entry = std::make_shared<const Entry>(id, /*revision=*/0,
+                                             std::move(spec),
+                                             std::move(engine));
+  by_id_.emplace(id, entry);
+  by_hash_[hash] = id;
+  return InfoFor(*entry, /*created=*/true);
+}
+
+std::shared_ptr<const ProgramRegistry::Entry> ProgramRegistry::Find(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+Result<ProgramRegistry::Info> ProgramRegistry::ReplaceDatabase(
+    const std::string& id, std::string db_text) {
+  std::shared_ptr<const Entry> current = Find(id);
+  if (current == nullptr) {
+    return Status::NotFound("unknown program id: " + id);
+  }
+  ProgramSpec spec = current->spec;
+  spec.db_text = std::move(db_text);
+  GDLOG_ASSIGN_OR_RETURN(GDatalog engine, BuildEngine(spec));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return Status::NotFound("program removed during database replacement: " +
+                            id);
+  }
+  // The revision we publish must supersede whatever is current *now* (a
+  // concurrent replace may have won the race since Find()).
+  uint64_t revision = it->second->revision + 1;
+  by_hash_.erase(SpecHash(it->second->spec));
+  auto entry = std::make_shared<const Entry>(id, revision, std::move(spec),
+                                             std::move(engine));
+  by_hash_[SpecHash(entry->spec)] = id;
+  it->second = entry;
+  return InfoFor(*entry, /*created=*/false);
+}
+
+Status ProgramRegistry::Remove(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return Status::NotFound("unknown program id: " + id);
+  }
+  auto hash_it = by_hash_.find(SpecHash(it->second->spec));
+  if (hash_it != by_hash_.end() && hash_it->second == id) {
+    by_hash_.erase(hash_it);
+  }
+  by_id_.erase(it);
+  return Status::OK();
+}
+
+size_t ProgramRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_id_.size();
+}
+
+}  // namespace gdlog

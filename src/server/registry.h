@@ -1,0 +1,108 @@
+#ifndef GDLOG_SERVER_REGISTRY_H_
+#define GDLOG_SERVER_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "gdatalog/engine.h"
+
+namespace gdlog {
+
+/// Everything that determines a registered engine's semantics. Two specs
+/// that compare equal produce interchangeable engines, which is what makes
+/// registration idempotent (re-POSTing a program returns the existing id).
+struct ProgramSpec {
+  std::string program_text;
+  std::string db_text;
+  GrounderKind grounder = GrounderKind::kAuto;
+  bool extensions = false;
+  /// normalgrid half-width cap; < 0 = library default. Only meaningful
+  /// with extensions.
+  long long normalgrid_max_cells = -1;
+
+  bool operator==(const ProgramSpec& other) const {
+    return program_text == other.program_text && db_text == other.db_text &&
+           grounder == other.grounder && extensions == other.extensions &&
+           normalgrid_max_cells == other.normalgrid_max_cells;
+  }
+};
+
+/// The server-side home of parsed programs: clients register a program+DB
+/// once — paying for parse/validate/translate/grounder construction a
+/// single time — and refer to it by a stable id on every query, so the
+/// serving hot path never touches the lexer.
+///
+/// Entries are immutable once published (the engine inside is only used
+/// through const, concurrency-safe entry points) and handed out as
+/// shared_ptr<const Entry>: a Remove() or ReplaceDatabase() never
+/// invalidates an engine a concurrent query is still chasing.
+class ProgramRegistry {
+ public:
+  struct Entry {
+    std::string id;
+    /// Bumped by ReplaceDatabase; (id, revision) names one exact
+    /// (program, DB) pair forever, which is what inference-cache keys
+    /// build on.
+    uint64_t revision = 0;
+    ProgramSpec spec;
+    GDatalog engine;
+
+    Entry(std::string id_in, uint64_t revision_in, ProgramSpec spec_in,
+          GDatalog engine_in)
+        : id(std::move(id_in)),
+          revision(revision_in),
+          spec(std::move(spec_in)),
+          engine(std::move(engine_in)) {}
+  };
+
+  struct Info {
+    std::string id;
+    uint64_t revision = 0;
+    bool stratified = false;
+    std::string grounder;
+    /// False when Register() matched an existing identical spec.
+    bool created = true;
+  };
+
+  /// Parses/validates/translates the spec into a live engine and publishes
+  /// it under a fresh id — or, when an entry with an identical spec
+  /// already exists, returns that entry's info with created == false.
+  /// Engine construction runs outside the registry lock.
+  Result<Info> Register(ProgramSpec spec);
+
+  /// The entry for `id`, or nullptr.
+  std::shared_ptr<const Entry> Find(const std::string& id) const;
+
+  /// Rebuilds `id`'s engine against a new database (same program text and
+  /// options) and publishes it under the same id with revision + 1.
+  Result<Info> ReplaceDatabase(const std::string& id, std::string db_text);
+
+  /// Unregisters `id`. In-flight queries holding the entry keep it alive.
+  Status Remove(const std::string& id);
+
+  size_t size() const;
+
+  static Info InfoFor(const Entry& entry, bool created);
+
+ private:
+  uint64_t SpecHash(const ProgramSpec& spec) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const Entry>> by_id_;
+  /// Current-content index for idempotent registration: spec hash → id
+  /// (collisions resolved by comparing the stored spec).
+  std::unordered_map<uint64_t, std::string> by_hash_;
+  uint64_t next_id_ = 1;
+};
+
+/// Builds an engine for a spec — the one translation of ProgramSpec into
+/// GDatalog::Options (distribution extensions included) shared by
+/// Register and ReplaceDatabase.
+Result<GDatalog> BuildEngine(const ProgramSpec& spec);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_SERVER_REGISTRY_H_

@@ -1,0 +1,549 @@
+#include "server/service.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "gdatalog/export.h"
+#include "gdatalog/sampler.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
+
+namespace gdlog {
+
+namespace {
+
+/// Library Status → HTTP status. Client-caused failures (bad programs,
+/// unknown ids, malformed bodies) map to 4xx; engine-side failures to 5xx.
+int HttpStatusFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kUnsafeProgram:
+    case StatusCode::kNotStratified: return 400;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kAlreadyExists: return 409;
+    case StatusCode::kUnsupported: return 501;
+    case StatusCode::kBudgetExhausted: return 503;
+    case StatusCode::kInternal: return 500;
+  }
+  return 500;
+}
+
+HttpResponse JsonResponse(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse ErrorResponse(const Status& status) {
+  return JsonResponse(HttpStatusFor(status),
+                      HttpErrorBody(StatusCodeName(status.code()),
+                                    status.message()));
+}
+
+HttpResponse MethodNotAllowed(const char* allowed) {
+  HttpResponse response = ErrorResponse(Status::InvalidArgument(
+      std::string("method not allowed; use ") + allowed));
+  response.status = 405;
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Request-body field readers. Bodies are untrusted: every access validates
+// presence and type and surfaces a kInvalidArgument naming the field.
+// ---------------------------------------------------------------------------
+
+Result<std::string> RequiredString(const JsonValue& obj,
+                                   std::string_view key) {
+  const JsonValue* field = obj.Find(key);
+  if (field == nullptr || !field->is_string()) {
+    return Status::InvalidArgument("missing string field '" +
+                                   std::string(key) + "'");
+  }
+  return field->string_value();
+}
+
+Result<std::string> OptionalString(const JsonValue& obj, std::string_view key,
+                                   std::string fallback) {
+  const JsonValue* field = obj.Find(key);
+  if (field == nullptr) return fallback;
+  if (!field->is_string()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a string");
+  }
+  return field->string_value();
+}
+
+Result<bool> OptionalBool(const JsonValue& obj, std::string_view key,
+                          bool fallback) {
+  const JsonValue* field = obj.Find(key);
+  if (field == nullptr) return fallback;
+  if (!field->is_bool()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a boolean");
+  }
+  return field->bool_value();
+}
+
+Result<uint64_t> OptionalU64(const JsonValue& obj, std::string_view key,
+                             uint64_t fallback) {
+  const JsonValue* field = obj.Find(key);
+  if (field == nullptr) return fallback;
+  if (!field->is_number()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a non-negative integer");
+  }
+  auto value = field->NumberAsInt();
+  if (!value.ok() || *value < 0) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a non-negative integer");
+  }
+  return static_cast<uint64_t>(*value);
+}
+
+Result<double> OptionalDouble(const JsonValue& obj, std::string_view key,
+                              double fallback) {
+  const JsonValue* field = obj.Find(key);
+  if (field == nullptr) return fallback;
+  if (!field->is_number()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a number");
+  }
+  return field->NumberAsDouble();
+}
+
+Result<JsonValue> ParseBody(const HttpRequest& request) {
+  if (request.body.empty()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  auto doc = JsonValue::Parse(request.body);
+  if (!doc.ok()) return doc.status();
+  if (!doc->is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  return doc;
+}
+
+Result<GrounderKind> ParseGrounder(const std::string& name) {
+  if (name == "auto") return GrounderKind::kAuto;
+  if (name == "simple") return GrounderKind::kSimple;
+  if (name == "perfect") return GrounderKind::kPerfect;
+  return Status::InvalidArgument(
+      "grounder must be auto, simple or perfect; got '" + name + "'");
+}
+
+/// Applies the request's "options" object (if any) over the service
+/// defaults. Only exploration budgets and determinism knobs are exposed;
+/// keep_groundings/compute_models are owned by the server.
+Result<ChaseOptions> ReadChaseOptions(const JsonValue& body,
+                                      ChaseOptions defaults) {
+  const JsonValue* obj = body.Find("options");
+  ChaseOptions chase = defaults;
+  if (obj != nullptr) {
+    if (!obj->is_object()) {
+      return Status::InvalidArgument("'options' must be an object");
+    }
+    GDLOG_ASSIGN_OR_RETURN(uint64_t mo, OptionalU64(*obj, "max_outcomes",
+                                                    chase.max_outcomes));
+    GDLOG_ASSIGN_OR_RETURN(uint64_t md, OptionalU64(*obj, "max_depth",
+                                                    chase.max_depth));
+    GDLOG_ASSIGN_OR_RETURN(uint64_t sl, OptionalU64(*obj, "support_limit",
+                                                    chase.support_limit));
+    GDLOG_ASSIGN_OR_RETURN(
+        double mpp, OptionalDouble(*obj, "min_path_prob",
+                                   chase.min_path_prob));
+    GDLOG_ASSIGN_OR_RETURN(
+        uint64_t seed, OptionalU64(*obj, "trigger_shuffle_seed",
+                                   chase.trigger_shuffle_seed));
+    GDLOG_ASSIGN_OR_RETURN(
+        uint64_t smn, OptionalU64(*obj, "solver_max_nodes",
+                                  chase.solver_max_nodes));
+    GDLOG_ASSIGN_OR_RETURN(uint64_t threads,
+                           OptionalU64(*obj, "num_threads",
+                                       chase.num_threads));
+    if (!(mpp >= 0.0) || mpp > 1.0) {
+      return Status::InvalidArgument("min_path_prob must be in [0, 1]");
+    }
+    chase.max_outcomes = static_cast<size_t>(mo);
+    chase.max_depth = static_cast<size_t>(md);
+    chase.support_limit = static_cast<size_t>(sl);
+    chase.min_path_prob = mpp;
+    chase.trigger_shuffle_seed = seed;
+    chase.solver_max_nodes = smn;
+    // num_threads sizes a real thread pool, so a client must not pick it
+    // freely (a huge value aborts the process in std::thread). Clamp to
+    // the hardware; thread count never changes results, only speed.
+    chase.num_threads = static_cast<size_t>(
+        std::min<uint64_t>(threads, ThreadPool::DefaultWorkerCount()));
+  }
+  chase.compute_models = true;
+  chase.keep_groundings = false;
+  return chase;
+}
+
+void WriteInfo(JsonWriter& json, const ProgramRegistry::Info& info) {
+  json.BeginObject();
+  json.KV("id", info.id);
+  json.KV("revision", static_cast<long long>(info.revision));
+  json.KV("stratified", info.stratified);
+  json.KV("grounder", info.grounder);
+  json.KV("created", info.created);
+  json.EndObject();
+}
+
+void WriteEstimate(JsonWriter& json,
+                   const MonteCarloEstimator::Estimate& estimate) {
+  json.BeginObject();
+  json.KV("mean", estimate.mean);
+  json.KV("std_error", estimate.std_error);
+  json.EndObject();
+}
+
+}  // namespace
+
+InferenceService::InferenceService(Options options)
+    : options_(std::move(options)), cache_(options_.cache_bytes) {}
+
+HttpResponse InferenceService::Handle(const HttpRequest& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::string& target = request.target;
+  if (target == "/healthz") {
+    if (request.method != "GET") return MethodNotAllowed("GET");
+    return JsonResponse(200, "{\"status\":\"ok\"}\n");
+  }
+  if (target == "/stats") {
+    if (request.method != "GET") return MethodNotAllowed("GET");
+    return HandleStats();
+  }
+  if (target == "/programs") {
+    if (request.method != "POST") return MethodNotAllowed("POST");
+    return HandleRegister(request);
+  }
+  if (target.rfind("/programs/", 0) == 0) {
+    std::string rest = target.substr(sizeof("/programs/") - 1);
+    bool db_subresource = false;
+    size_t slash = rest.find('/');
+    if (slash != std::string::npos) {
+      if (rest.substr(slash) != "/db") {
+        return ErrorResponse(
+            Status::NotFound("no such resource: " + target));
+      }
+      db_subresource = true;
+      rest = rest.substr(0, slash);
+    }
+    if (rest.empty()) {
+      return ErrorResponse(Status::NotFound("no such resource: " + target));
+    }
+    return HandleProgram(request, rest, db_subresource);
+  }
+  if (target == "/query") {
+    if (request.method != "POST") return MethodNotAllowed("POST");
+    return HandleQuery(request);
+  }
+  if (target == "/sample") {
+    if (request.method != "POST") return MethodNotAllowed("POST");
+    return HandleSample(request);
+  }
+  return ErrorResponse(Status::NotFound("no such resource: " + target));
+}
+
+HttpResponse InferenceService::HandleRegister(const HttpRequest& request) {
+  auto body = ParseBody(request);
+  if (!body.ok()) return ErrorResponse(body.status());
+  ProgramSpec spec;
+  auto program = RequiredString(*body, "program");
+  if (!program.ok()) return ErrorResponse(program.status());
+  spec.program_text = std::move(*program);
+  auto db = OptionalString(*body, "db", "");
+  if (!db.ok()) return ErrorResponse(db.status());
+  spec.db_text = std::move(*db);
+  auto grounder_name = OptionalString(*body, "grounder", "auto");
+  if (!grounder_name.ok()) return ErrorResponse(grounder_name.status());
+  auto grounder = ParseGrounder(*grounder_name);
+  if (!grounder.ok()) return ErrorResponse(grounder.status());
+  spec.grounder = *grounder;
+  auto extensions = OptionalBool(*body, "extensions", false);
+  if (!extensions.ok()) return ErrorResponse(extensions.status());
+  spec.extensions = *extensions;
+  auto cells = OptionalU64(*body, "normalgrid_max_cells",
+                           static_cast<uint64_t>(-1));
+  if (!cells.ok()) return ErrorResponse(cells.status());
+  if (*cells != static_cast<uint64_t>(-1)) {
+    if (!spec.extensions) {
+      return ErrorResponse(Status::InvalidArgument(
+          "normalgrid_max_cells requires extensions"));
+    }
+    spec.normalgrid_max_cells = static_cast<long long>(*cells);
+  }
+
+  auto info = registry_.Register(std::move(spec));
+  if (!info.ok()) return ErrorResponse(info.status());
+  JsonWriter json;
+  WriteInfo(json, *info);
+  return JsonResponse(info->created ? 201 : 200, json.str() + "\n");
+}
+
+HttpResponse InferenceService::HandleProgram(const HttpRequest& request,
+                                             const std::string& id,
+                                             bool db_subresource) {
+  if (db_subresource) {
+    if (request.method != "PUT") return MethodNotAllowed("PUT");
+    auto body = ParseBody(request);
+    if (!body.ok()) return ErrorResponse(body.status());
+    auto db = RequiredString(*body, "db");
+    if (!db.ok()) return ErrorResponse(db.status());
+    auto info = registry_.ReplaceDatabase(id, std::move(*db));
+    if (!info.ok()) return ErrorResponse(info.status());
+    // Every cache line of the old revision is now unreachable via
+    // fingerprints; drop them eagerly rather than waiting for LRU aging.
+    cache_.ErasePrefix(id + "|");
+    JsonWriter json;
+    WriteInfo(json, *info);
+    return JsonResponse(200, json.str() + "\n");
+  }
+  if (request.method == "GET") {
+    auto entry = registry_.Find(id);
+    if (entry == nullptr) {
+      return ErrorResponse(Status::NotFound("unknown program id: " + id));
+    }
+    JsonWriter json;
+    WriteInfo(json, ProgramRegistry::InfoFor(*entry, /*created=*/false));
+    return JsonResponse(200, json.str() + "\n");
+  }
+  if (request.method == "DELETE") {
+    Status status = registry_.Remove(id);
+    if (!status.ok()) return ErrorResponse(status);
+    cache_.ErasePrefix(id + "|");
+    return JsonResponse(200, "{\"deleted\":true}\n");
+  }
+  return MethodNotAllowed("GET, DELETE");
+}
+
+HttpResponse InferenceService::HandleQuery(const HttpRequest& request) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  auto body = ParseBody(request);
+  if (!body.ok()) return ErrorResponse(body.status());
+  auto id = RequiredString(*body, "program_id");
+  if (!id.ok()) return ErrorResponse(id.status());
+  auto entry = registry_.Find(*id);
+  if (entry == nullptr) {
+    return ErrorResponse(Status::NotFound("unknown program id: " + *id));
+  }
+  auto chase = ReadChaseOptions(*body, options_.default_chase);
+  if (!chase.ok()) return ErrorResponse(chase.status());
+
+  std::string key =
+      InferenceCache::Fingerprint(entry->id, entry->revision, *chase);
+  auto space = cache_.LookupOrCompute(
+      key, [&]() { return entry->engine.Infer(*chase); });
+  if (!space.ok()) return ErrorResponse(space.status());
+
+  const JsonValue* queries = body->Find("queries");
+  if (queries == nullptr) {
+    auto include_outcomes = OptionalBool(*body, "include_outcomes", false);
+    auto include_models = OptionalBool(*body, "include_models", false);
+    auto include_events = OptionalBool(*body, "include_events", false);
+    if (!include_outcomes.ok()) return ErrorResponse(include_outcomes.status());
+    if (!include_models.ok()) return ErrorResponse(include_models.status());
+    if (!include_events.ok()) return ErrorResponse(include_events.status());
+    JsonExportOptions json_options;
+    json_options.include_outcomes = *include_outcomes;
+    json_options.include_models = *include_models;
+    json_options.include_events = *include_events;
+    // This body — including the trailing newline — is byte-identical to
+    // `gdlog_cli --json` stdout for the same program/DB/options, which is
+    // what makes the server a drop-in for scripted batch runs.
+    return JsonResponse(
+        200, OutcomeSpaceToJson(**space, entry->engine.translated(),
+                                entry->engine.program().interner(),
+                                json_options) +
+                 "\n");
+  }
+
+  if (!queries->is_array()) {
+    return ErrorResponse(
+        Status::InvalidArgument("'queries' must be an array of atoms"));
+  }
+  auto condition = OptionalBool(*body, "condition", false);
+  if (!condition.ok()) return ErrorResponse(condition.status());
+
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("program_id", entry->id);
+  json.KV("revision", static_cast<long long>(entry->revision));
+  json.KV("complete", (*space)->complete);
+  json.Key("prob_consistent");
+  WriteProbJson(json, (*space)->ProbConsistent());
+  json.KV("condition", *condition);
+  json.Key("marginals").BeginArray();
+  for (const JsonValue& query : queries->array()) {
+    if (!query.is_string()) {
+      return ErrorResponse(
+          Status::InvalidArgument("'queries' must be an array of atoms"));
+    }
+    const std::string& text = query.string_value();
+    auto atom = entry->engine.LookupGroundAtom(text);
+    bool unknown_name = !atom.ok() &&
+                        atom.status().code() == StatusCode::kNotFound;
+    if (!atom.ok() && !unknown_name) {
+      return ErrorResponse(Status::InvalidArgument(
+          "bad query '" + text + "': " + atom.status().message()));
+    }
+    json.BeginObject();
+    json.KV("atom", text);
+    if (*condition) {
+      // An unknown name occurs in no outcome: conditioned bounds are
+      // exactly [0, 0] (or undefined when P(consistent) = 0), the same
+      // answer MarginalGivenConsistent gives a known-but-absent atom.
+      std::optional<OutcomeSpace::Bounds> bounds;
+      if (unknown_name) {
+        if (!((*space)->ProbConsistent() == Prob::Zero())) {
+          bounds = OutcomeSpace::Bounds{};
+        }
+      } else {
+        bounds = (*space)->MarginalGivenConsistent(*atom);
+      }
+      if (!bounds) {
+        json.KV("undefined", true);
+      } else {
+        json.Key("lower");
+        WriteProbJson(json, bounds->lower);
+        json.Key("upper");
+        WriteProbJson(json, bounds->upper);
+      }
+    } else {
+      OutcomeSpace::Bounds bounds;
+      if (!unknown_name) bounds = (*space)->Marginal(*atom);
+      json.Key("lower");
+      WriteProbJson(json, bounds.lower);
+      json.Key("upper");
+      WriteProbJson(json, bounds.upper);
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return JsonResponse(200, json.str() + "\n");
+}
+
+HttpResponse InferenceService::HandleSample(const HttpRequest& request) {
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  auto body = ParseBody(request);
+  if (!body.ok()) return ErrorResponse(body.status());
+  auto id = RequiredString(*body, "program_id");
+  if (!id.ok()) return ErrorResponse(id.status());
+  auto entry = registry_.Find(*id);
+  if (entry == nullptr) {
+    return ErrorResponse(Status::NotFound("unknown program id: " + *id));
+  }
+  auto samples = OptionalU64(*body, "samples", 0);
+  if (!samples.ok()) return ErrorResponse(samples.status());
+  if (*samples == 0) {
+    return ErrorResponse(
+        Status::InvalidArgument("'samples' must be a positive integer"));
+  }
+  if (*samples > options_.max_samples) {
+    return ErrorResponse(Status::InvalidArgument(
+        "'samples' exceeds the server limit of " +
+        std::to_string(options_.max_samples)));
+  }
+  auto seed = OptionalU64(*body, "seed", 2023);
+  if (!seed.ok()) return ErrorResponse(seed.status());
+  auto chase = ReadChaseOptions(*body, options_.default_chase);
+  if (!chase.ok()) return ErrorResponse(chase.status());
+
+  MonteCarloEstimator estimator(&entry->engine.chase(), *chase);
+  auto consistent = estimator.EstimateProbConsistent(*samples, *seed);
+  if (!consistent.ok()) return ErrorResponse(consistent.status());
+
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("program_id", entry->id);
+  json.KV("samples", static_cast<long long>(consistent->samples));
+  json.KV("truncated", static_cast<long long>(consistent->truncated));
+  json.Key("prob_consistent");
+  WriteEstimate(json, *consistent);
+  const JsonValue* queries = body->Find("queries");
+  if (queries != nullptr) {
+    if (!queries->is_array()) {
+      return ErrorResponse(
+          Status::InvalidArgument("'queries' must be an array of atoms"));
+    }
+    json.Key("marginals").BeginArray();
+    for (const JsonValue& query : queries->array()) {
+      if (!query.is_string()) {
+        return ErrorResponse(
+            Status::InvalidArgument("'queries' must be an array of atoms"));
+      }
+      const std::string& text = query.string_value();
+      auto atom = entry->engine.LookupGroundAtom(text);
+      json.BeginObject();
+      json.KV("atom", text);
+      if (!atom.ok() && atom.status().code() == StatusCode::kNotFound) {
+        // Never-mentioned names occur in no sample; report exact zeros
+        // rather than burning 2n chase walks on them.
+        MonteCarloEstimator::Estimate zero;
+        zero.samples = *samples;
+        json.Key("lower");
+        WriteEstimate(json, zero);
+        json.Key("upper");
+        WriteEstimate(json, zero);
+        json.EndObject();
+        continue;
+      }
+      if (!atom.ok()) {
+        return ErrorResponse(Status::InvalidArgument(
+            "bad query '" + text + "': " + atom.status().message()));
+      }
+      auto lower = estimator.EstimateMarginalLower(*samples, *seed, *atom);
+      if (!lower.ok()) return ErrorResponse(lower.status());
+      auto upper = estimator.EstimateMarginalUpper(*samples, *seed, *atom);
+      if (!upper.ok()) return ErrorResponse(upper.status());
+      json.Key("lower");
+      WriteEstimate(json, *lower);
+      json.Key("upper");
+      WriteEstimate(json, *upper);
+      json.EndObject();
+    }
+    json.EndArray();
+  }
+  json.EndObject();
+  return JsonResponse(200, json.str() + "\n");
+}
+
+HttpResponse InferenceService::HandleStats() {
+  InferenceCache::Stats cache_stats = cache_.stats();
+  double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("uptime_seconds", uptime);
+  json.KV("programs", static_cast<long long>(registry_.size()));
+  json.Key("requests").BeginObject();
+  json.KV("total", static_cast<long long>(
+                       requests_.load(std::memory_order_relaxed)));
+  json.KV("queries", static_cast<long long>(
+                         queries_.load(std::memory_order_relaxed)));
+  json.KV("samples", static_cast<long long>(
+                         samples_.load(std::memory_order_relaxed)));
+  json.EndObject();
+  json.Key("cache").BeginObject();
+  json.KV("hits", static_cast<long long>(cache_stats.hits));
+  json.KV("misses", static_cast<long long>(cache_stats.misses));
+  json.KV("coalesced", static_cast<long long>(cache_stats.coalesced));
+  json.KV("evictions", static_cast<long long>(cache_stats.evictions));
+  json.KV("inserts", static_cast<long long>(cache_stats.inserts));
+  json.KV("entries", static_cast<long long>(cache_stats.entries));
+  json.KV("bytes", static_cast<long long>(cache_stats.bytes));
+  json.KV("capacity_bytes",
+          static_cast<long long>(cache_stats.capacity_bytes));
+  json.EndObject();
+  json.EndObject();
+  return JsonResponse(200, json.str() + "\n");
+}
+
+}  // namespace gdlog

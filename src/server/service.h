@@ -1,0 +1,83 @@
+#ifndef GDLOG_SERVER_SERVICE_H_
+#define GDLOG_SERVER_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "gdatalog/chase.h"
+#include "server/cache.h"
+#include "server/http.h"
+#include "server/registry.h"
+
+namespace gdlog {
+
+/// The gdlogd endpoint surface, factored away from the socket layer so
+/// tests (and benchmarks) drive it in-process. Every method is
+/// thread-safe; one instance serves every connection.
+///
+/// Endpoints (all request/response bodies are JSON):
+///
+///   POST   /programs          register {program, db?, grounder?,
+///                             extensions?, normalgrid_max_cells?};
+///                             idempotent per spec; returns {id, revision,
+///                             stratified, grounder, created}
+///   GET    /programs/<id>     registration info
+///   PUT    /programs/<id>/db  replace the database: {db}; bumps revision
+///   DELETE /programs/<id>     unregister (drops the program's cache lines)
+///   POST   /query             exact inference: {program_id, options?,
+///                             include_outcomes?, include_models?,
+///                             include_events?, queries?, condition?}.
+///                             Without "queries" the response body is the
+///                             OutcomeSpaceToJson document — byte-identical
+///                             to `gdlog_cli --json` with matching flags.
+///                             With "queries" it reports credal marginal
+///                             bounds per atom. Served through the
+///                             InferenceCache.
+///   POST   /sample            Monte-Carlo: {program_id, samples, seed?,
+///                             queries?, options?}; never cached
+///   GET    /healthz           liveness: {"status":"ok"}
+///   GET    /stats             cache/registry/request counters
+class InferenceService {
+ public:
+  struct Options {
+    /// InferenceCache bound.
+    size_t cache_bytes = 256ull * 1024 * 1024;
+    /// Baseline ChaseOptions for /query; requests override individual
+    /// fields. Defaults match `gdlog_cli` so responses compare bytewise.
+    ChaseOptions default_chase;
+    /// Ceiling on /sample's sample count per request (untrusted input).
+    size_t max_samples = 10'000'000;
+  };
+
+  explicit InferenceService(Options options);
+
+  /// Routes one request. Never throws; all failures become JSON error
+  /// bodies with 4xx/5xx statuses.
+  HttpResponse Handle(const HttpRequest& request);
+
+  ProgramRegistry& registry() { return registry_; }
+  const InferenceCache& cache() const { return cache_; }
+
+ private:
+  HttpResponse HandleRegister(const HttpRequest& request);
+  HttpResponse HandleProgram(const HttpRequest& request,
+                             const std::string& id, bool db_subresource);
+  HttpResponse HandleQuery(const HttpRequest& request);
+  HttpResponse HandleSample(const HttpRequest& request);
+  HttpResponse HandleStats();
+
+  Options options_;
+  ProgramRegistry registry_;
+  InferenceCache cache_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> samples_{0};
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_SERVER_SERVICE_H_

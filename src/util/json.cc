@@ -26,6 +26,8 @@ void JsonWriter::Escape(std::string_view s) {
       case '\n': out_ += "\\n"; break;
       case '\t': out_ += "\\t"; break;
       case '\r': out_ += "\\r"; break;
+      case '\b': out_ += "\\b"; break;
+      case '\f': out_ += "\\f"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
@@ -116,7 +118,8 @@ JsonWriter& JsonWriter::Null() {
 /// Friend of JsonValue; parses one document over a borrowed string_view.
 class JsonParser {
  public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
+  JsonParser(std::string_view text, const JsonParseOptions& options)
+      : text_(text), options_(options) {}
 
   Result<JsonValue> Parse() {
     JsonValue value;
@@ -231,57 +234,130 @@ class JsonParser {
     }
   }
 
+  /// Four hex digits at pos_; advances past them.
+  Status ReadHex4(unsigned* code) {
+    if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+    *code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_ + i];
+      *code <<= 4;
+      if (h >= '0' && h <= '9') *code |= unsigned(h - '0');
+      else if (h >= 'a' && h <= 'f') *code |= unsigned(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') *code |= unsigned(h - 'A' + 10);
+      else return Error("bad \\u escape");
+    }
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  static void EncodeUtf8(unsigned cp, std::string* out) {
+    if (cp < 0x80) {
+      *out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *out += static_cast<char>(0xC0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *out += static_cast<char>(0xE0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  // Strings arrive over the wire from untrusted clients (the gdlogd
+  // request path), so by default the grammar is enforced in full: raw
+  // control characters must be escaped (RFC 8259 §7), \u surrogates must
+  // pair, and raw bytes must be valid, shortest-form UTF-8 — overlong
+  // encodings are the classic smuggling vector for "../" and NUL. With
+  // strict_strings off (trusted JsonWriter output), raw non-escape bytes
+  // pass through verbatim instead, matching what the writer emits.
   Status ParseString(std::string* out) {
     ++pos_;  // '"'
-    for (; pos_ < text_.size(); ++pos_) {
-      char c = text_[pos_];
+    while (pos_ < text_.size()) {
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
       if (c == '"') {
         ++pos_;
         return Status::OK();
       }
-      if (c != '\\') {
-        *out += c;
+      if (c < 0x20 && options_.strict_strings) {
+        return Error("unescaped control character in string");
+      }
+      if (c == '\\') {
+        if (++pos_ >= text_.size()) break;
+        char esc = text_[pos_];
+        ++pos_;
+        switch (esc) {
+          case '"': *out += '"'; continue;
+          case '\\': *out += '\\'; continue;
+          case '/': *out += '/'; continue;
+          case 'b': *out += '\b'; continue;
+          case 'f': *out += '\f'; continue;
+          case 'n': *out += '\n'; continue;
+          case 'r': *out += '\r'; continue;
+          case 't': *out += '\t'; continue;
+          case 'u': {
+            unsigned code = 0;
+            GDLOG_RETURN_IF_ERROR(ReadHex4(&code));
+            if (code >= 0xDC00 && code <= 0xDFFF) {
+              return Error("unpaired low surrogate escape");
+            }
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Error("unpaired high surrogate escape");
+              }
+              pos_ += 2;
+              unsigned low = 0;
+              GDLOG_RETURN_IF_ERROR(ReadHex4(&low));
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Error("unpaired high surrogate escape");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            }
+            EncodeUtf8(code, out);
+            continue;
+          }
+          default:
+            --pos_;
+            return Error("bad escape");
+        }
+      }
+      if (c < 0x80 || !options_.strict_strings) {
+        *out += static_cast<char>(c);
+        ++pos_;
         continue;
       }
-      if (++pos_ >= text_.size()) break;
-      switch (text_[pos_]) {
-        case '"': *out += '"'; break;
-        case '\\': *out += '\\'; break;
-        case '/': *out += '/'; break;
-        case 'b': *out += '\b'; break;
-        case 'f': *out += '\f'; break;
-        case 'n': *out += '\n'; break;
-        case 'r': *out += '\r'; break;
-        case 't': *out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 >= text_.size()) return Error("bad \\u escape");
-          unsigned code = 0;
-          for (int i = 1; i <= 4; ++i) {
-            char h = text_[pos_ + i];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= unsigned(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
-            else return Error("bad \\u escape");
-          }
-          pos_ += 4;
-          // UTF-8 encode the code point (the writer only ever emits
-          // escapes below 0x20, but accept the full BMP on input).
-          if (code < 0x80) {
-            *out += static_cast<char>(code);
-          } else if (code < 0x800) {
-            *out += static_cast<char>(0xC0 | (code >> 6));
-            *out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
-            *out += static_cast<char>(0xE0 | (code >> 12));
-            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-            *out += static_cast<char>(0x80 | (code & 0x3F));
-          }
-          break;
-        }
-        default:
-          return Error("bad escape");
+      // Raw multi-byte UTF-8.
+      size_t len;
+      unsigned cp, min_cp;
+      if ((c & 0xE0) == 0xC0) {
+        len = 2; cp = c & 0x1Fu; min_cp = 0x80;
+      } else if ((c & 0xF0) == 0xE0) {
+        len = 3; cp = c & 0x0Fu; min_cp = 0x800;
+      } else if ((c & 0xF8) == 0xF0) {
+        len = 4; cp = c & 0x07u; min_cp = 0x10000;
+      } else {
+        return Error("invalid UTF-8 byte");
       }
+      if (pos_ + len > text_.size()) {
+        return Error("truncated UTF-8 sequence");
+      }
+      for (size_t i = 1; i < len; ++i) {
+        unsigned char b = static_cast<unsigned char>(text_[pos_ + i]);
+        if ((b & 0xC0) != 0x80) return Error("invalid UTF-8 continuation");
+        cp = (cp << 6) | (b & 0x3Fu);
+      }
+      if (cp < min_cp) return Error("overlong UTF-8 encoding");
+      if (cp >= 0xD800 && cp <= 0xDFFF) {
+        return Error("UTF-8-encoded surrogate");
+      }
+      if (cp > 0x10FFFF) return Error("code point out of range");
+      out->append(text_, pos_, len);
+      pos_ += len;
     }
     return Error("unterminated string");
   }
@@ -318,11 +394,17 @@ class JsonParser {
   }
 
   std::string_view text_;
+  JsonParseOptions options_;
   size_t pos_ = 0;
 };
 
 Result<JsonValue> JsonValue::Parse(std::string_view text) {
-  return JsonParser(text).Parse();
+  return JsonParser(text, JsonParseOptions{}).Parse();
+}
+
+Result<JsonValue> JsonValue::Parse(std::string_view text,
+                                   const JsonParseOptions& options) {
+  return JsonParser(text, options).Parse();
 }
 
 double JsonValue::NumberAsDouble() const {

@@ -64,6 +64,17 @@ class JsonWriter {
   bool pending_key_ = false;
 };
 
+struct JsonParseOptions {
+  /// Enforce RFC 8259 strings in full: escaped control characters only,
+  /// paired surrogate escapes, shortest-form UTF-8 — what untrusted wire
+  /// input (the gdlogd request path) requires. Disable only for input a
+  /// JsonWriter in this process family produced: the writer copies raw
+  /// bytes >= 0x20 verbatim, and program string constants may carry
+  /// arbitrary bytes (the surface lexer does not restrict them), so the
+  /// shard partial-space IPC must read back exactly what was written.
+  bool strict_strings = true;
+};
+
 /// A parsed JSON document — the read-side counterpart of JsonWriter, used
 /// to import serialized partial outcome spaces (gdatalog/export.h) and by
 /// any tooling that consumes the CLI's --json output. Numbers keep their
@@ -76,6 +87,8 @@ class JsonValue {
   /// Parses one JSON document (trailing whitespace allowed, trailing
   /// content rejected). Depth-limited; ParseError carries the byte offset.
   static Result<JsonValue> Parse(std::string_view text);
+  static Result<JsonValue> Parse(std::string_view text,
+                                 const JsonParseOptions& options);
 
   JsonValue() = default;
 

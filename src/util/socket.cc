@@ -1,0 +1,258 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace gdlog {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + ::strerror(errno));
+}
+
+void CloseQuietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+/// Polls `fd` for `events`; returns false on timeout. EINTR restarts with
+/// the remaining budget unaccounted (good enough for coarse I/O deadlines).
+Result<bool> PollOne(int fd, short events, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  for (;;) {
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Connection
+// ---------------------------------------------------------------------------
+
+Connection::Connection(Connection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    CloseQuietly(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Connection::~Connection() { CloseQuietly(fd_); }
+
+Result<Connection> Connection::ConnectTcp(const std::string& host, int port,
+                                          int timeout_ms) {
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad port: " + std::to_string(port));
+  }
+  struct addrinfo hints;
+  ::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* addrs = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                         &addrs);
+  if (rc != 0) {
+    return Status::InvalidArgument("cannot resolve '" + host +
+                                   "': " + ::gai_strerror(rc));
+  }
+  Status last = Status::Internal("no addresses for '" + host + "'");
+  for (struct addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    // Non-blocking connect so the timeout applies to the handshake too.
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (rc != 0 && errno != EINPROGRESS) {
+      last = Errno("connect");
+      CloseQuietly(fd);
+      continue;
+    }
+    if (rc != 0) {
+      auto ready = PollOne(fd, POLLOUT, timeout_ms);
+      if (!ready.ok() || !*ready) {
+        last = ready.ok() ? Status::BudgetExhausted("connect timed out")
+                          : ready.status();
+        CloseQuietly(fd);
+        continue;
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+          err != 0) {
+        last = Status::Internal(std::string("connect: ") +
+                                ::strerror(err != 0 ? err : errno));
+        CloseQuietly(fd);
+        continue;
+      }
+    }
+    ::fcntl(fd, F_SETFL, flags);  // back to blocking; I/O uses poll
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::freeaddrinfo(addrs);
+    return Connection(fd);
+  }
+  ::freeaddrinfo(addrs);
+  return last;
+}
+
+Result<size_t> Connection::ReadSome(char* buf, size_t capacity,
+                                    int timeout_ms) {
+  if (fd_ < 0) return Status::Internal("read on closed connection");
+  GDLOG_ASSIGN_OR_RETURN(bool ready, PollOne(fd_, POLLIN, timeout_ms));
+  if (!ready) return Status::BudgetExhausted("read timed out");
+  for (;;) {
+    ssize_t n = ::recv(fd_, buf, capacity, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+Status Connection::WriteAll(std::string_view data, int timeout_ms) {
+  if (fd_ < 0) return Status::Internal("write on closed connection");
+  size_t off = 0;
+  while (off < data.size()) {
+    GDLOG_ASSIGN_OR_RETURN(bool ready, PollOne(fd_, POLLOUT, timeout_ms));
+    if (!ready) return Status::BudgetExhausted("write timed out");
+    ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ListenSocket
+// ---------------------------------------------------------------------------
+
+ListenSocket::ListenSocket(ListenSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)) {}
+
+ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
+  if (this != &other) {
+    CloseQuietly(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+ListenSocket::~ListenSocket() { CloseQuietly(fd_); }
+
+Result<ListenSocket> ListenSocket::BindTcp(const std::string& host, int port,
+                                           int backlog) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("bad port: " + std::to_string(port));
+  }
+  struct addrinfo hints;
+  ::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* addrs = nullptr;
+  int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                         std::to_string(port).c_str(), &hints, &addrs);
+  if (rc != 0) {
+    return Status::InvalidArgument("cannot resolve '" + host +
+                                   "': " + ::gai_strerror(rc));
+  }
+  Status last = Status::Internal("no addresses for '" + host + "'");
+  for (struct addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd, backlog) != 0) {
+      last = Errno("bind/listen");
+      CloseQuietly(fd);
+      continue;
+    }
+    // Recover the kernel-assigned port for the port-0 case.
+    struct sockaddr_storage bound;
+    socklen_t len = sizeof(bound);
+    int actual = port;
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) ==
+        0) {
+      if (bound.ss_family == AF_INET) {
+        actual = ntohs(reinterpret_cast<struct sockaddr_in*>(&bound)
+                           ->sin_port);
+      } else if (bound.ss_family == AF_INET6) {
+        actual = ntohs(reinterpret_cast<struct sockaddr_in6*>(&bound)
+                           ->sin6_port);
+      }
+    }
+    ::freeaddrinfo(addrs);
+    return ListenSocket(fd, actual);
+  }
+  ::freeaddrinfo(addrs);
+  return last;
+}
+
+Result<std::optional<Connection>> ListenSocket::Accept(int wake_fd) {
+  if (fd_ < 0) return Status::Internal("accept on closed socket");
+  for (;;) {
+    struct pollfd pfds[2];
+    pfds[0].fd = fd_;
+    pfds[0].events = POLLIN;
+    pfds[1].fd = wake_fd;
+    pfds[1].events = POLLIN;
+    int rc = ::poll(pfds, wake_fd >= 0 ? 2 : 1, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    // Wake beats accept: a shutdown request stops the intake even when
+    // connections are still queued.
+    if (wake_fd >= 0 && (pfds[1].revents & (POLLIN | POLLHUP)) != 0) {
+      return std::optional<Connection>();
+    }
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      // A connection that died between poll and accept is not our error.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Errno("accept");
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return std::optional<Connection>(Connection(fd));
+  }
+}
+
+}  // namespace gdlog

@@ -2,9 +2,12 @@
 
 #include <errno.h>
 #include <fcntl.h>
+#include <poll.h>
 #include <signal.h>
+#include <stdint.h>
 #include <string.h>
 #include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <utility>
@@ -83,10 +86,52 @@ void Subprocess::Abandon() {
 }
 
 Result<int> Subprocess::Wait(std::string* stdout_data) {
+  return Wait(stdout_data, /*timeout_ms=*/-1);
+}
+
+namespace {
+
+/// Milliseconds of CLOCK_MONOTONIC — the deadline base for timed waits.
+int64_t NowMs() {
+  struct timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return int64_t(ts.tv_sec) * 1000 + ts.tv_nsec / 1'000'000;
+}
+
+}  // namespace
+
+Result<int> Subprocess::Wait(std::string* stdout_data, int timeout_ms) {
   if (pid_ < 0) return Status::Internal("subprocess already waited on");
+  const int64_t deadline =
+      timeout_ms < 0 ? 0 : NowMs() + timeout_ms;
+  auto timed_out = [&]() -> Status {
+    Status st = Status::BudgetExhausted(
+        "subprocess timed out after " + std::to_string(timeout_ms) +
+        "ms; killed");
+    Abandon();  // SIGKILL + reap: a wedged worker must not outlive us
+    return st;
+  };
   stdout_data->clear();
   char buf[1 << 16];
   for (;;) {
+    if (timeout_ms >= 0) {
+      int64_t remaining = deadline - NowMs();
+      if (remaining <= 0) return timed_out();
+      struct pollfd pfd;
+      pfd.fd = stdout_fd_;
+      pfd.events = POLLIN;
+      int rc = ::poll(&pfd, 1,
+                      static_cast<int>(remaining > INT32_MAX ? INT32_MAX
+                                                             : remaining));
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        Status st =
+            Status::Internal(std::string("poll: ") + ::strerror(errno));
+        Abandon();
+        return st;
+      }
+      if (rc == 0) return timed_out();
+    }
     ssize_t n = ::read(stdout_fd_, buf, sizeof(buf));
     if (n > 0) {
       stdout_data->append(buf, static_cast<size_t>(n));
@@ -104,6 +149,29 @@ Result<int> Subprocess::Wait(std::string* stdout_data) {
   CloseQuietly(std::exchange(stdout_fd_, -1));
 
   int wstatus = 0;
+  if (timeout_ms >= 0) {
+    // EOF on stdout does not imply exit (the child may have closed the
+    // pipe and wedged); poll for the exit under the same deadline.
+    for (;;) {
+      pid_t rc = ::waitpid(pid_, &wstatus, WNOHANG);
+      if (rc > 0) {
+        pid_ = -1;
+        if (WIFEXITED(wstatus)) return WEXITSTATUS(wstatus);
+        if (WIFSIGNALED(wstatus)) return 128 + WTERMSIG(wstatus);
+        return Status::Internal("subprocess ended in unknown state");
+      }
+      if (rc < 0 && errno != EINTR) {
+        pid_ = -1;
+        return Status::Internal(std::string("waitpid: ") +
+                                ::strerror(errno));
+      }
+      if (rc == 0) {
+        if (NowMs() >= deadline) return timed_out();
+        struct timespec nap = {0, 1'000'000};  // 1ms
+        ::nanosleep(&nap, nullptr);
+      }
+    }
+  }
   pid_t pid = std::exchange(pid_, -1);
   for (;;) {
     if (::waitpid(pid, &wstatus, 0) >= 0) break;

@@ -34,6 +34,14 @@ class Subprocess {
   /// deadlock. Valid once.
   Result<int> Wait(std::string* stdout_data);
 
+  /// Like Wait(), but gives up after `timeout_ms` (-1 = wait forever): the
+  /// child is SIGKILLed and reaped, and kBudgetExhausted comes back with
+  /// whatever stdout had arrived left in `stdout_data`. This is what keeps
+  /// hung workers — a wedged shard, a server integration test gone wrong —
+  /// from hanging CI forever. The deadline covers the whole drain+reap,
+  /// including a child that closed stdout but refuses to exit.
+  Result<int> Wait(std::string* stdout_data, int timeout_ms);
+
   /// The path of the currently running executable (/proc/self/exe when
   /// resolvable, `fallback_argv0` otherwise) — how the shard driver
   /// re-invokes itself as a worker.

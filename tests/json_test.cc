@@ -130,6 +130,103 @@ TEST(JsonParse, RejectsMalformedDocuments) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Wire hardening: server request bodies are untrusted, so the parser
+// enforces RFC 8259 strings in full — escaped control characters only,
+// paired surrogates, shortest-form UTF-8.
+// ---------------------------------------------------------------------------
+
+TEST(JsonParse, RejectsUnescapedControlCharacters) {
+  std::string ctrl = "\"a";
+  ctrl += '\x01';
+  ctrl += "b\"";
+  EXPECT_FALSE(JsonValue::Parse(ctrl).ok());
+  std::string nul = "\"a";
+  nul += '\0';
+  nul += "b\"";
+  EXPECT_FALSE(JsonValue::Parse(nul).ok());
+  EXPECT_FALSE(JsonValue::Parse("\"line\nbreak\"").ok());
+  // The escaped forms of the same characters are fine.
+  auto ok = JsonValue::Parse(R"("a\u0001b\nc\u0000")");
+  ASSERT_TRUE(ok.ok());
+  std::string expected = "a";
+  expected += '\x01';
+  expected += "b\nc";
+  expected += '\0';
+  EXPECT_EQ(ok->string_value(), expected);
+}
+
+TEST(JsonParse, RejectsInvalidUtf8) {
+  for (const char* bad : {
+           "\"\x80\"",          // lone continuation byte
+           "\"\xC3(\"",         // 2-byte lead without continuation
+           "\"\xC0\xAF\"",      // overlong '/' (2 bytes)
+           "\"\xC1\x81\"",      // overlong 'A'-range lead
+           "\"\xE0\x80\xAF\"",  // overlong (3 bytes)
+           "\"\xF0\x80\x80\xAF\"",  // overlong (4 bytes)
+           "\"\xED\xA0\x80\"",  // UTF-8-encoded surrogate U+D800
+           "\"\xF4\x90\x80\x80\"",  // > U+10FFFF
+           "\"\xF5\x80\x80\x80\"",  // invalid lead byte
+           "\"\xE2\x82\"",      // truncated at end of string
+       }) {
+    EXPECT_FALSE(JsonValue::Parse(bad).ok()) << "input: " << bad;
+  }
+}
+
+TEST(JsonParse, AcceptsValidUtf8Verbatim) {
+  // 2-, 3- and 4-byte sequences pass through untouched.
+  std::string s = "\"\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x98\x80\"";
+  auto doc = JsonValue::Parse(s);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->string_value(), s.substr(1, s.size() - 2));
+}
+
+TEST(JsonParse, SurrogatePairEscapes) {
+  // \uD83D\uDE00 is the surrogate-pair escape of U+1F600, which must
+  // come back combined, as 4-byte UTF-8.
+  auto pair = JsonValue::Parse(R"("\uD83D\uDE00")");
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair->string_value(), "\xF0\x9F\x98\x80");
+  // Lone or mispaired surrogate escapes are rejected.
+  EXPECT_FALSE(JsonValue::Parse(R"("\uD83D")").ok());
+  EXPECT_FALSE(JsonValue::Parse(R"("\uDE00")").ok());
+  EXPECT_FALSE(JsonValue::Parse(R"("\uD83Dx")").ok());
+  EXPECT_FALSE(JsonValue::Parse(R"("\uD83DA")").ok());
+}
+
+TEST(JsonWriter, EscapesAllControlCharacters) {
+  std::string raw;
+  for (int c = 0; c < 0x20; ++c) raw += static_cast<char>(c);
+  JsonWriter json;
+  json.String(raw);
+  // Nothing below 0x20 may appear raw in the output...
+  for (char c : json.str()) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+  // ...and the hardened parser round-trips it back byte-for-byte.
+  auto parsed = JsonValue::Parse(json.str());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string_value(), raw);
+}
+
+TEST(JsonParse, LenientModeRoundTripsArbitraryWriterBytes) {
+  // Program string constants may hold arbitrary bytes (the surface lexer
+  // does not restrict them); JsonWriter emits them verbatim, and the
+  // shard partial-space import must read back exactly what was written —
+  // that is what strict_strings=false exists for.
+  std::string raw = "caf";
+  raw += '\xE9';  // Latin-1 é: invalid as UTF-8
+  raw += '\x80';  // lone continuation byte
+  JsonWriter writer;
+  writer.BeginObject().KV("s", raw).EndObject();
+  EXPECT_FALSE(JsonValue::Parse(writer.str()).ok());  // strict: rejected
+  JsonParseOptions lenient;
+  lenient.strict_strings = false;
+  auto doc = JsonValue::Parse(writer.str(), lenient);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("s")->string_value(), raw);
+}
+
 TEST(JsonParse, RejectsRunawayNesting) {
   std::string deep(200, '[');
   deep += std::string(200, ']');

@@ -1,0 +1,717 @@
+// The serving subsystem: ProgramRegistry lifecycle, InferenceCache
+// hit/miss/single-flight/eviction semantics, the InferenceService endpoint
+// surface (including its byte-identity contract with `gdlog_cli --json`),
+// and the HTTP layer over real loopback sockets — keep-alive, 4xx paths,
+// request limits, concurrent clients, graceful shutdown.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "gdatalog/export.h"
+#include "server/cache.h"
+#include "server/http.h"
+#include "server/registry.h"
+#include "server/service.h"
+#include "util/json.h"
+#include "util/socket.h"
+
+namespace gdlog {
+namespace {
+
+constexpr const char* kCoinProgram =
+    "coin(flip<0.5>). win :- coin(1).\n";
+
+constexpr const char* kNetworkProgram =
+    "infected(Y, flip<0.1>[X, Y]) :- infected(X, 1), connected(X, Y).\n"
+    "uninfected(X) :- router(X), not infected(X, 1).\n"
+    ":- uninfected(X), uninfected(Y), connected(X, Y).\n";
+
+constexpr const char* kClique3Db =
+    "router(1). router(2). router(3).\n"
+    "connected(1,2). connected(2,1). connected(1,3). connected(3,1).\n"
+    "connected(2,3). connected(3,2).\n"
+    "infected(1, 1).\n";
+
+// ---------------------------------------------------------------------------
+// ProgramRegistry
+// ---------------------------------------------------------------------------
+
+TEST(ProgramRegistry, RegisterFindRemove) {
+  ProgramRegistry registry;
+  ProgramSpec spec;
+  spec.program_text = kCoinProgram;
+  auto info = registry.Register(spec);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->created);
+  EXPECT_EQ(info->revision, 0u);
+  EXPECT_EQ(registry.size(), 1u);
+
+  auto entry = registry.Find(info->id);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->spec.program_text, kCoinProgram);
+
+  ASSERT_TRUE(registry.Remove(info->id).ok());
+  EXPECT_EQ(registry.Find(info->id), nullptr);
+  EXPECT_EQ(registry.Remove(info->id).code(), StatusCode::kNotFound);
+}
+
+TEST(ProgramRegistry, RegistrationIsIdempotentPerSpec) {
+  ProgramRegistry registry;
+  ProgramSpec spec;
+  spec.program_text = kCoinProgram;
+  auto first = registry.Register(spec);
+  ASSERT_TRUE(first.ok());
+  auto second = registry.Register(spec);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->id, second->id);
+  EXPECT_FALSE(second->created);
+  EXPECT_EQ(registry.size(), 1u);
+
+  // A different grounder is a different spec and gets its own entry.
+  spec.grounder = GrounderKind::kSimple;
+  auto third = registry.Register(spec);
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third->created);
+  EXPECT_NE(third->id, first->id);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(ProgramRegistry, RegisterRejectsBadPrograms) {
+  ProgramRegistry registry;
+  ProgramSpec spec;
+  spec.program_text = "this is not a program";
+  auto info = registry.Register(spec);
+  ASSERT_FALSE(info.ok());
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(ProgramRegistry, ReplaceDatabaseBumpsRevisionAndKeepsId) {
+  ProgramRegistry registry;
+  ProgramSpec spec;
+  spec.program_text = kCoinProgram;
+  auto info = registry.Register(spec);
+  ASSERT_TRUE(info.ok());
+
+  auto old_entry = registry.Find(info->id);
+  auto replaced = registry.ReplaceDatabase(info->id, "");
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ(replaced->id, info->id);
+  EXPECT_EQ(replaced->revision, 1u);
+
+  // The old entry stays alive for holders; the registry serves the new one.
+  EXPECT_EQ(old_entry->revision, 0u);
+  EXPECT_EQ(registry.Find(info->id)->revision, 1u);
+  EXPECT_EQ(registry.ReplaceDatabase("nope", "").status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// InferenceCache
+// ---------------------------------------------------------------------------
+
+OutcomeSpace SpaceWithOutcomes(size_t n) {
+  OutcomeSpace space;
+  space.outcomes.resize(n);
+  return space;
+}
+
+TEST(InferenceCache, HitAfterMiss) {
+  InferenceCache cache(1 << 20);
+  std::atomic<int> computes{0};
+  auto compute = [&]() -> Result<OutcomeSpace> {
+    ++computes;
+    return SpaceWithOutcomes(2);
+  };
+  auto a = cache.LookupOrCompute("k1", compute);
+  ASSERT_TRUE(a.ok());
+  auto b = cache.LookupOrCompute("k1", compute);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);  // the same shared space, not a copy
+  EXPECT_EQ(computes.load(), 1);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(InferenceCache, SingleFlightCoalescesConcurrentIdenticalLookups) {
+  InferenceCache cache(1 << 20);
+  std::atomic<int> computes{0};
+  auto slow_compute = [&]() -> Result<OutcomeSpace> {
+    ++computes;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    return SpaceWithOutcomes(1);
+  };
+  constexpr int kThreads = 8;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      auto space = cache.LookupOrCompute("same-key", slow_compute);
+      if (space.ok() && (*space)->outcomes.size() == 1) ++ok;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kThreads);
+  EXPECT_EQ(computes.load(), 1) << "N identical lookups must run one chase";
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.coalesced, uint64_t(kThreads - 1));
+}
+
+TEST(InferenceCache, FailedComputeIsSharedButNeverCached) {
+  InferenceCache cache(1 << 20);
+  std::atomic<int> computes{0};
+  auto failing = [&]() -> Result<OutcomeSpace> {
+    ++computes;
+    return Status::Internal("chase exploded");
+  };
+  EXPECT_FALSE(cache.LookupOrCompute("k", failing).ok());
+  EXPECT_FALSE(cache.LookupOrCompute("k", failing).ok());
+  // Each sequential failure recomputes (errors are not negative-cached)...
+  EXPECT_EQ(computes.load(), 2);
+  // ...and nothing was stored.
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().inserts, 0u);
+}
+
+TEST(InferenceCache, EvictsLeastRecentlyUsedToHoldTheMemoryBound) {
+  // Each 4-outcome space costs a few hundred bytes; a ~3-entry budget
+  // forces LRU eviction on the fourth insert.
+  size_t unit = InferenceCache::ApproxBytes(SpaceWithOutcomes(4));
+  InferenceCache cache(3 * unit + unit / 2);
+  auto compute = []() -> Result<OutcomeSpace> {
+    return SpaceWithOutcomes(4);
+  };
+  ASSERT_TRUE(cache.LookupOrCompute("a", compute).ok());
+  ASSERT_TRUE(cache.LookupOrCompute("b", compute).ok());
+  ASSERT_TRUE(cache.LookupOrCompute("c", compute).ok());
+  // Touch "a" so "b" is the least recently used.
+  ASSERT_TRUE(cache.LookupOrCompute("a", compute).ok());
+  ASSERT_TRUE(cache.LookupOrCompute("d", compute).ok());
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_LE(stats.bytes, stats.capacity_bytes);
+  // "b" was evicted; "a" survived its touch.
+  ASSERT_TRUE(cache.LookupOrCompute("a", compute).ok());
+  EXPECT_EQ(cache.stats().misses, 4u);  // a, b, c, d — not the re-touches
+  ASSERT_TRUE(cache.LookupOrCompute("b", compute).ok());
+  EXPECT_EQ(cache.stats().misses, 5u);  // b again: it was gone
+}
+
+TEST(InferenceCache, OversizedSpacesAreServedButNotCached) {
+  InferenceCache cache(64);  // smaller than any real space
+  std::atomic<int> computes{0};
+  auto compute = [&]() -> Result<OutcomeSpace> {
+    ++computes;
+    return SpaceWithOutcomes(8);
+  };
+  ASSERT_TRUE(cache.LookupOrCompute("k", compute).ok());
+  ASSERT_TRUE(cache.LookupOrCompute("k", compute).ok());
+  EXPECT_EQ(computes.load(), 2);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(InferenceCache, ErasePrefixDropsOneProgramsLines) {
+  InferenceCache cache(1 << 20);
+  auto compute = []() -> Result<OutcomeSpace> {
+    return SpaceWithOutcomes(1);
+  };
+  ASSERT_TRUE(cache.LookupOrCompute("p1|rev=0|x", compute).ok());
+  ASSERT_TRUE(cache.LookupOrCompute("p1|rev=1|x", compute).ok());
+  ASSERT_TRUE(cache.LookupOrCompute("p2|rev=0|x", compute).ok());
+  EXPECT_EQ(cache.ErasePrefix("p1|"), 2u);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 2u);
+}
+
+TEST(InferenceCache, FingerprintSeparatesSemanticOptions) {
+  ChaseOptions base;
+  std::string key = InferenceCache::Fingerprint("p1", 0, base);
+  // Result-affecting knobs change the key...
+  for (auto mutate : std::vector<void (*)(ChaseOptions&)>{
+           [](ChaseOptions& o) { o.max_outcomes = 7; },
+           [](ChaseOptions& o) { o.max_depth = 7; },
+           [](ChaseOptions& o) { o.support_limit = 7; },
+           [](ChaseOptions& o) { o.min_path_prob = 1e-9; },
+           [](ChaseOptions& o) { o.trigger_shuffle_seed = 7; },
+           [](ChaseOptions& o) { o.solver_max_nodes = 7; },
+       }) {
+    ChaseOptions options = base;
+    mutate(options);
+    EXPECT_NE(InferenceCache::Fingerprint("p1", 0, options), key);
+  }
+  // ...revision and id too...
+  EXPECT_NE(InferenceCache::Fingerprint("p1", 1, base), key);
+  EXPECT_NE(InferenceCache::Fingerprint("p2", 0, base), key);
+  // ...while purely operational knobs do not.
+  ChaseOptions threads = base;
+  threads.num_threads = 16;
+  threads.incremental = false;
+  threads.keep_groundings = true;
+  EXPECT_EQ(InferenceCache::Fingerprint("p1", 0, threads), key);
+}
+
+// ---------------------------------------------------------------------------
+// InferenceService (no sockets)
+// ---------------------------------------------------------------------------
+
+HttpRequest MakeRequest(std::string method, std::string target,
+                        std::string body = "") {
+  HttpRequest request;
+  request.method = std::move(method);
+  request.target = std::move(target);
+  request.body = std::move(body);
+  return request;
+}
+
+InferenceService::Options ServiceOptions() {
+  InferenceService::Options options;
+  options.default_chase.num_threads = 1;
+  return options;
+}
+
+/// Registers a program and returns its id.
+std::string MustRegister(InferenceService& service, const char* program,
+                         const char* db = "") {
+  JsonWriter body;
+  body.BeginObject().KV("program", program).KV("db", db).EndObject();
+  HttpResponse response =
+      service.Handle(MakeRequest("POST", "/programs", body.str()));
+  EXPECT_EQ(response.status, 201) << response.body;
+  auto doc = JsonValue::Parse(response.body);
+  EXPECT_TRUE(doc.ok());
+  const JsonValue* id = doc->Find("id");
+  EXPECT_NE(id, nullptr);
+  return id->string_value();
+}
+
+TEST(InferenceService, QueryBodyIsByteIdenticalToCliJsonExport) {
+  InferenceService service(ServiceOptions());
+  std::string id = MustRegister(service, kNetworkProgram, kClique3Db);
+
+  // What gdlog_cli --json prints for the same program/DB/default budgets
+  // (RunExact → OutcomeSpaceToJson + "\n", include flags all false).
+  auto engine = GDatalog::Create(kNetworkProgram, kClique3Db);
+  ASSERT_TRUE(engine.ok());
+  ChaseOptions chase;
+  chase.num_threads = 1;
+  auto space = engine->Infer(chase);
+  ASSERT_TRUE(space.ok());
+  JsonExportOptions bare;
+  bare.include_outcomes = false;
+  bare.include_models = false;
+  bare.include_events = false;
+  std::string cli_bare =
+      OutcomeSpaceToJson(*space, engine->translated(),
+                         engine->program().interner(), bare) +
+      "\n";
+  JsonExportOptions full;
+  full.include_outcomes = true;
+  full.include_models = true;
+  full.include_events = true;
+  std::string cli_full =
+      OutcomeSpaceToJson(*space, engine->translated(),
+                         engine->program().interner(), full) +
+      "\n";
+
+  HttpResponse bare_response = service.Handle(MakeRequest(
+      "POST", "/query", std::string(R"({"program_id":")") + id + "\"}"));
+  ASSERT_EQ(bare_response.status, 200) << bare_response.body;
+  EXPECT_EQ(bare_response.body, cli_bare);
+
+  HttpResponse full_response = service.Handle(MakeRequest(
+      "POST", "/query",
+      std::string(R"({"program_id":")") + id +
+          R"(","include_outcomes":true,"include_models":true,)"
+          R"("include_events":true})"));
+  ASSERT_EQ(full_response.status, 200) << full_response.body;
+  EXPECT_EQ(full_response.body, cli_full);
+}
+
+TEST(InferenceService, RepeatedQueryIsServedFromTheCache) {
+  InferenceService service(ServiceOptions());
+  std::string id = MustRegister(service, kCoinProgram);
+  std::string body = std::string(R"({"program_id":")") + id + "\"}";
+  HttpResponse first = service.Handle(MakeRequest("POST", "/query", body));
+  HttpResponse second = service.Handle(MakeRequest("POST", "/query", body));
+  ASSERT_EQ(first.status, 200);
+  ASSERT_EQ(second.status, 200);
+  EXPECT_EQ(first.body, second.body);
+  auto stats = service.cache().stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  // Different budgets are a different space: a fresh chase.
+  HttpResponse other = service.Handle(MakeRequest(
+      "POST", "/query",
+      std::string(R"({"program_id":")") + id +
+          R"(","options":{"support_limit":32}})"));
+  ASSERT_EQ(other.status, 200);
+  EXPECT_EQ(service.cache().stats().misses, 2u);
+}
+
+TEST(InferenceService, MarginalQueriesMatchOutcomeSpaceBounds) {
+  InferenceService service(ServiceOptions());
+  std::string id = MustRegister(service, kCoinProgram);
+  HttpResponse response = service.Handle(MakeRequest(
+      "POST", "/query",
+      std::string(R"({"program_id":")") + id +
+          R"x(","queries":["win","never_mentioned(3)"]})x"));
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto doc = JsonValue::Parse(response.body);
+  ASSERT_TRUE(doc.ok());
+  const JsonValue* marginals = doc->Find("marginals");
+  ASSERT_NE(marginals, nullptr);
+  ASSERT_EQ(marginals->array().size(), 2u);
+  const JsonValue& win = marginals->array()[0];
+  EXPECT_EQ(win.Find("lower")->Find("rational")->string_value(), "1/2");
+  EXPECT_EQ(win.Find("upper")->Find("rational")->string_value(), "1/2");
+  // An atom over names the program never interned has marginal [0, 0].
+  const JsonValue& unknown = marginals->array()[1];
+  EXPECT_EQ(unknown.Find("lower")->Find("rational")->string_value(), "0");
+  EXPECT_EQ(unknown.Find("upper")->Find("rational")->string_value(), "0");
+}
+
+TEST(InferenceService, SampleEndpointEstimatesAndNeverCaches) {
+  InferenceService service(ServiceOptions());
+  std::string id = MustRegister(service, kCoinProgram);
+  std::string body = std::string(R"({"program_id":")") + id +
+                     R"(","samples":400,"seed":11,"queries":["win"]})";
+  HttpResponse response =
+      service.Handle(MakeRequest("POST", "/sample", body));
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto doc = JsonValue::Parse(response.body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_DOUBLE_EQ(doc->Find("prob_consistent")->Find("mean")->
+                       NumberAsDouble(),
+                   1.0);
+  double win = doc->Find("marginals")->array()[0].Find("lower")->
+               Find("mean")->NumberAsDouble();
+  EXPECT_NEAR(win, 0.5, 0.15);
+  // Monte-Carlo runs bypass the cache entirely.
+  EXPECT_EQ(service.cache().stats().misses, 0u);
+  EXPECT_EQ(service.cache().stats().hits, 0u);
+  // Sample counts above the server cap are rejected.
+  HttpResponse too_many = service.Handle(MakeRequest(
+      "POST", "/sample",
+      std::string(R"({"program_id":")") + id +
+          R"(","samples":99000000000})"));
+  EXPECT_EQ(too_many.status, 400);
+}
+
+TEST(InferenceService, DatabaseReplacementInvalidatesCachedSpaces) {
+  InferenceService service(ServiceOptions());
+  std::string id = MustRegister(service, kNetworkProgram, kClique3Db);
+  std::string query = std::string(R"({"program_id":")") + id + "\"}";
+  HttpResponse before =
+      service.Handle(MakeRequest("POST", "/query", query));
+  ASSERT_EQ(before.status, 200);
+  // Shrink the network to two routers: a different outcome space.
+  HttpResponse replaced = service.Handle(MakeRequest(
+      "PUT", "/programs/" + id + "/db",
+      R"({"db":"router(1). router(2). connected(1,2). connected(2,1). )"
+      R"(infected(1, 1)."})"));
+  ASSERT_EQ(replaced.status, 200) << replaced.body;
+  EXPECT_EQ(service.cache().stats().entries, 0u);
+  HttpResponse after = service.Handle(MakeRequest("POST", "/query", query));
+  ASSERT_EQ(after.status, 200);
+  EXPECT_NE(after.body, before.body);
+  EXPECT_EQ(service.cache().stats().misses, 2u);
+}
+
+TEST(InferenceService, MalformedRequestsGetFourHundreds) {
+  InferenceService service(ServiceOptions());
+  std::string id = MustRegister(service, kCoinProgram);
+  struct Case {
+    const char* name;
+    HttpRequest request;
+    int status;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"query body is not json",
+                   MakeRequest("POST", "/query", "not json"), 400});
+  cases.push_back({"query body is not an object",
+                   MakeRequest("POST", "/query", "[1,2]"), 400});
+  cases.push_back({"missing program_id",
+                   MakeRequest("POST", "/query", "{}"), 400});
+  cases.push_back({"unknown program id",
+                   MakeRequest("POST", "/query",
+                               R"({"program_id":"p999"})"), 404});
+  cases.push_back({"bad options type",
+                   MakeRequest("POST", "/query",
+                               std::string(R"({"program_id":")") + id +
+                                   R"(","options":{"max_depth":"x"}})"),
+                   400});
+  cases.push_back({"queries not an array",
+                   MakeRequest("POST", "/query",
+                               std::string(R"({"program_id":")") + id +
+                                   R"(","queries":"win"})"),
+                   400});
+  cases.push_back({"query atom is not an atom",
+                   MakeRequest("POST", "/query",
+                               std::string(R"({"program_id":")") + id +
+                                   R"(","queries":["not an atom ("]})"),
+                   400});
+  cases.push_back({"register without program",
+                   MakeRequest("POST", "/programs", R"({"db":""})"), 400});
+  cases.push_back({"register with parse error",
+                   MakeRequest("POST", "/programs",
+                               R"({"program":"syntax error here"})"),
+                   400});
+  cases.push_back({"register with bad grounder",
+                   MakeRequest("POST", "/programs",
+                               R"({"program":"a.","grounder":"quantum"})"),
+                   400});
+  cases.push_back({"unknown path",
+                   MakeRequest("GET", "/nothing"), 404});
+  cases.push_back({"unknown program subresource",
+                   MakeRequest("GET", "/programs/p1/tea"), 404});
+  cases.push_back({"wrong method on /query",
+                   MakeRequest("GET", "/query"), 405});
+  cases.push_back({"wrong method on /healthz",
+                   MakeRequest("POST", "/healthz", "{}"), 405});
+  cases.push_back({"delete unknown program",
+                   MakeRequest("DELETE", "/programs/p999"), 404});
+  cases.push_back({"sample without samples",
+                   MakeRequest("POST", "/sample",
+                               std::string(R"({"program_id":")") + id +
+                                   "\"}"),
+                   400});
+  for (const Case& c : cases) {
+    HttpResponse response = service.Handle(c.request);
+    EXPECT_EQ(response.status, c.status)
+        << c.name << ": " << response.body;
+    if (response.status >= 400) {
+      auto doc = JsonValue::Parse(response.body);
+      ASSERT_TRUE(doc.ok()) << c.name;
+      EXPECT_NE(doc->Find("error"), nullptr) << c.name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP server over real sockets
+// ---------------------------------------------------------------------------
+
+/// An HttpServer + InferenceService running Serve() on a background
+/// thread; shuts down and joins on destruction.
+class LiveServer {
+ public:
+  explicit LiveServer(HttpServerOptions options = {}) {
+    service_ = std::make_unique<InferenceService>(ServiceOptions());
+    options.workers = options.workers != 0 ? options.workers : 8;
+    auto server = HttpServer::Create(
+        options,
+        [this](const HttpRequest& request) {
+          return service_->Handle(request);
+        });
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::make_unique<HttpServer>(std::move(*server));
+    thread_ = std::thread([this] {
+      Status status = server_->Serve();
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    });
+  }
+
+  ~LiveServer() {
+    server_->Shutdown();
+    thread_.join();
+  }
+
+  int port() const { return server_->port(); }
+  InferenceService& service() { return *service_; }
+
+ private:
+  std::unique_ptr<InferenceService> service_;
+  std::unique_ptr<HttpServer> server_;
+  std::thread thread_;
+};
+
+TEST(HttpServer, HealthzAndKeepAliveOnOneConnection) {
+  LiveServer server;
+  auto client = HttpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  // Two requests over the same connection exercise keep-alive framing.
+  auto first = client->Request("GET", "/healthz");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->status, 200);
+  EXPECT_EQ(first->body, "{\"status\":\"ok\"}\n");
+  auto second = client->Request("GET", "/stats");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->status, 200);
+  auto doc = JsonValue::Parse(second->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_NE(doc->Find("cache"), nullptr);
+}
+
+TEST(HttpServer, ConcurrentIdenticalQueriesRunOneChase) {
+  LiveServer server;
+  auto setup = HttpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(setup.ok());
+  JsonWriter reg;
+  reg.BeginObject().KV("program", kNetworkProgram).KV("db", kClique3Db)
+      .EndObject();
+  auto registered = setup->Request("POST", "/programs", reg.str());
+  ASSERT_TRUE(registered.ok());
+  ASSERT_EQ(registered->status, 201) << registered->body;
+  auto doc = JsonValue::Parse(registered->body);
+  ASSERT_TRUE(doc.ok());
+  std::string body = std::string(R"({"program_id":")") +
+                     doc->Find("id")->string_value() + "\"}";
+
+  constexpr int kClients = 6;
+  constexpr int kRequestsEach = 4;
+  std::atomic<int> ok{0};
+  std::atomic<int> mismatches{0};
+  std::string reference;
+  std::mutex mu;
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&] {
+      auto client = HttpClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) return;
+      for (int r = 0; r < kRequestsEach; ++r) {
+        auto response = client->Request("POST", "/query", body);
+        if (!response.ok() || response->status != 200) continue;
+        std::lock_guard<std::mutex> lock(mu);
+        if (reference.empty()) {
+          reference = response->body;
+        } else if (response->body != reference) {
+          ++mismatches;
+        }
+        ++ok;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok.load(), kClients * kRequestsEach);
+  EXPECT_EQ(mismatches.load(), 0);
+  auto stats = server.service().cache().stats();
+  EXPECT_EQ(stats.misses, 1u) << "identical concurrent queries must "
+                                 "coalesce onto one chase";
+  EXPECT_EQ(stats.hits + stats.coalesced,
+            uint64_t(kClients * kRequestsEach - 1));
+}
+
+TEST(HttpServer, RejectsOversizedBodiesWith413) {
+  HttpServerOptions options;
+  options.max_body_bytes = 512;
+  LiveServer server(options);
+  auto client = HttpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  std::string big(2048, 'x');
+  auto response = client->Request("POST", "/query", big);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 413);
+}
+
+TEST(HttpServer, RejectsOversizedHeadersWith431) {
+  LiveServer server;
+  auto conn = Connection::ConnectTcp("127.0.0.1", server.port(), 5000);
+  ASSERT_TRUE(conn.ok());
+  std::string request = "GET /healthz HTTP/1.1\r\nX-Big: ";
+  request += std::string(128 * 1024, 'a');
+  ASSERT_TRUE(conn->WriteAll(request, 5000).ok());
+  char buf[256];
+  auto n = conn->ReadSome(buf, sizeof(buf), 5000);
+  ASSERT_TRUE(n.ok());
+  EXPECT_NE(std::string(buf, *n).find("431"), std::string::npos);
+}
+
+TEST(HttpServer, RejectsMalformedRequestLinesWith400) {
+  for (const char* raw : {
+           "GARBAGE\r\n\r\n",
+           "GET /healthz HTTP/2.0\r\n\r\n",
+           "GET nothing HTTP/1.1\r\n\r\n",
+           "GET /healthz HTTP/1.1\r\nno colon here\r\n\r\n",
+           "GET /healthz HTTP/1.1\r\nContent-Length: 12x\r\n\r\n",
+       }) {
+    LiveServer server;
+    auto conn = Connection::ConnectTcp("127.0.0.1", server.port(), 5000);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn->WriteAll(raw, 5000).ok());
+    char buf[256];
+    auto n = conn->ReadSome(buf, sizeof(buf), 5000);
+    ASSERT_TRUE(n.ok()) << raw;
+    std::string head(buf, *n);
+    EXPECT_NE(head.find("HTTP/1.1 400"), std::string::npos) << raw;
+  }
+}
+
+TEST(HttpServer, RejectsDuplicateContentLength) {
+  // Duplicate Content-Length is the classic request-smuggling shape; the
+  // server must refuse rather than pick one copy.
+  LiveServer server;
+  auto conn = Connection::ConnectTcp("127.0.0.1", server.port(), 5000);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->WriteAll("POST /query HTTP/1.1\r\n"
+                             "Content-Length: 2\r\n"
+                             "Content-Length: 4\r\n\r\n{}",
+                             5000)
+                  .ok());
+  char buf[256];
+  auto n = conn->ReadSome(buf, sizeof(buf), 5000);
+  ASSERT_TRUE(n.ok());
+  EXPECT_NE(std::string(buf, *n).find("HTTP/1.1 400"), std::string::npos);
+}
+
+TEST(InferenceService, ClampsClientThreadCounts) {
+  // options.num_threads sizes a real thread pool; an absurd client value
+  // must be clamped to the hardware, not honored (std::thread would
+  // abort the daemon).
+  InferenceService service(ServiceOptions());
+  std::string id = MustRegister(service, kCoinProgram);
+  HttpResponse response = service.Handle(MakeRequest(
+      "POST", "/query",
+      std::string(R"({"program_id":")") + id +
+          R"(","options":{"num_threads":1000000000}})"));
+  EXPECT_EQ(response.status, 200) << response.body;
+}
+
+TEST(HttpServer, TransferEncodingIsNotImplemented) {
+  LiveServer server;
+  auto conn = Connection::ConnectTcp("127.0.0.1", server.port(), 5000);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->WriteAll("POST /query HTTP/1.1\r\n"
+                             "Transfer-Encoding: chunked\r\n\r\n",
+                             5000)
+                  .ok());
+  char buf[256];
+  auto n = conn->ReadSome(buf, sizeof(buf), 5000);
+  ASSERT_TRUE(n.ok());
+  EXPECT_NE(std::string(buf, *n).find("501"), std::string::npos);
+}
+
+TEST(HttpServer, ShutdownDrainsAndServeReturns) {
+  auto service = std::make_unique<InferenceService>(ServiceOptions());
+  HttpServerOptions options;
+  options.workers = 2;
+  auto server = HttpServer::Create(
+      options, [&service](const HttpRequest& request) {
+        return service->Handle(request);
+      });
+  ASSERT_TRUE(server.ok());
+  std::thread serving([&server] {
+    EXPECT_TRUE(server->Serve().ok());
+  });
+  // An idle keep-alive connection must not block the drain.
+  auto idle = HttpClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(idle.ok());
+  ASSERT_TRUE(idle->Request("GET", "/healthz").ok());
+  auto start = std::chrono::steady_clock::now();
+  server->Shutdown();
+  serving.join();
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  EXPECT_LT(elapsed, 5.0) << "drain must beat the idle timeout";
+}
+
+}  // namespace
+}  // namespace gdlog

@@ -5,13 +5,100 @@
 # to the console; the timing data goes through --benchmark_format=json.
 #
 # Usage: tools/bench_baseline.sh [--quick] [build_dir]
+#        tools/bench_baseline.sh --compare OLD.json NEW.json
+#                                [--threshold PCT] [--skip-host-mismatch]
 #
 # --quick caps per-benchmark measurement time (0.05s instead of the
-# library's adaptive default) so the full E1-E11 sweep fits a CI smoke
+# library's adaptive default) so the full E1-E12 sweep fits a CI smoke
 # job; quick numbers are noisier and meant for artifacts/trend lines, not
 # for committing as the canonical baseline.
+#
+# --compare prints per-benchmark real_time deltas between two baseline
+# files and exits non-zero when any benchmark regressed by more than the
+# threshold (default 25%), which is what lets CI gate on perf instead of
+# just uploading artifacts. Benchmarks present in only one file are
+# reported but never gate. --skip-host-mismatch turns the whole compare
+# into a no-op (exit 0, with a notice) when the two files were recorded
+# on hosts with different core counts — cross-host "regressions" are
+# hardware, not code.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--compare" ]; then
+  shift
+  old=${1:?usage: --compare OLD.json NEW.json}
+  new=${2:?usage: --compare OLD.json NEW.json}
+  shift 2
+  threshold=25
+  skip_host_mismatch=0
+  while [ $# -gt 0 ]; do
+    case "$1" in
+      --threshold) threshold=${2:?--threshold needs a value}; shift 2 ;;
+      --skip-host-mismatch) skip_host_mismatch=1; shift ;;
+      *) echo "error: unknown compare flag: $1" >&2; exit 2 ;;
+    esac
+  done
+  exec python3 - "$old" "$new" "$threshold" "$skip_host_mismatch" <<'EOF'
+import json, sys
+
+old_path, new_path, threshold, skip_mismatch = (
+    sys.argv[1], sys.argv[2], float(sys.argv[3]), sys.argv[4] == "1")
+old = json.load(open(old_path))
+new = json.load(open(new_path))
+
+def rows(doc):
+    """(binary, benchmark name) -> real_time, plus one num_cpus seen."""
+    table, cpus = {}, None
+    for binary, payload in doc.items():
+        if binary.startswith("_") or not isinstance(payload, dict):
+            continue
+        cpus = payload.get("context", {}).get("num_cpus", cpus)
+        for row in payload.get("benchmarks", []):
+            # Skip aggregate rows (mean/median/stddev of repetitions);
+            # plain runs gate on the per-run real_time.
+            if row.get("aggregate_name"):
+                continue
+            table[(binary, row["name"])] = (row["real_time"],
+                                            row.get("time_unit", "ns"))
+    return table, cpus
+
+old_rows, old_cpus = rows(old)
+new_rows, new_cpus = rows(new)
+if skip_mismatch and old_cpus != new_cpus:
+    print(f"compare skipped: baselines recorded on different hosts "
+          f"(num_cpus {old_cpus} vs {new_cpus}); deltas would measure "
+          f"hardware, not code")
+    sys.exit(0)
+
+regressions = []
+print(f"{'benchmark':<58} {'old':>12} {'new':>12} {'delta':>8}")
+for key in sorted(set(old_rows) | set(new_rows)):
+    binary, name = key
+    label = f"{binary}:{name}"
+    if key not in old_rows:
+        print(f"{label:<58} {'-':>12} {new_rows[key][0]:>12.0f}      new")
+        continue
+    if key not in new_rows:
+        print(f"{label:<58} {old_rows[key][0]:>12.0f} {'-':>12}  removed")
+        continue
+    old_t, unit = old_rows[key]
+    new_t, _ = new_rows[key]
+    delta = (new_t - old_t) / old_t * 100.0 if old_t > 0 else 0.0
+    flag = ""
+    if delta > threshold:
+        flag = "  REGRESSED"
+        regressions.append((label, delta))
+    print(f"{label:<58} {old_t:>12.0f} {new_t:>12.0f} {delta:>+7.1f}%{flag}")
+
+if regressions:
+    print(f"\n{len(regressions)} benchmark(s) regressed more than "
+          f"{threshold:.0f}%:")
+    for label, delta in regressions:
+        print(f"  {label}: {delta:+.1f}%")
+    sys.exit(1)
+print(f"\nno regressions above {threshold:.0f}%")
+EOF
+fi
 
 quick_args=()
 if [ "${1:-}" = "--quick" ]; then

@@ -1,0 +1,286 @@
+// gdlog_load: load generator and smoke-checker for gdlogd. Registers a
+// program, fires N concurrent identical /query requests, verifies every
+// response is byte-identical, and reports latency percentiles plus the
+// server's cache counters — the "N identical queries run one chase"
+// single-flight property made observable from outside.
+//
+//   gdlog_load --port P --program FILE [options]
+//
+// Options:
+//   --host H              server address             (default 127.0.0.1)
+//   --port P              server port                (required)
+//   --program FILE        program in surface syntax  (required)
+//   --db FILE             database file              (default: empty DB)
+//   --grounder MODE       auto | simple | perfect    (default auto)
+//   --requests N          total /query requests      (default 64)
+//   --concurrency C       client connections         (default 8)
+//   --include-outcomes    ask for the outcomes section
+//   --include-events      ask for the event table
+//   --check               exit non-zero unless exactly one chase ran
+//                         (misses +1, hits+coalesced +N-1) and all
+//                         responses were 200 and byte-identical
+//   --dump-response FILE  write the response body to FILE (compare with
+//                         `gdlog_cli --json` via cmp)
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/http.h"
+#include "util/json.h"
+
+namespace {
+
+struct LoadOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string program_path;
+  std::string db_path;
+  std::string grounder = "auto";
+  size_t requests = 64;
+  size_t concurrency = 8;
+  bool include_outcomes = false;
+  bool include_events = false;
+  bool check = false;
+  std::string dump_path;
+};
+
+[[noreturn]] void Usage(const char* argv0, const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: %s --port P --program FILE [--host H] [--db FILE]\n"
+               "          [--grounder MODE] [--requests N]\n"
+               "          [--concurrency C] [--include-outcomes]\n"
+               "          [--include-events] [--check]\n"
+               "          [--dump-response FILE]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// cache.<field> out of a /stats body, or -1.
+long long CacheCounter(const gdlog::JsonValue& stats, const char* field) {
+  const gdlog::JsonValue* cache = stats.Find("cache");
+  if (cache == nullptr) return -1;
+  const gdlog::JsonValue* value = cache->Find(field);
+  if (value == nullptr || !value->is_number()) return -1;
+  auto n = value->NumberAsInt();
+  return n.ok() ? *n : -1;
+}
+
+gdlog::Result<gdlog::JsonValue> FetchStats(const std::string& host,
+                                           int port) {
+  GDLOG_ASSIGN_OR_RETURN(gdlog::HttpClient client,
+                         gdlog::HttpClient::Connect(host, port));
+  GDLOG_ASSIGN_OR_RETURN(gdlog::HttpResponse response,
+                         client.Request("GET", "/stats"));
+  if (response.status != 200) {
+    return gdlog::Status::Internal("/stats returned " +
+                                   std::to_string(response.status));
+  }
+  return gdlog::JsonValue::Parse(response.body);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadOptions opts;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) Usage(argv[0], "missing argument value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (!std::strcmp(arg, "--host")) {
+      opts.host = need_value(i);
+    } else if (!std::strcmp(arg, "--port")) {
+      opts.port = static_cast<int>(std::strtol(need_value(i), nullptr, 10));
+    } else if (!std::strcmp(arg, "--program")) {
+      opts.program_path = need_value(i);
+    } else if (!std::strcmp(arg, "--db")) {
+      opts.db_path = need_value(i);
+    } else if (!std::strcmp(arg, "--grounder")) {
+      opts.grounder = need_value(i);
+    } else if (!std::strcmp(arg, "--requests")) {
+      opts.requests = std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--concurrency")) {
+      opts.concurrency = std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--include-outcomes")) {
+      opts.include_outcomes = true;
+    } else if (!std::strcmp(arg, "--include-events")) {
+      opts.include_events = true;
+    } else if (!std::strcmp(arg, "--check")) {
+      opts.check = true;
+    } else if (!std::strcmp(arg, "--dump-response")) {
+      opts.dump_path = need_value(i);
+    } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+      Usage(argv[0]);
+    } else {
+      Usage(argv[0], (std::string("unknown flag: ") + arg).c_str());
+    }
+  }
+  if (opts.port == 0) Usage(argv[0], "--port is required");
+  if (opts.program_path.empty()) Usage(argv[0], "--program is required");
+  if (opts.requests == 0 || opts.concurrency == 0) {
+    Usage(argv[0], "--requests and --concurrency must be positive");
+  }
+  opts.concurrency = std::min(opts.concurrency, opts.requests);
+
+  // Counters before the run: the server may be warm already; --check
+  // asserts on deltas.
+  auto stats_before = FetchStats(opts.host, opts.port);
+  if (!stats_before.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 stats_before.status().ToString().c_str());
+    return 1;
+  }
+
+  // Register (idempotent: an already-registered identical spec returns
+  // the same id).
+  gdlog::JsonWriter reg;
+  reg.BeginObject();
+  reg.KV("program", ReadFile(opts.program_path));
+  reg.KV("db", opts.db_path.empty() ? "" : ReadFile(opts.db_path));
+  reg.KV("grounder", opts.grounder);
+  reg.EndObject();
+  auto client = gdlog::HttpClient::Connect(opts.host, opts.port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "error: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  auto registered = client->Request("POST", "/programs", reg.str());
+  if (!registered.ok() ||
+      (registered->status != 200 && registered->status != 201)) {
+    std::fprintf(stderr, "error registering program: %s\n",
+                 registered.ok() ? registered->body.c_str()
+                                 : registered.status().ToString().c_str());
+    return 1;
+  }
+  auto reg_doc = gdlog::JsonValue::Parse(registered->body);
+  const gdlog::JsonValue* id_field =
+      reg_doc.ok() ? reg_doc->Find("id") : nullptr;
+  if (id_field == nullptr || !id_field->is_string()) {
+    std::fprintf(stderr, "error: malformed /programs response\n");
+    return 1;
+  }
+  std::string program_id = id_field->string_value();
+  std::printf("registered program %s\n", program_id.c_str());
+
+  gdlog::JsonWriter query;
+  query.BeginObject();
+  query.KV("program_id", program_id);
+  if (opts.include_outcomes) query.KV("include_outcomes", true);
+  if (opts.include_events) query.KV("include_events", true);
+  query.EndObject();
+  const std::string query_body = query.str();
+
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> failures{0};
+  std::mutex mu;
+  std::string first_body;
+  bool mismatch = false;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(opts.requests);
+
+  auto worker = [&]() {
+    auto conn = gdlog::HttpClient::Connect(opts.host, opts.port);
+    if (!conn.ok()) {
+      failures.fetch_add(1);
+      return;
+    }
+    while (next.fetch_add(1) < opts.requests) {
+      auto start = std::chrono::steady_clock::now();
+      auto response = conn->Request("POST", "/query", query_body);
+      double ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      if (!response.ok() || response->status != 200) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     response.ok() ? response->body.c_str()
+                                   : response.status().ToString().c_str());
+        failures.fetch_add(1);
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies_ms.push_back(ms);
+      if (first_body.empty()) {
+        first_body = response->body;
+      } else if (response->body != first_body) {
+        mismatch = true;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < opts.concurrency; ++i) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+
+  if (!opts.dump_path.empty() && !first_body.empty()) {
+    std::ofstream out(opts.dump_path, std::ios::binary);
+    out << first_body;
+  }
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  auto percentile = [&](double p) {
+    if (latencies_ms.empty()) return 0.0;
+    size_t idx = static_cast<size_t>(p * double(latencies_ms.size() - 1));
+    return latencies_ms[idx];
+  };
+  double mean = 0.0;
+  for (double ms : latencies_ms) mean += ms;
+  if (!latencies_ms.empty()) mean /= double(latencies_ms.size());
+  std::printf(
+      "requests=%zu ok=%zu failed=%zu concurrency=%zu\n"
+      "latency ms: mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
+      opts.requests, latencies_ms.size(), failures.load(), opts.concurrency,
+      mean, percentile(0.50), percentile(0.90), percentile(0.99),
+      percentile(1.0));
+
+  auto stats_after = FetchStats(opts.host, opts.port);
+  if (!stats_after.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 stats_after.status().ToString().c_str());
+    return 1;
+  }
+  long long d_misses = CacheCounter(*stats_after, "misses") -
+                       CacheCounter(*stats_before, "misses");
+  long long d_hits = CacheCounter(*stats_after, "hits") -
+                     CacheCounter(*stats_before, "hits");
+  long long d_coalesced = CacheCounter(*stats_after, "coalesced") -
+                          CacheCounter(*stats_before, "coalesced");
+  std::printf("cache deltas: misses=%lld hits=%lld coalesced=%lld\n",
+              d_misses, d_hits, d_coalesced);
+
+  if (mismatch) std::fprintf(stderr, "FAIL: response bodies differ\n");
+  bool ok = !mismatch && failures.load() == 0;
+  if (opts.check) {
+    // One chase for N identical queries: the first miss computes, every
+    // other request either hits the cache or coalesces onto the flight.
+    long long expected = static_cast<long long>(opts.requests) - 1;
+    if (d_misses != 1 || d_hits + d_coalesced != expected) {
+      std::fprintf(stderr,
+                   "FAIL: expected misses=1 and hits+coalesced=%lld\n",
+                   expected);
+      ok = false;
+    }
+  }
+  std::printf("%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,123 @@
+// gdlogd: the long-lived inference daemon. Clients register a program+DB
+// once (POST /programs) and query it by id; exact results are served
+// through a fingerprint-keyed outcome-space cache, so repeated identical
+// queries cost a hash lookup instead of a chase.
+//
+//   gdlogd [--host H] [--port P] [options]
+//
+// Options:
+//   --host H              bind address                (default 127.0.0.1)
+//   --port P              listen port; 0 = kernel-assigned (default 8080)
+//   --http-threads N      connection workers — also the concurrent-
+//                         connection capacity (default max(4, hw threads))
+//   --chase-threads N     default chase workers per query; requests may
+//                         override via options.num_threads (default 1:
+//                         the server parallelizes across requests)
+//   --cache-mb N          InferenceCache bound in MiB     (default 256)
+//   --max-body-mb N       request-body cap in MiB         (default 32)
+//   --idle-timeout-ms N   keep-alive idle timeout         (default 30000)
+//   --max-samples N       per-request /sample cap         (default 10^7)
+//
+// Endpoints: POST /programs, GET|DELETE /programs/<id>, PUT
+// /programs/<id>/db, POST /query, POST /sample, GET /healthz, GET /stats
+// (see src/server/service.h). SIGTERM/SIGINT drain gracefully: in-flight
+// requests finish, then the process exits 0.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/http.h"
+#include "server/service.h"
+
+namespace {
+
+gdlog::HttpServer* g_server = nullptr;
+
+void HandleSignal(int /*sig*/) {
+  // Shutdown() is async-signal-safe: an atomic store plus a pipe write.
+  if (g_server != nullptr) g_server->Shutdown();
+}
+
+[[noreturn]] void Usage(const char* argv0, const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--http-threads N]\n"
+               "          [--chase-threads N] [--cache-mb N]\n"
+               "          [--max-body-mb N] [--idle-timeout-ms N]\n"
+               "          [--max-samples N]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gdlog::HttpServerOptions http_options;
+  http_options.port = 8080;
+  gdlog::InferenceService::Options service_options;
+  service_options.default_chase.num_threads = 1;
+
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) Usage(argv[0], "missing argument value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (!std::strcmp(arg, "--host")) {
+      http_options.host = need_value(i);
+    } else if (!std::strcmp(arg, "--port")) {
+      http_options.port = static_cast<int>(std::strtol(need_value(i),
+                                                       nullptr, 10));
+    } else if (!std::strcmp(arg, "--http-threads")) {
+      http_options.workers = std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--chase-threads")) {
+      service_options.default_chase.num_threads =
+          std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--cache-mb")) {
+      service_options.cache_bytes =
+          std::strtoull(need_value(i), nullptr, 10) * 1024 * 1024;
+    } else if (!std::strcmp(arg, "--max-body-mb")) {
+      http_options.max_body_bytes =
+          std::strtoull(need_value(i), nullptr, 10) * 1024 * 1024;
+    } else if (!std::strcmp(arg, "--idle-timeout-ms")) {
+      http_options.idle_timeout_ms =
+          static_cast<int>(std::strtol(need_value(i), nullptr, 10));
+    } else if (!std::strcmp(arg, "--max-samples")) {
+      service_options.max_samples = std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+      Usage(argv[0]);
+    } else {
+      Usage(argv[0], (std::string("unknown flag: ") + arg).c_str());
+    }
+  }
+
+  gdlog::InferenceService service(service_options);
+  auto server = gdlog::HttpServer::Create(
+      http_options,
+      [&service](const gdlog::HttpRequest& request) {
+        return service.Handle(request);
+      });
+  if (!server.ok()) {
+    std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  g_server = &*server;
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  std::printf("gdlogd listening on http://%s:%d\n",
+              http_options.host.c_str(), server->port());
+  std::fflush(stdout);
+
+  gdlog::Status status = server->Serve();
+  g_server = nullptr;
+  if (!status.ok()) {
+    std::fprintf(stderr, "serve error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("gdlogd drained and stopped\n");
+  return 0;
+}
