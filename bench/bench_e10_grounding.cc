@@ -1,9 +1,13 @@
 // E10 — Grounding throughput: ground rules per second for the simple and
-// perfect grounders as the database grows, plus the non-probabilistic
-// Datalog¬ substrate (transitive closure) as a pure-grounding baseline.
+// perfect grounders as the database grows, the non-probabilistic Datalog¬
+// substrate (transitive closure) as a pure-grounding baseline, and the
+// BM_Match_* microbenchmark family pitting the compiled join executor
+// against the legacy reference Matcher per adornment.
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "ground/join_plan.h"
+#include "ground/matcher.h"
 
 namespace {
 
@@ -52,18 +56,24 @@ void BM_Ground_TransitiveClosure(benchmark::State& state) {
                            gdlog::GrounderKind::kPerfect);
   gdlog::ChoiceSet empty;
   size_t rules = 0;
+  uint64_t bindings = 0;
   for (auto _ : state) {
     gdlog::GroundRuleSet out;
-    benchmark::DoNotOptimize(engine.grounder().Ground(empty, &out));
+    gdlog::MatchStats stats;
+    benchmark::DoNotOptimize(engine.grounder().Ground(empty, &out, &stats));
     rules = out.size();
+    bindings = stats.bindings;
   }
   state.counters["rules"] = static_cast<double>(rules);
   state.counters["rules/s"] = benchmark::Counter(
       static_cast<double>(rules),
       benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["bindings/s"] = benchmark::Counter(
+      static_cast<double>(bindings),
+      benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_Ground_TransitiveClosure)->Arg(16)->Arg(64)->Arg(128)->Arg(256)
-    ->Unit(benchmark::kMillisecond);
+    ->Arg(512)->Unit(benchmark::kMillisecond);
 
 void BM_Ground_NetworkSimple(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
@@ -90,6 +100,125 @@ void BM_Ground_NetworkPerfect(benchmark::State& state) {
 }
 BENCHMARK(BM_Ground_NetworkPerfect)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
     ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// BM_Match_*: matcher microbenchmarks (compiled join plans vs. the legacy
+// reference Matcher) over the adornments that matter — unbound join,
+// single-bound column, and multi-bound columns (composite index).
+// ---------------------------------------------------------------------------
+
+/// A two-relation instance: edge(X,Y) chain plus label(X,C) colors.
+gdlog::FactStore MatchStore(int n) {
+  gdlog::FactStore store;
+  for (int i = 0; i < n; ++i) {
+    store.Insert(0, {gdlog::Value::Int(i), gdlog::Value::Int((i + 1) % n)});
+    store.Insert(1, {gdlog::Value::Int(i), gdlog::Value::Int(i % 7)});
+  }
+  store.Freeze();
+  return store;
+}
+
+/// edge(X,Y), edge(Y,Z): one unbound scan + one index probe per row.
+std::vector<gdlog::Atom> UnboundJoinQuery() {
+  gdlog::Atom a0, a1;
+  a0.predicate = 0;
+  a0.args = {gdlog::Term::Variable(0), gdlog::Term::Variable(1)};
+  a1.predicate = 0;
+  a1.args = {gdlog::Term::Variable(1), gdlog::Term::Variable(2)};
+  return {a0, a1};
+}
+
+/// edge(7, Y), label(Y, C): bound first column.
+std::vector<gdlog::Atom> BoundQuery() {
+  gdlog::Atom a0, a1;
+  a0.predicate = 0;
+  a0.args = {gdlog::Term::Constant(gdlog::Value::Int(7)),
+             gdlog::Term::Variable(0)};
+  a1.predicate = 1;
+  a1.args = {gdlog::Term::Variable(0), gdlog::Term::Variable(1)};
+  return {a0, a1};
+}
+
+/// edge(X,Y), label(X,C), label(Y,C): the third atom has both columns
+/// bound — the composite-index adornment.
+std::vector<gdlog::Atom> CompositeQuery() {
+  gdlog::Atom a0, a1, a2;
+  a0.predicate = 0;
+  a0.args = {gdlog::Term::Variable(0), gdlog::Term::Variable(1)};
+  a1.predicate = 1;
+  a1.args = {gdlog::Term::Variable(0), gdlog::Term::Variable(2)};
+  a2.predicate = 1;
+  a2.args = {gdlog::Term::Variable(1), gdlog::Term::Variable(2)};
+  return {a0, a1, a2};
+}
+
+void RunCompiled(benchmark::State& state, std::vector<gdlog::Atom> query,
+                 int n) {
+  gdlog::FactStore store = MatchStore(n);
+  std::vector<const gdlog::Atom*> atoms;
+  for (const gdlog::Atom& a : query) atoms.push_back(&a);
+  gdlog::CompiledRule body = gdlog::CompileBody(atoms);
+  gdlog::JoinPlan plan = gdlog::CompileJoinPlan(body, store);
+  gdlog::JoinExecutor exec;
+  uint64_t bindings = 0;
+  for (auto _ : state) {
+    gdlog::MatchStats stats;
+    exec.Execute(plan, &stats, [](const gdlog::BindingFrame&) {
+      return true;
+    });
+    bindings = stats.bindings;
+    benchmark::DoNotOptimize(bindings);
+  }
+  state.counters["bindings/s"] = benchmark::Counter(
+      static_cast<double>(bindings),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void RunLegacy(benchmark::State& state, std::vector<gdlog::Atom> query,
+               int n) {
+  gdlog::FactStore store = MatchStore(n);
+  std::vector<const gdlog::Atom*> atoms;
+  for (const gdlog::Atom& a : query) atoms.push_back(&a);
+  gdlog::Matcher matcher(&store);
+  uint64_t bindings = 0;
+  for (auto _ : state) {
+    uint64_t count = 0;
+    matcher.Match(atoms, [&](const gdlog::Binding&) {
+      ++count;
+      return true;
+    });
+    bindings = count;
+    benchmark::DoNotOptimize(bindings);
+  }
+  state.counters["bindings/s"] = benchmark::Counter(
+      static_cast<double>(bindings),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_Match_CompiledUnbound(benchmark::State& state) {
+  RunCompiled(state, UnboundJoinQuery(), static_cast<int>(state.range(0)));
+}
+void BM_Match_LegacyUnbound(benchmark::State& state) {
+  RunLegacy(state, UnboundJoinQuery(), static_cast<int>(state.range(0)));
+}
+void BM_Match_CompiledBound(benchmark::State& state) {
+  RunCompiled(state, BoundQuery(), static_cast<int>(state.range(0)));
+}
+void BM_Match_LegacyBound(benchmark::State& state) {
+  RunLegacy(state, BoundQuery(), static_cast<int>(state.range(0)));
+}
+void BM_Match_CompiledComposite(benchmark::State& state) {
+  RunCompiled(state, CompositeQuery(), static_cast<int>(state.range(0)));
+}
+void BM_Match_LegacyComposite(benchmark::State& state) {
+  RunLegacy(state, CompositeQuery(), static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_Match_CompiledUnbound)->Arg(1024)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Match_LegacyUnbound)->Arg(1024)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Match_CompiledBound)->Arg(1024)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Match_LegacyBound)->Arg(1024)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Match_CompiledComposite)->Arg(512)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Match_LegacyComposite)->Arg(512)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

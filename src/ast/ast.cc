@@ -1,3 +1,4 @@
+#include <cassert>
 #include <set>
 
 #include "ast/atom.h"
@@ -281,6 +282,37 @@ std::string Program::ToString() const {
     out += "\n";
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Slot numbering
+// ---------------------------------------------------------------------------
+
+RuleSlots NumberRuleSlots(const Rule& rule) {
+  RuleSlots slots;
+  auto add = [&slots](const Term& t) {
+    if (!t.is_variable()) return;
+    assert(slots.slot_of.size() < 65536 && "rule exceeds 16-bit slot space");
+    slots.slot_of.emplace(t.var_id(),
+                          static_cast<uint16_t>(slots.slot_of.size()));
+  };
+  for (const Literal& lit : rule.body) {
+    if (lit.negated) continue;
+    for (const Term& t : lit.atom.args) add(t);
+  }
+  for (const Literal& lit : rule.body) {
+    if (!lit.negated) continue;
+    for (const Term& t : lit.atom.args) add(t);
+  }
+  for (const HeadArg& arg : rule.head.args) {
+    if (arg.is_delta()) {
+      for (const Term& t : arg.delta().params) add(t);
+      for (const Term& t : arg.delta().events) add(t);
+    } else {
+      add(arg.term());
+    }
+  }
+  return slots;
 }
 
 }  // namespace gdlog

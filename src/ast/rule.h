@@ -2,6 +2,7 @@
 #define GDLOG_AST_RULE_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ast/atom.h"
@@ -53,6 +54,27 @@ struct Rule {
 
   std::string ToString(const Interner* interner = nullptr) const;
 };
+
+/// Dense per-rule variable numbering: every interned variable id occurring
+/// in a rule is assigned a slot in 0..count()-1, in first-occurrence order
+/// over the positive body (body order, columns left to right), then the
+/// negative body, then the head (including Δ-term parameters and event
+/// signatures). For safe rules every negative-body and head variable is
+/// already numbered by the positive body. The matching layers use slots to
+/// keep bindings in flat arrays instead of per-variable hash maps.
+struct RuleSlots {
+  /// Interned variable id → dense slot.
+  std::unordered_map<uint32_t, uint16_t> slot_of;
+
+  size_t count() const { return slot_of.size(); }
+
+  /// Slot of `var_id`; the variable must occur in the rule.
+  uint16_t SlotOf(uint32_t var_id) const { return slot_of.at(var_id); }
+};
+
+/// Numbers the variables of `rule` (see RuleSlots). Asserts the rule has
+/// at most 65536 distinct variables (slots are 16-bit).
+RuleSlots NumberRuleSlots(const Rule& rule);
 
 }  // namespace gdlog
 

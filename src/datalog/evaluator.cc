@@ -1,9 +1,9 @@
 #include "datalog/evaluator.h"
 
 #include <unordered_map>
+#include <unordered_set>
 
 #include "ast/parser.h"
-#include "ground/matcher.h"
 
 namespace gdlog {
 
@@ -21,14 +21,18 @@ Result<DatalogEvaluator> DatalogEvaluator::Create(Program pi) {
         "DatalogEvaluator requires stratified negation; use GDatalog (it "
         "enumerates stable models)");
   }
-  eval.stratum_rules_.assign(eval.dg_->Components().size(), {});
+  eval.compiled_.reserve(eval.pi_.rules().size());
   for (const Rule& rule : eval.pi_.rules()) {
-    if (rule.is_constraint) {
-      eval.constraints_.push_back(&rule);
+    eval.compiled_.push_back(CompileRule(rule));
+  }
+  eval.stratum_rules_.assign(eval.dg_->Components().size(), {});
+  for (const CompiledRule& compiled : eval.compiled_) {
+    if (compiled.rule->is_constraint) {
+      eval.constraints_.push_back(&compiled);
       continue;
     }
-    eval.stratum_rules_[eval.dg_->ComponentOf(rule.head.predicate)].push_back(
-        &rule);
+    eval.stratum_rules_[eval.dg_->ComponentOf(compiled.rule->head.predicate)]
+        .push_back(&compiled);
   }
   return eval;
 }
@@ -40,106 +44,122 @@ Result<DatalogEvaluator::Model> DatalogEvaluator::Materialize(
   Stats local;
   local.strata = stratum_rules_.size();
 
-  Matcher matcher(&model.facts);
+  JoinPlanCache plans(&model.facts);
+  JoinExecutor exec;
+  GroundAtom neg_scratch;
 
-  for (const std::vector<const Rule*>& stratum : stratum_rules_) {
+  for (const std::vector<const CompiledRule*>& stratum : stratum_rules_) {
     if (stratum.empty()) continue;
+
+    // Predicates some positive body of this stratum mentions: only their
+    // facts can pivot a semi-naive round.
+    std::unordered_set<uint32_t> body_preds;
+    for (const CompiledRule* rule : stratum) {
+      for (const CompiledAtom& atom : rule->positive) {
+        body_preds.insert(atom.predicate);
+      }
+    }
+
+    // Old/new watermarks (rows at index >= old_counts[pred] are the
+    // current delta), snapshot at the end of each round's matching phase —
+    // see RunGroundingFixpoint for the scheme.
+    std::unordered_map<uint32_t, uint32_t> old_counts;
+    auto snapshot_old = [&] {
+      for (uint32_t pred : body_preds) {
+        old_counts[pred] = static_cast<uint32_t>(model.facts.Count(pred));
+      }
+    };
 
     // Round 0: naive pass over the whole store (facts from the database
     // and earlier strata are all "new" for this stratum's rules).
     // Subsequent rounds: semi-naive, pivoting on the previous round's
-    // delta. Negative literals are decided against the store as-is —
-    // sound because their predicates live in strictly earlier strata.
+    // delta, with pre-pivot atoms restricted to pre-delta rows so no body
+    // instance is enumerated twice. Negative literals are decided against
+    // the store as-is — sound because their predicates live in strictly
+    // earlier strata.
     std::vector<GroundAtom> delta;
-    auto fire = [&](const Rule* rule, const Binding& binding,
+    auto fire = [&](const CompiledRule* rule, const BindingFrame& frame,
                     std::vector<GroundAtom>* derived) {
-      for (const Literal& lit : rule->body) {
-        if (!lit.negated) continue;
-        if (model.facts.Contains(ApplyAtom(lit.atom, binding))) return;
+      for (const CompiledAtom& neg : rule->negative) {
+        neg.InstantiateInto(frame, &neg_scratch);
+        if (model.facts.Contains(neg_scratch)) return;
       }
       ++local.rule_applications;
-      GroundAtom head;
-      head.predicate = rule->head.predicate;
-      head.args.reserve(rule->head.args.size());
-      for (const HeadArg& arg : rule->head.args) {
-        head.args.push_back(ApplyTerm(arg.term(), binding));
-      }
-      derived->push_back(std::move(head));
+      derived->push_back(rule->head.Instantiate(frame));
     };
 
     // Naive round.
     ++local.rounds;
     std::vector<GroundAtom> derived;
-    for (const Rule* rule : stratum) {
-      std::vector<const Atom*> pos = rule->PositiveBody();
-      if (pos.empty()) {
-        Binding empty;
-        fire(rule, empty, &derived);
-        continue;
-      }
-      matcher.Match(pos, [&](const Binding& binding) {
-        fire(rule, binding, &derived);
+    for (const CompiledRule* rule : stratum) {
+      const JoinPlan& plan =
+          plans.Get(*rule, JoinPlan::kNoPivot, &local.match);
+      exec.Execute(plan, &local.match, [&](const BindingFrame& frame) {
+        fire(rule, frame, &derived);
         return true;
       });
     }
+    snapshot_old();
     for (GroundAtom& atom : derived) {
       if (model.facts.Insert(atom)) {
         ++local.derived_facts;
-        delta.push_back(std::move(atom));
+        if (body_preds.count(atom.predicate) != 0) {
+          delta.push_back(std::move(atom));
+        }
       }
     }
 
     // Semi-naive rounds.
+    std::unordered_map<uint32_t, std::vector<Tuple>> batch;
     while (!delta.empty()) {
       ++local.rounds;
-      std::unordered_map<uint32_t, std::vector<Tuple>> batch;
+      batch.clear();
       for (GroundAtom& atom : delta) {
         batch[atom.predicate].push_back(std::move(atom.args));
       }
       delta.clear();
       derived.clear();
-      for (const Rule* rule : stratum) {
-        std::vector<const Atom*> pos = rule->PositiveBody();
-        for (size_t pivot = 0; pivot < pos.size(); ++pivot) {
-          auto hit = batch.find(pos[pivot]->predicate);
+      for (const CompiledRule* rule : stratum) {
+        for (size_t pivot = 0; pivot < rule->positive.size(); ++pivot) {
+          auto hit = batch.find(rule->positive[pivot].predicate);
           if (hit == batch.end()) continue;
-          matcher.MatchWithPivot(pos, pivot, hit->second,
-                                 [&](const Binding& binding) {
-                                   fire(rule, binding, &derived);
-                                   return true;
-                                 });
+          const JoinPlan& plan = plans.Get(*rule, pivot, &local.match);
+          exec.ExecuteWithPivot(
+              plan, hit->second, &local.match,
+              [&](const BindingFrame& frame) {
+                fire(rule, frame, &derived);
+                return true;
+              },
+              &old_counts);
         }
       }
+      snapshot_old();
       for (GroundAtom& atom : derived) {
         if (model.facts.Insert(atom)) {
           ++local.derived_facts;
-          delta.push_back(std::move(atom));
+          if (body_preds.count(atom.predicate) != 0) {
+            delta.push_back(std::move(atom));
+          }
         }
       }
     }
   }
 
   // Constraints: check against the completed model.
-  for (const Rule* constraint : constraints_) {
-    std::vector<const Atom*> pos = constraint->PositiveBody();
+  for (const CompiledRule* constraint : constraints_) {
     bool violated = false;
-    auto check = [&](const Binding& binding) {
-      for (const Literal& lit : constraint->body) {
-        if (!lit.negated) continue;
-        if (model.facts.Contains(ApplyAtom(lit.atom, binding))) return true;
+    const JoinPlan& plan =
+        plans.Get(*constraint, JoinPlan::kNoPivot, &local.match);
+    exec.Execute(plan, &local.match, [&](const BindingFrame& frame) {
+      for (const CompiledAtom& neg : constraint->negative) {
+        if (model.facts.Contains(neg.Instantiate(frame))) return true;
       }
       violated = true;
       if (model.violations.size() < 8) {
-        model.violations.push_back(constraint->ToString(pi_.interner()));
+        model.violations.push_back(constraint->rule->ToString(pi_.interner()));
       }
       return false;  // one witness per constraint suffices
-    };
-    if (pos.empty()) {
-      Binding empty;
-      check(empty);
-    } else {
-      matcher.Match(pos, check);
-    }
+    });
     if (violated) model.consistent = false;
   }
 
@@ -168,10 +188,13 @@ Result<std::vector<Tuple>> DatalogEvaluator::Query(const FactStore& store,
     }
     atom.args.push_back(arg.term());
   }
-  Matcher matcher(&store);
+  CompiledRule body = CompileBody({&atom});
+  JoinPlan plan = CompileJoinPlan(body, store);
+  MatchStats stats;
+  JoinExecutor exec;
   std::vector<Tuple> rows;
-  matcher.Match({&atom}, [&](const Binding& binding) {
-    rows.push_back(ApplyAtom(atom, binding).args);
+  exec.Execute(plan, &stats, [&](const BindingFrame& frame) {
+    rows.push_back(body.positive[0].Instantiate(frame).args);
     return true;
   });
   return rows;

@@ -8,6 +8,7 @@
 #include "ast/program.h"
 #include "ground/dependency_graph.h"
 #include "ground/fact_store.h"
+#include "ground/join_plan.h"
 
 namespace gdlog {
 
@@ -33,6 +34,9 @@ class DatalogEvaluator {
     size_t rounds = 0;             ///< Semi-naive rounds across strata.
     size_t rule_applications = 0;  ///< Successful body matches.
     size_t derived_facts = 0;      ///< Facts added beyond the database.
+    /// Compiled-join counters (index/composite/scan candidate fetches,
+    /// plan cache behavior) for the whole materialization.
+    MatchStats match;
   };
 
   struct Model {
@@ -62,9 +66,13 @@ class DatalogEvaluator {
 
   Program pi_;
   std::shared_ptr<DependencyGraph> dg_;
+  /// Every rule compiled to slot form once, parallel to pi_.rules().
+  /// (Both live on heap storage that moves with the evaluator, so the
+  /// internal pointers survive the move out of Create().)
+  std::vector<CompiledRule> compiled_;
   /// Non-constraint rules grouped by head stratum.
-  std::vector<std::vector<const Rule*>> stratum_rules_;
-  std::vector<const Rule*> constraints_;
+  std::vector<std::vector<const CompiledRule*>> stratum_rules_;
+  std::vector<const CompiledRule*> constraints_;
 };
 
 }  // namespace gdlog

@@ -103,23 +103,15 @@ void ChaseEngine::ProcessNode(ExploreState& state, WorkItem item,
   }
 
   auto grounding = std::make_shared<GroundRuleSet>();
-  auto heads = std::make_shared<FactStore>();
   Status ground_status;
-  if (state.incremental) {
-    if (item.parent_grounding == nullptr) {
-      ground_status =
-          grounder_->GroundWithState(item.choices, grounding.get(),
-                                     heads.get());
-    } else {
-      // Branch: clone the parent's fixpoint state and extend it with the
-      // newly recorded choice (sound by monotonicity, Definition 3.3).
-      // The heads copy is copy-on-write, so the clone costs one pointer
-      // per predicate until the extension actually derives new facts.
-      *grounding = item.parent_grounding->Clone();
-      *heads = *item.parent_heads;
-      ground_status = grounder_->Extend(item.choices, item.new_active,
-                                        grounding.get(), heads.get());
-    }
+  if (state.incremental && item.parent_grounding != nullptr) {
+    // Branch: clone the parent's fixpoint state and extend it with the
+    // newly recorded choice (sound by monotonicity, Definition 3.3). The
+    // clone's matching instance is copy-on-write, so it costs one pointer
+    // per predicate until the extension actually derives new facts.
+    *grounding = item.parent_grounding->Clone();
+    ground_status = grounder_->Extend(item.choices, item.new_active,
+                                      grounding.get());
   } else {
     ground_status = grounder_->Ground(item.choices, grounding.get());
   }
@@ -216,7 +208,6 @@ void ChaseEngine::ProcessNode(ExploreState& state, WorkItem item,
     child.depth = item.depth + 1;
     if (state.incremental) {
       child.parent_grounding = grounding;
-      child.parent_heads = heads;
       child.new_active = trigger;
     }
     children->push_back(std::move(child));
@@ -301,12 +292,11 @@ Result<ChaseEngine::PathSample> ChaseEngine::SamplePath(
   bool incremental =
       options.incremental && grounder_->SupportsIncremental();
   // A single path never backtracks, so incremental mode can thread one
-  // (grounding, heads) pair through the whole walk without cloning.
+  // grounding through the whole walk without cloning.
   auto incremental_grounding = std::make_shared<GroundRuleSet>();
-  FactStore incremental_heads;
   if (incremental) {
-    GDLOG_RETURN_IF_ERROR(grounder_->GroundWithState(
-        sample.choices, incremental_grounding.get(), &incremental_heads));
+    GDLOG_RETURN_IF_ERROR(
+        grounder_->Ground(sample.choices, incremental_grounding.get()));
   }
   for (size_t depth = 0;; ++depth) {
     std::shared_ptr<GroundRuleSet> grounding;
@@ -350,8 +340,7 @@ Result<ChaseEngine::PathSample> ChaseEngine::SamplePath(
     }
     if (incremental) {
       GDLOG_RETURN_IF_ERROR(grounder_->Extend(sample.choices, trigger,
-                                              incremental_grounding.get(),
-                                              &incremental_heads));
+                                              incremental_grounding.get()));
     }
   }
 }

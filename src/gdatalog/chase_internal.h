@@ -17,13 +17,14 @@ namespace gdlog {
 
 /// One chase node awaiting expansion. The parent's grounding fixpoint
 /// state is shared read-only (never mutated after the parent finishes);
-/// each child clones it and extends the clone.
+/// each child clones it and extends the clone. The grounding's heads()
+/// carries the whole matching instance, so no separate fact store rides
+/// along.
 struct ChaseEngine::WorkItem {
   ChoiceSet choices;
   Prob path_prob = Prob::One();
   size_t depth = 0;
   std::shared_ptr<const GroundRuleSet> parent_grounding;  ///< null at root
-  std::shared_ptr<const FactStore> parent_heads;
   GroundAtom new_active;  ///< the choice added vs. the parent; valid iff
                           ///< parent_grounding != nullptr
 };

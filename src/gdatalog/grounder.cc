@@ -4,31 +4,39 @@
 #include <functional>
 #include <unordered_map>
 
-#include "ground/matcher.h"
-
 namespace gdlog {
 
 namespace {
 
-/// Instantiates a (plain-headed) Σ∄ rule under a complete binding.
-GroundRule Instantiate(const Rule& rule, const Binding& binding) {
-  GroundRule gr;
-  gr.is_constraint = rule.is_constraint;
-  if (!rule.is_constraint) {
-    gr.head.predicate = rule.head.predicate;
-    gr.head.args.reserve(rule.head.args.size());
-    for (const HeadArg& arg : rule.head.args) {
-      gr.head.args.push_back(ApplyTerm(arg.term(), binding));
+/// Sorted unique positive-body predicates of a rule set (the delta
+/// watermark domain, precomputed once per grounder).
+std::vector<uint32_t> CollectBodyPreds(
+    const std::vector<const CompiledRule*>& rules) {
+  std::vector<uint32_t> preds;
+  for (const CompiledRule* rule : rules) {
+    for (const CompiledAtom& atom : rule->positive) {
+      preds.push_back(atom.predicate);
     }
   }
-  for (const Literal& lit : rule.body) {
-    if (lit.negated) {
-      gr.negative.push_back(ApplyAtom(lit.atom, binding));
-    } else {
-      gr.positive.push_back(ApplyAtom(lit.atom, binding));
+  std::sort(preds.begin(), preds.end());
+  preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+  return preds;
+}
+
+/// The database prefix of Π[D] as a grounding: one body-less rule per
+/// fact, with the matching instance frozen (all column indices built) so
+/// clones inherit the indexes copy-on-write.
+GroundRuleSet MakeDbBase(const FactStore& db) {
+  GroundRuleSet base;
+  for (uint32_t pred : db.Predicates()) {
+    for (const Tuple& row : db.Rows(pred)) {
+      GroundRule fact;
+      fact.head = GroundAtom{pred, row};
+      base.Add(std::move(fact));
     }
   }
-  return gr;
+  base.mutable_heads()->Freeze();
+  return base;
 }
 
 bool NegativeBodyHits(const GroundRule& gr, const FactStore& heads) {
@@ -38,40 +46,65 @@ bool NegativeBodyHits(const GroundRule& gr, const FactStore& heads) {
   return false;
 }
 
+/// The Perfect negative check straight off the frame: instantiates each
+/// negative atom into a reusable scratch and stops at the first hit — no
+/// GroundRule is built for the (common) rejected candidates.
+bool NegativeBodyHits(const CompiledRule& rule, const BindingFrame& frame,
+                      const FactStore& heads, GroundAtom* scratch) {
+  for (const CompiledAtom& neg : rule.negative) {
+    neg.InstantiateInto(frame, scratch);
+    if (heads.Contains(*scratch)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 Status RunGroundingFixpoint(const TranslatedProgram& translated,
-                            const std::vector<const Rule*>& rules,
+                            const std::vector<const CompiledRule*>& rules,
+                            const std::vector<uint32_t>& body_preds,
                             const ChoiceSet& choices, bool check_negative,
-                            GroundRuleSet* out, FactStore* heads,
-                            bool resume) {
-  std::vector<GroundAtom> pending;
+                            GroundRuleSet* out, bool resume,
+                            MatchStats* stats) {
+  FactStore* heads = out->mutable_heads();
 
-  // Inserts a fact into the matching instance; cascades Active atoms into
-  // their chosen Result atoms (heads(Σ) of the choice set take part in
-  // matching, Definition 3.4 uses Σ' = Σ∄ ∪ Σ).
-  std::function<void(const GroundAtom&)> add_fact =
+  // Semi-naive deltas as row ranges: the delta of predicate P for the
+  // current round is rows [old_counts[P], Count(P)) — new facts only ever
+  // append. Snapshot at the end of each round's matching phase, before
+  // that round's derivations are applied. On a fresh run everything is
+  // new (empty map = all-zero watermarks); on a resumed run everything
+  // present at entry is old.
+  std::unordered_map<uint32_t, uint32_t> old_counts;
+  auto snapshot_old = [&] {
+    for (uint32_t pred : body_preds) {
+      old_counts[pred] = static_cast<uint32_t>(heads->Count(pred));
+    }
+  };
+  if (resume) snapshot_old();
+
+  // Cascades an inserted Active atom into its chosen Result atom
+  // (heads(Σ) of the choice set takes part in matching, Definition 3.4
+  // uses Σ' = Σ∄ ∪ Σ).
+  std::function<void(const GroundAtom&)> cascade =
       [&](const GroundAtom& atom) {
-        if (!heads->Insert(atom)) return;
-        pending.push_back(atom);
         const DeltaSignature* sig =
             translated.SignatureByActive(atom.predicate);
-        if (sig != nullptr) {
-          auto outcome = choices.Lookup(atom);
-          if (outcome) {
-            add_fact(ChoiceSet::ResultAtom(sig->result_pred, atom, *outcome));
-          }
-        }
+        if (sig == nullptr) return;
+        auto outcome = choices.Lookup(atom);
+        if (!outcome) return;
+        GroundAtom result =
+            ChoiceSet::ResultAtom(sig->result_pred, atom, *outcome);
+        if (heads->Insert(result)) cascade(result);
       };
 
   auto add_ground_rule = [&](GroundRule gr) {
-    bool is_constraint = gr.is_constraint;
-    GroundAtom head = gr.head;
-    if (out->Add(std::move(gr)) && !is_constraint) add_fact(head);
+    bool new_head = false;
+    const GroundRule* stored = out->AddAndGet(std::move(gr), &new_head);
+    if (new_head) cascade(stored->head);
   };
 
-  // Catch up on Active atoms that entered `heads` before this call (e.g. in
-  // an earlier stratum) whose choices were not yet cascaded.
+  // Catch up on Active atoms that entered the instance before this call
+  // (e.g. in an earlier stratum) whose choices were not yet cascaded.
   for (const DeltaSignature& sig : translated.signatures()) {
     std::vector<GroundAtom> to_cascade;
     for (const Tuple& row : heads->Rows(sig.active_pred)) {
@@ -83,64 +116,75 @@ Status RunGroundingFixpoint(const TranslatedProgram& translated,
         if (!heads->Contains(result)) to_cascade.push_back(result);
       }
     }
-    for (GroundAtom& r : to_cascade) add_fact(r);
+    for (GroundAtom& r : to_cascade) {
+      if (heads->Insert(r)) cascade(r);
+    }
   }
 
-  // On a fresh run every fact visible at entry is "new" for this rule
-  // set (this also covers the Result atoms cascaded above). On a resumed
-  // run only the freshly cascaded Result atoms are new — everything else
-  // has already been matched by the run that produced (out, heads).
-  if (!resume) pending = heads->AllFacts();
+  MatchStats local;
+  BindingFrame empty_frame;
 
   // Rules with an empty positive body fire unconditionally (modulo the
   // Perfect negative check); on resumed runs they already fired.
-  for (const Rule* rule : resume ? std::vector<const Rule*>{} : rules) {
-    bool has_positive = false;
-    for (const Literal& lit : rule->body) {
-      if (!lit.negated) {
-        has_positive = true;
-        break;
-      }
+  if (!resume) {
+    for (const CompiledRule* rule : rules) {
+      if (!rule->positive.empty()) continue;
+      empty_frame.Reset(rule->num_slots);
+      GroundRule gr = InstantiateRule(*rule, empty_frame);
+      if (check_negative && NegativeBodyHits(gr, *heads)) continue;
+      add_ground_rule(std::move(gr));
     }
-    if (has_positive) continue;
-    Binding empty;
-    GroundRule gr = Instantiate(*rule, empty);
-    if (check_negative && NegativeBodyHits(gr, *heads)) continue;
-    add_ground_rule(std::move(gr));
   }
 
   // Semi-naive saturation: each round matches rules with one positive atom
-  // pinned to the newly derived facts.
-  Matcher matcher(heads);
-  while (!pending.empty()) {
-    std::unordered_map<uint32_t, std::vector<Tuple>> batch;
-    for (GroundAtom& atom : pending) {
-      batch[atom.predicate].push_back(std::move(atom.args));
-    }
-    pending.clear();
-
-    // Collect first, apply after: applying mutates `heads`, which the
-    // matcher is iterating.
-    std::vector<GroundRule> derived;
-    for (const Rule* rule : rules) {
-      std::vector<const Atom*> pos = rule->PositiveBody();
-      for (size_t pivot = 0; pivot < pos.size(); ++pivot) {
-        auto hit = batch.find(pos[pivot]->predicate);
-        if (hit == batch.end()) continue;
-        matcher.MatchWithPivot(pos, pivot, hit->second,
-                               [&](const Binding& binding) {
-                                 GroundRule gr = Instantiate(*rule, binding);
-                                 if (check_negative &&
-                                     NegativeBodyHits(gr, *heads)) {
-                                   return true;
-                                 }
-                                 derived.push_back(std::move(gr));
-                                 return true;
-                               });
+  // pinned to its predicate's delta range — atoms before the pivot see
+  // only pre-delta rows, so every body instance is enumerated exactly once
+  // over the whole fixpoint — through join plans compiled per (rule,
+  // pivot) and rebound as the instance grows between rounds.
+  JoinPlanCache plans(heads);
+  JoinExecutor exec;
+  GroundAtom neg_scratch;
+  std::vector<GroundRule> derived;
+  while (true) {
+    bool any_delta = false;
+    for (uint32_t pred : body_preds) {
+      auto it = old_counts.find(pred);
+      uint32_t old = it == old_counts.end() ? 0 : it->second;
+      if (heads->Count(pred) > old) {
+        any_delta = true;
+        break;
       }
     }
+    if (!any_delta) break;
+
+    // Collect first, apply after: applying mutates the instance, which
+    // the executor's bound plans are reading.
+    derived.clear();
+    for (const CompiledRule* rule : rules) {
+      for (size_t pivot = 0; pivot < rule->positive.size(); ++pivot) {
+        uint32_t pred = rule->positive[pivot].predicate;
+        auto it = old_counts.find(pred);
+        size_t begin = it == old_counts.end() ? 0 : it->second;
+        const std::vector<Tuple>& rows = heads->Rows(pred);
+        if (begin >= rows.size()) continue;
+        const JoinPlan& plan = plans.Get(*rule, pivot, &local);
+        exec.ExecuteWithPivotRange(
+            plan, rows, begin, rows.size(), &local,
+            [&](const BindingFrame& frame) {
+              if (check_negative &&
+                  NegativeBodyHits(*rule, frame, *heads, &neg_scratch)) {
+                return true;
+              }
+              derived.push_back(InstantiateRule(*rule, frame));
+              return true;
+            },
+            &old_counts);
+      }
+    }
+    snapshot_old();
     for (GroundRule& gr : derived) add_ground_rule(std::move(gr));
   }
+  if (stats != nullptr) stats->Add(local);
   return Status::OK();
 }
 
@@ -148,46 +192,39 @@ Status RunGroundingFixpoint(const TranslatedProgram& translated,
 // SimpleGrounder
 // ---------------------------------------------------------------------------
 
-Status SimpleGrounder::Ground(const ChoiceSet& choices,
-                              GroundRuleSet* out) const {
-  FactStore heads;
-  return GroundWithState(choices, out, &heads);
+SimpleGrounder::SimpleGrounder(const TranslatedProgram* translated,
+                               const FactStore* db)
+    : translated_(translated), db_(db) {
+  const std::vector<Rule>& rules = translated_->sigma().rules();
+  compiled_.reserve(rules.size());
+  for (const Rule& r : rules) compiled_.push_back(CompileRule(r));
+  all_rules_.reserve(compiled_.size());
+  for (const CompiledRule& c : compiled_) all_rules_.push_back(&c);
+  body_preds_ = CollectBodyPreds(all_rules_);
+  db_base_ = MakeDbBase(*db_);
 }
 
-Status SimpleGrounder::GroundWithState(const ChoiceSet& choices,
-                                       GroundRuleSet* out,
-                                       FactStore* heads) const {
-  // Π[D]: the database enters as body-less ground rules (True → α).
-  for (uint32_t pred : db_->Predicates()) {
-    for (const Tuple& row : db_->Rows(pred)) {
-      GroundRule fact;
-      fact.head = GroundAtom{pred, row};
-      out->Add(std::move(fact));
-      heads->Insert(pred, row);
-    }
-  }
-  std::vector<const Rule*> rules;
-  rules.reserve(translated_->sigma().rules().size());
-  for (const Rule& r : translated_->sigma().rules()) rules.push_back(&r);
-  return RunGroundingFixpoint(*translated_, rules, choices,
-                              /*check_negative=*/false, out, heads,
-                              /*resume=*/false);
+Status SimpleGrounder::Ground(const ChoiceSet& choices, GroundRuleSet* out,
+                              MatchStats* stats) const {
+  // Π[D]: the database enters as body-less ground rules (True → α),
+  // cloned from the pre-indexed base.
+  *out = db_base_.Clone();
+  return RunGroundingFixpoint(*translated_, all_rules_, body_preds_, choices,
+                              /*check_negative=*/false, out,
+                              /*resume=*/false, stats);
 }
 
 Status SimpleGrounder::Extend(const ChoiceSet& choices,
-                              const GroundAtom& new_active, GroundRuleSet* out,
-                              FactStore* heads) const {
+                              const GroundAtom& new_active,
+                              GroundRuleSet* out) const {
   // Monotonicity of Simple^∞ (Definition 3.4): the grounding of Σ ∪ {c}
   // is the least fixpoint reached by resuming from the grounding of Σ with
   // c's Result atom as the only new fact. The cascade pre-pass inside the
-  // fixpoint inserts that Result atom (new_active is already in heads and
-  // now has a recorded choice).
+  // fixpoint inserts that Result atom (new_active is already in the
+  // instance and now has a recorded choice).
   (void)new_active;
-  std::vector<const Rule*> rules;
-  rules.reserve(translated_->sigma().rules().size());
-  for (const Rule& r : translated_->sigma().rules()) rules.push_back(&r);
-  return RunGroundingFixpoint(*translated_, rules, choices,
-                              /*check_negative=*/false, out, heads,
+  return RunGroundingFixpoint(*translated_, all_rules_, body_preds_, choices,
+                              /*check_negative=*/false, out,
                               /*resume=*/true);
 }
 
@@ -209,6 +246,10 @@ Result<std::unique_ptr<PerfectGrounder>> PerfectGrounder::Create(
   const auto& strata = dg.Strata();
   const std::vector<Rule>& sigma_rules = translated->sigma().rules();
   const std::vector<size_t>& origin = translated->origin();
+  grounder->compiled_.reserve(sigma_rules.size());
+  for (const Rule& r : sigma_rules) {
+    grounder->compiled_.push_back(CompileRule(r));
+  }
   for (size_t i = 0; i < sigma_rules.size(); ++i) {
     // A Σ∄ rule belongs to the stratum of its originating Π-rule's head
     // predicate (Π|C_i keeps rules whose head is in C_i, §5). Constraints
@@ -216,50 +257,53 @@ Result<std::unique_ptr<PerfectGrounder>> PerfectGrounder::Create(
     // complete (they derive nothing, so deferring them is sound).
     const Rule& original = pi.rules()[origin[i]];
     if (original.is_constraint) {
-      grounder->constraint_rules_.push_back(&sigma_rules[i]);
+      grounder->constraint_rules_.push_back(&grounder->compiled_[i]);
       continue;
     }
     auto it = strata.find(original.head.predicate);
     if (it == strata.end()) {
       return Status::Internal("head predicate missing from dependency graph");
     }
-    grounder->stratum_rules_[it->second].push_back(&sigma_rules[i]);
+    grounder->stratum_rules_[it->second].push_back(&grounder->compiled_[i]);
   }
+  grounder->stratum_body_preds_.reserve(grounder->stratum_rules_.size());
+  for (const auto& stratum : grounder->stratum_rules_) {
+    grounder->stratum_body_preds_.push_back(CollectBodyPreds(stratum));
+  }
+  grounder->constraint_body_preds_ =
+      CollectBodyPreds(grounder->constraint_rules_);
+  grounder->db_base_ = MakeDbBase(*db);
   return grounder;
 }
 
-Status PerfectGrounder::Ground(const ChoiceSet& choices,
-                               GroundRuleSet* out) const {
-  FactStore heads;
-  for (uint32_t pred : db_->Predicates()) {
-    for (const Tuple& row : db_->Rows(pred)) {
-      GroundRule fact;
-      fact.head = GroundAtom{pred, row};
-      out->Add(std::move(fact));
-      heads.Insert(pred, row);
-    }
-  }
+Status PerfectGrounder::Ground(const ChoiceSet& choices, GroundRuleSet* out,
+                               MatchStats* stats) const {
+  *out = db_base_.Clone();
 
-  for (const std::vector<const Rule*>& stratum : stratum_rules_) {
+  for (size_t si = 0; si < stratum_rules_.size(); ++si) {
+    const std::vector<const CompiledRule*>& stratum = stratum_rules_[si];
     // AtR_Σ ↪ Σ↑C_{i-1}: grounding stalls until every Active atom produced
     // by earlier strata has a recorded choice (Definition 5.1).
     for (const DeltaSignature& sig : translated_->signatures()) {
-      for (const Tuple& row : heads.Rows(sig.active_pred)) {
+      for (const Tuple& row : out->heads().Rows(sig.active_pred)) {
         if (!choices.Defined(GroundAtom{sig.active_pred, row})) {
           return Status::OK();  // Σ↑C_i = Σ↑C_{i-1} for all later strata.
         }
       }
     }
     if (stratum.empty()) continue;
-    GDLOG_RETURN_IF_ERROR(RunGroundingFixpoint(*translated_, stratum, choices,
+    GDLOG_RETURN_IF_ERROR(RunGroundingFixpoint(*translated_, stratum,
+                                               stratum_body_preds_[si],
+                                               choices,
                                                /*check_negative=*/true, out,
-                                               &heads, /*resume=*/false));
+                                               /*resume=*/false, stats));
   }
   if (!constraint_rules_.empty()) {
     GDLOG_RETURN_IF_ERROR(RunGroundingFixpoint(*translated_, constraint_rules_,
+                                               constraint_body_preds_,
                                                choices,
                                                /*check_negative=*/true, out,
-                                               &heads, /*resume=*/false));
+                                               /*resume=*/false, stats));
   }
   return Status::OK();
 }

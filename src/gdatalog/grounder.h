@@ -9,6 +9,7 @@
 #include "gdatalog/translation.h"
 #include "ground/dependency_graph.h"
 #include "ground/ground_rule.h"
+#include "ground/join_plan.h"
 
 namespace gdlog {
 
@@ -24,8 +25,13 @@ class Grounder {
   virtual std::string_view name() const = 0;
 
   /// Computes G(Σ) for the choice set `choices`, appending the ground rules
-  /// (including the database facts of D as body-less rules) to `out`.
-  virtual Status Ground(const ChoiceSet& choices, GroundRuleSet* out) const = 0;
+  /// (including the database facts of D as body-less rules) to a fresh
+  /// `out`. On return out->heads() is the matching instance
+  /// heads(G(Σ) ∪ Σ), which is all the state Extend() needs to resume.
+  /// With `stats` non-null, the compiled-join counters of this grounding
+  /// are accumulated into it.
+  virtual Status Ground(const ChoiceSet& choices, GroundRuleSet* out,
+                        MatchStats* stats = nullptr) const = 0;
 
   /// Incremental protocol (optional). Grounders are monotone in the choice
   /// set (Definition 3.3), so G(Σ ∪ {c}) can be computed by resuming the
@@ -33,24 +39,14 @@ class Grounder {
   /// chase exploits this to avoid re-deriving the grounding at every node.
   virtual bool SupportsIncremental() const { return false; }
 
-  /// Like Ground(), but additionally returns the matching instance
-  /// heads(G(Σ) ∪ Σ) so Extend() can resume from it.
-  virtual Status GroundWithState(const ChoiceSet& choices, GroundRuleSet* out,
-                                 FactStore* heads) const {
-    (void)heads;
-    return Ground(choices, out);
-  }
-
-  /// Extends a previously computed (out, heads) pair — produced by
-  /// GroundWithState/Extend for `choices` minus its most recent assignment
-  /// `new_active` — to the grounding of the full `choices`. Only valid when
-  /// SupportsIncremental().
+  /// Extends `out` — produced by Ground()/Extend() for `choices` minus its
+  /// most recent assignment `new_active` — to the grounding of the full
+  /// `choices`. Only valid when SupportsIncremental().
   virtual Status Extend(const ChoiceSet& choices, const GroundAtom& new_active,
-                        GroundRuleSet* out, FactStore* heads) const {
+                        GroundRuleSet* out) const {
     (void)choices;
     (void)new_active;
     (void)out;
-    (void)heads;
     return Status::Unsupported("grounder does not support incremental mode");
   }
 };
@@ -61,23 +57,32 @@ class Grounder {
 /// and carried into the ground rules.
 class SimpleGrounder : public Grounder {
  public:
-  /// `translated` and `db` must outlive the grounder.
-  SimpleGrounder(const TranslatedProgram* translated, const FactStore* db)
-      : translated_(translated), db_(db) {}
+  /// `translated` and `db` must outlive the grounder. Compiles every Σ∄
+  /// rule to slot form once, here, so chase nodes share the compiled
+  /// bodies read-only.
+  SimpleGrounder(const TranslatedProgram* translated, const FactStore* db);
 
   std::string_view name() const override { return "simple"; }
 
-  Status Ground(const ChoiceSet& choices, GroundRuleSet* out) const override;
+  Status Ground(const ChoiceSet& choices, GroundRuleSet* out,
+                MatchStats* stats = nullptr) const override;
 
   bool SupportsIncremental() const override { return true; }
-  Status GroundWithState(const ChoiceSet& choices, GroundRuleSet* out,
-                         FactStore* heads) const override;
   Status Extend(const ChoiceSet& choices, const GroundAtom& new_active,
-                GroundRuleSet* out, FactStore* heads) const override;
+                GroundRuleSet* out) const override;
 
  private:
   const TranslatedProgram* translated_;
   const FactStore* db_;
+  /// Σ∄ rules compiled to slot form, parallel to sigma().rules().
+  std::vector<CompiledRule> compiled_;
+  std::vector<const CompiledRule*> all_rules_;
+  /// Positive-body predicates of all_rules_, sorted.
+  std::vector<uint32_t> body_preds_;
+  /// Π[D]'s database prefix as a grounding (one body-less rule per fact)
+  /// with a frozen, fully indexed matching instance; every Ground() clones
+  /// it (copy-on-write heads) instead of re-inserting and re-indexing D.
+  GroundRuleSet db_base_;
 };
 
 /// The perfect grounder GPerfect_Π[D] (Definition 5.1) for programs with
@@ -96,7 +101,8 @@ class PerfectGrounder : public Grounder {
 
   std::string_view name() const override { return "perfect"; }
 
-  Status Ground(const ChoiceSet& choices, GroundRuleSet* out) const override;
+  Status Ground(const ChoiceSet& choices, GroundRuleSet* out,
+                MatchStats* stats = nullptr) const override;
 
   size_t stratum_count() const { return stratum_rules_.size(); }
 
@@ -106,10 +112,18 @@ class PerfectGrounder : public Grounder {
 
   const TranslatedProgram* translated_;
   const FactStore* db_;
+  /// Σ∄ rules compiled to slot form, parallel to sigma().rules().
+  std::vector<CompiledRule> compiled_;
   /// Rules of Σ∄ grouped by the stratum of the originating Π-rule's head.
-  std::vector<std::vector<const Rule*>> stratum_rules_;
+  std::vector<std::vector<const CompiledRule*>> stratum_rules_;
   /// Constraints, grounded in a final pass after all strata.
-  std::vector<const Rule*> constraint_rules_;
+  std::vector<const CompiledRule*> constraint_rules_;
+  /// Positive-body predicates per stratum (parallel to stratum_rules_)
+  /// and for the constraint pass, each sorted.
+  std::vector<std::vector<uint32_t>> stratum_body_preds_;
+  std::vector<uint32_t> constraint_body_preds_;
+  /// See SimpleGrounder::db_base_.
+  GroundRuleSet db_base_;
 };
 
 /// The triggers of Definition 4.1: Active atoms occurring in heads(G(Σ))
@@ -119,17 +133,24 @@ std::vector<GroundAtom> FindTriggers(const TranslatedProgram& translated,
                                      const ChoiceSet& choices);
 
 /// Shared Simple^∞ / Perfect^∞ fixpoint machinery (used by both grounders).
-/// Starts from the rules/facts already in `out` and the matching instance
-/// `heads` (which also holds Result atoms contributed by `choices`);
-/// saturates `rules` and returns. With `check_negative`, a rule instance is
-/// added only if its negative body misses `heads` (Perfect semantics).
-/// With `resume`, only facts cascaded by newly applicable choices are
-/// treated as new (incremental continuation of an earlier fixpoint).
+/// Starts from the rules/facts already in `out`, whose heads() is the
+/// matching instance (it also holds Result atoms contributed by earlier
+/// `choices` cascades); saturates `rules` (compiled to slot form by the
+/// owning grounder) and returns. With `check_negative`, a rule instance is
+/// added only if its negative body misses the instance (Perfect
+/// semantics). With `resume`, only facts cascaded by newly applicable
+/// choices are treated as new (incremental continuation of an earlier
+/// fixpoint). With `stats` non-null, compiled-join counters accumulate
+/// into it.
+/// `body_preds` must list the positive-body predicates of `rules`, sorted
+/// and unique (the grounders precompute it once; it drives the delta
+/// watermarks).
 Status RunGroundingFixpoint(const TranslatedProgram& translated,
-                            const std::vector<const Rule*>& rules,
+                            const std::vector<const CompiledRule*>& rules,
+                            const std::vector<uint32_t>& body_preds,
                             const ChoiceSet& choices, bool check_negative,
-                            GroundRuleSet* out, FactStore* heads,
-                            bool resume = false);
+                            GroundRuleSet* out, bool resume = false,
+                            MatchStats* stats = nullptr);
 
 }  // namespace gdlog
 

@@ -38,16 +38,30 @@ std::string GroundAtom::ToString(const Interner* interner) const {
 FactStore::Relation::Relation(const Relation& other)
     : rows(other.rows), set(other.set) {
   size_t n = other.arity.load(std::memory_order_acquire);
-  if (n == 0 || other.columns == nullptr) return;
-  arity.store(n, std::memory_order_relaxed);
-  columns = std::make_unique<ColumnIndex[]>(n);
-  // `columns_once` stays fresh in the clone; EnsureColumns() tolerates an
-  // already-populated array (call_once simply re-publishes the same arity).
-  for (size_t col = 0; col < n; ++col) {
-    if (other.columns[col].built.load(std::memory_order_acquire)) {
-      columns[col].map = other.columns[col].map;
-      columns[col].built.store(true, std::memory_order_release);
+  if (n != 0 && other.columns != nullptr) {
+    arity.store(n, std::memory_order_relaxed);
+    columns = std::make_unique<ColumnIndex[]>(n);
+    // `columns_once` stays fresh in the clone; EnsureColumns() tolerates an
+    // already-populated array (call_once simply re-publishes the same
+    // arity).
+    for (size_t col = 0; col < n; ++col) {
+      if (other.columns[col].built.load(std::memory_order_acquire)) {
+        columns[col].map = other.columns[col].map;
+        columns[col].built.store(true, std::memory_order_release);
+      }
     }
+  }
+  // Adopt published composite indices (deep copy: a shared CompositeIndex
+  // would let this clone's Insert() mutate buckets concurrent readers of
+  // the source are iterating). One mid-build in another thread is simply
+  // rebuilt lazily by the clone when first needed.
+  std::lock_guard<std::mutex> lock(other.composites_mutex);
+  for (const auto& [cols, index] : other.composites) {
+    if (!index->built.load(std::memory_order_acquire)) continue;
+    auto copy = std::make_shared<CompositeIndex>();
+    copy->map = index->map;
+    copy->built.store(true, std::memory_order_release);
+    composites.emplace(cols, std::move(copy));
   }
 }
 
@@ -80,6 +94,30 @@ const FactStore::ColumnIndex& FactStore::Relation::BuiltColumn(
   return index;
 }
 
+const FactStore::CompositeIndex& FactStore::Relation::BuiltComposite(
+    const std::vector<uint16_t>& cols) const {
+  std::shared_ptr<CompositeIndex> index;
+  {
+    std::lock_guard<std::mutex> lock(composites_mutex);
+    auto it = composites.find(cols);
+    if (it == composites.end()) {
+      it = composites.emplace(cols, std::make_shared<CompositeIndex>()).first;
+    }
+    index = it->second;
+  }
+  if (!index->built.load(std::memory_order_acquire)) {
+    std::call_once(index->once, [&] {
+      Tuple key(cols.size());
+      for (uint32_t row = 0; row < rows.size(); ++row) {
+        for (size_t k = 0; k < cols.size(); ++k) key[k] = rows[row][cols[k]];
+        index->map[key].push_back(row);
+      }
+      index->built.store(true, std::memory_order_release);
+    });
+  }
+  return *index;
+}
+
 // ---------------------------------------------------------------------------
 // FactStore
 // ---------------------------------------------------------------------------
@@ -97,12 +135,13 @@ FactStore::Relation& FactStore::MutableRelation(uint32_t predicate) {
 
 bool FactStore::Insert(uint32_t predicate, Tuple tuple) {
   assert(!frozen_ && "Insert() on a frozen FactStore");
-  // Duplicate check against the (possibly shared) relation first: the
-  // grounding fixpoint dedups through rejected Inserts, and detaching a
-  // copy-on-write relation just to discover the tuple was already there
-  // would defeat the cheap-branch design.
+  // For a shared relation, duplicate-check before detaching: the grounding
+  // fixpoint dedups through rejected Inserts, and detaching a copy-on-write
+  // relation just to discover the tuple was already there would defeat the
+  // cheap-branch design. A uniquely owned relation skips the pre-check —
+  // the insert itself is the membership test (one hash, not two).
   auto shared_it = relations_.find(predicate);
-  if (shared_it != relations_.end() &&
+  if (shared_it != relations_.end() && shared_it->second.use_count() > 1 &&
       shared_it->second->set.count(tuple) != 0) {
     return false;
   }
@@ -120,6 +159,17 @@ bool FactStore::Insert(uint32_t predicate, Tuple tuple) {
     ColumnIndex& index = rel.columns[col];
     if (index.built.load(std::memory_order_acquire)) {
       index.map[stored[col]].push_back(row);
+    }
+  }
+  // Likewise for built composite indices.
+  {
+    std::lock_guard<std::mutex> lock(rel.composites_mutex);
+    for (auto& [cols, index] : rel.composites) {
+      if (!index->built.load(std::memory_order_acquire)) continue;
+      if (cols.back() >= stored.size()) continue;
+      Tuple key(cols.size());
+      for (size_t k = 0; k < cols.size(); ++k) key[k] = stored[cols[k]];
+      index->map[std::move(key)].push_back(row);
     }
   }
   ++total_;
@@ -150,6 +200,30 @@ const std::vector<uint32_t>* FactStore::IndexLookup(uint32_t predicate,
   auto hit = index.map.find(v);
   if (hit == index.map.end()) return nullptr;
   return &hit->second;
+}
+
+const FactStore::ColumnIndexMap* FactStore::GetColumnIndex(uint32_t predicate,
+                                                           size_t col) const {
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) return nullptr;
+  const Relation& rel = *it->second;
+  if (col >= rel.EnsureColumns()) return nullptr;
+  return &rel.BuiltColumn(col).map;
+}
+
+size_t FactStore::DistinctCount(uint32_t predicate, size_t col) const {
+  const ColumnIndexMap* index = GetColumnIndex(predicate, col);
+  return index == nullptr ? 0 : index->size();
+}
+
+const FactStore::CompositeKeyMap* FactStore::GetCompositeIndex(
+    uint32_t predicate, const std::vector<uint16_t>& cols) const {
+  assert(cols.size() >= 2 && "composite indices span at least two columns");
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) return nullptr;
+  const Relation& rel = *it->second;
+  if (cols.back() >= rel.EnsureColumns()) return nullptr;
+  return &rel.BuiltComposite(cols).map;
 }
 
 void FactStore::Freeze() {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -64,6 +65,21 @@ class FactStore {
  public:
   FactStore() = default;
 
+  /// Copies share relation storage copy-on-write. A copy is always
+  /// unfrozen, whatever the source: frozen-ness says *this object* will
+  /// not mutate; a copy is a new store (the grounding layer clones frozen,
+  /// pre-indexed base stores and extends the clones).
+  FactStore(const FactStore& other)
+      : relations_(other.relations_), total_(other.total_) {}
+  FactStore& operator=(const FactStore& other) {
+    relations_ = other.relations_;
+    total_ = other.total_;
+    frozen_ = false;
+    return *this;
+  }
+  FactStore(FactStore&&) = default;
+  FactStore& operator=(FactStore&&) = default;
+
   /// Inserts a fact; returns true iff it was new. Must not be called on a
   /// frozen store, nor concurrently with any other access to this object.
   bool Insert(uint32_t predicate, Tuple tuple);
@@ -83,9 +99,38 @@ class FactStore {
 
   /// Row indices of `predicate` whose column `col` equals `v`.
   /// Builds the column index on first use (thread-safely). Returns nullptr
-  /// when no row matches.
+  /// when no row matches. Invariant (all index buckets, composite ones
+  /// included): row indices are strictly ascending — builds scan rows in
+  /// order and Insert appends — which the semi-naive old/new cutoff in the
+  /// join executor relies on.
   const std::vector<uint32_t>* IndexLookup(uint32_t predicate, size_t col,
                                            const Value& v) const;
+
+  /// One column's complete value → row-indices map. The compiled join
+  /// executor resolves this handle once per plan bind and then pays one
+  /// hash lookup per candidate fetch (IndexLookup additionally re-finds the
+  /// relation every call). Builds the index on first use (thread-safely).
+  /// Returns nullptr when the relation is empty or `col` is out of range.
+  /// The handle stays valid until this store is next mutated.
+  using ColumnIndexMap = std::unordered_map<Value, std::vector<uint32_t>>;
+  const ColumnIndexMap* GetColumnIndex(uint32_t predicate, size_t col) const;
+
+  /// Number of distinct values in `predicate`'s column `col` (0 when the
+  /// relation is empty). Builds the column index; the join planner uses
+  /// this as its cardinality estimator (rows / distinct ≈ bucket size).
+  size_t DistinctCount(uint32_t predicate, size_t col) const;
+
+  /// A multi-column hash index over `cols` (strictly ascending, ≥2
+  /// columns): composite key tuple → row indices in insertion order. Built
+  /// lazily on first use, once per column combination, thread-safely, and
+  /// COW-compatibly (clones adopt already-built composites; a composite
+  /// mid-build in another thread is rebuilt by the clone). Returns nullptr
+  /// when the relation is empty or any column is out of range. The handle
+  /// stays valid until this store is next mutated.
+  using CompositeKeyMap =
+      std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash>;
+  const CompositeKeyMap* GetCompositeIndex(
+      uint32_t predicate, const std::vector<uint16_t>& cols) const;
 
   /// Builds all column indices eagerly and forbids further Insert()s, so
   /// concurrent readers never mutate even lazily. Idempotent.
@@ -117,6 +162,14 @@ class FactStore {
     std::unordered_map<Value, std::vector<uint32_t>> map;
   };
 
+  /// One composite index (see GetCompositeIndex). Same publication protocol
+  /// as ColumnIndex: `built` is set (release) only after `map` is complete.
+  struct CompositeIndex {
+    std::once_flag once;
+    std::atomic<bool> built{false};
+    CompositeKeyMap map;
+  };
+
   struct Relation {
     Relation() = default;
     /// Clone for copy-on-write: copies rows and the membership set, and
@@ -136,11 +189,22 @@ class FactStore {
     mutable std::atomic<size_t> arity{0};
     mutable std::unique_ptr<ColumnIndex[]> columns;
 
+    /// Composite indices keyed by their (ascending) column combination,
+    /// created on demand under `composites_mutex` (taken only to find or
+    /// insert the map entry — the build itself runs under the entry's
+    /// once_flag, outside the lock).
+    mutable std::mutex composites_mutex;
+    mutable std::map<std::vector<uint16_t>, std::shared_ptr<CompositeIndex>>
+        composites;
+
     /// Ensures `columns` is allocated; returns the arity (0 = no rows yet,
     /// nothing to index).
     size_t EnsureColumns() const;
     /// Builds (at most once) and returns column `col`'s index.
     const ColumnIndex& BuiltColumn(size_t col) const;
+    /// Builds (at most once) and returns the composite index over `cols`.
+    const CompositeIndex& BuiltComposite(
+        const std::vector<uint16_t>& cols) const;
   };
 
   /// The relation for `predicate`, cloned first if shared (copy-on-write).

@@ -1,8 +1,10 @@
 #ifndef GDLOG_GROUND_GROUND_RULE_H_
 #define GDLOG_GROUND_GROUND_RULE_H_
 
+#include <atomic>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "ground/fact_store.h"
@@ -19,6 +21,40 @@ struct GroundRule {
   std::vector<GroundAtom> negative;
   bool is_constraint = false;
 
+  GroundRule() = default;
+  // Copies carry the memoized hash along; the atomic itself is not
+  // copyable, hence the spelled-out special members.
+  GroundRule(const GroundRule& other)
+      : head(other.head),
+        positive(other.positive),
+        negative(other.negative),
+        is_constraint(other.is_constraint),
+        cached_hash_(other.cached_hash_.load(std::memory_order_relaxed)) {}
+  GroundRule(GroundRule&& other) noexcept
+      : head(std::move(other.head)),
+        positive(std::move(other.positive)),
+        negative(std::move(other.negative)),
+        is_constraint(other.is_constraint),
+        cached_hash_(other.cached_hash_.load(std::memory_order_relaxed)) {}
+  GroundRule& operator=(const GroundRule& other) {
+    head = other.head;
+    positive = other.positive;
+    negative = other.negative;
+    is_constraint = other.is_constraint;
+    cached_hash_.store(other.cached_hash_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
+  GroundRule& operator=(GroundRule&& other) noexcept {
+    head = std::move(other.head);
+    positive = std::move(other.positive);
+    negative = std::move(other.negative);
+    is_constraint = other.is_constraint;
+    cached_hash_.store(other.cached_hash_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
+
   bool IsFact() const {
     return !is_constraint && positive.empty() && negative.empty();
   }
@@ -28,13 +64,26 @@ struct GroundRule {
            positive == other.positive && negative == other.negative;
   }
 
+  /// Memoized (rules are immutable once stored; the incremental chase
+  /// re-hashes every rule on every Clone, so this is hot). The relaxed
+  /// atomic keeps concurrent first computations race-free; both writers
+  /// store the same value.
   size_t Hash() const {
+    size_t cached = cached_hash_.load(std::memory_order_relaxed);
+    if (cached != 0) return cached;
     size_t h = is_constraint ? 0x107u : head.Hash();
     for (const GroundAtom& a : positive) h = HashCombine(h, a.Hash());
     h = HashCombine(h, 0x5eed);
     for (const GroundAtom& a : negative) h = HashCombine(h, a.Hash());
+    if (h == 0) h = 0x9e3779b97f4a7c15ull;  // keep 0 as the "unset" mark
+    cached_hash_.store(h, std::memory_order_relaxed);
     return h;
   }
+
+ private:
+  mutable std::atomic<size_t> cached_hash_{0};
+
+ public:
 
   std::string ToString(const Interner* interner = nullptr) const {
     std::string out;
@@ -63,9 +112,12 @@ struct GroundRuleHash {
   size_t operator()(const GroundRule& r) const { return r.Hash(); }
 };
 
-/// A set of ground rules Σ' ⊆ ground(Σ) with its heads(Σ') instance kept
+/// A set of ground rules Σ' ⊆ ground(Σ) with its matching instance kept
 /// incrementally (the grounding operators of §3/§5 repeatedly match rule
-/// bodies against heads of the program built so far).
+/// bodies against heads of the program built so far). heads() holds every
+/// rule head plus the Result atoms the grounding layer cascades from the
+/// choice set — i.e. heads(Σ' ∪ Σ), the instance Definition 3.4 matches
+/// against — so the fixpoint needs no second fact store.
 class GroundRuleSet {
  public:
   GroundRuleSet() = default;
@@ -79,12 +131,22 @@ class GroundRuleSet {
 
   /// Adds a rule; returns true iff new. Updates heads() (constraints have
   /// no head and contribute nothing there).
-  bool Add(GroundRule rule) {
+  bool Add(GroundRule rule) { return AddAndGet(std::move(rule)) != nullptr; }
+
+  /// Like Add, but returns the stored rule (nullptr if it was a duplicate)
+  /// so callers can reference its head without copying. `new_head`, when
+  /// given, reports whether the head atom was new to heads() — false for
+  /// duplicates, constraints, and heads another rule already derived.
+  const GroundRule* AddAndGet(GroundRule rule, bool* new_head = nullptr) {
+    if (new_head != nullptr) *new_head = false;
     auto [it, inserted] = set_.insert(std::move(rule));
-    if (!inserted) return false;
+    if (!inserted) return nullptr;
     rules_.push_back(&*it);
-    if (!it->is_constraint) heads_.Insert(it->head);
-    return true;
+    if (!it->is_constraint) {
+      bool fresh = heads_.Insert(it->head);
+      if (new_head != nullptr) *new_head = fresh;
+    }
+    return &*it;
   }
 
   bool Contains(const GroundRule& rule) const { return set_.count(rule) != 0; }
@@ -94,14 +156,27 @@ class GroundRuleSet {
 
   size_t size() const { return rules_.size(); }
 
-  /// heads(Σ'): the instance of all head atoms.
+  /// The matching instance: every head atom, plus any Result atoms the
+  /// grounding layer recorded via mutable_heads().
   const FactStore& heads() const { return heads_; }
 
-  /// Deep copy (re-inserts every rule). Used by the incremental chase to
-  /// branch grounding state per child.
+  /// The grounding layer's write access to the matching instance (it
+  /// inserts the Result atoms cascaded from the choice set). Everyone else
+  /// should treat heads() as derived state.
+  FactStore* mutable_heads() { return &heads_; }
+
+  /// Deep copy of the rule set; the matching instance copies copy-on-write
+  /// (a pointer per predicate). Used by the incremental chase to branch
+  /// grounding state per child.
   GroundRuleSet Clone() const {
     GroundRuleSet copy;
-    for (const GroundRule* rule : rules_) copy.Add(*rule);
+    copy.heads_ = heads_;
+    copy.rules_.reserve(rules_.size());
+    for (const GroundRule* rule : rules_) {
+      auto [it, inserted] = copy.set_.insert(*rule);
+      (void)inserted;
+      copy.rules_.push_back(&*it);
+    }
     return copy;
   }
 

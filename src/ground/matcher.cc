@@ -49,7 +49,12 @@ fail:
 bool Matcher::ForEachCandidate(
     const Atom& atom, const Binding& binding,
     const std::function<bool(const Tuple&)>& cb) const {
-  // Find a bound column to use an index on.
+  // Iterate the most selective bound column's bucket — the same bucket
+  // PickNext costed this atom by. (This used to iterate the *first* bound
+  // column's bucket, so an atom chosen for a tiny second-column bucket
+  // could still be enumerated through a huge first-column one.)
+  const std::vector<uint32_t>* best_rows = nullptr;
+  bool have_bound = false;
   for (size_t col = 0; col < atom.args.size(); ++col) {
     const Term& t = atom.args[col];
     Value bound;
@@ -64,16 +69,21 @@ bool Matcher::ForEachCandidate(
         have = true;
       }
     }
-    if (have) {
-      const std::vector<uint32_t>* rows =
-          store_->IndexLookup(atom.predicate, col, bound);
-      if (rows == nullptr) return true;
-      const std::vector<Tuple>& all = store_->Rows(atom.predicate);
-      for (uint32_t r : *rows) {
-        if (!cb(all[r])) return false;
-      }
-      return true;
+    if (!have) continue;
+    have_bound = true;
+    const std::vector<uint32_t>* rows =
+        store_->IndexLookup(atom.predicate, col, bound);
+    if (rows == nullptr) return true;  // a bound column with no match
+    if (best_rows == nullptr || rows->size() < best_rows->size()) {
+      best_rows = rows;
     }
+  }
+  if (have_bound) {
+    const std::vector<Tuple>& all = store_->Rows(atom.predicate);
+    for (uint32_t r : *best_rows) {
+      if (!cb(all[r])) return false;
+    }
+    return true;
   }
   // Full scan.
   for (const Tuple& row : store_->Rows(atom.predicate)) {

@@ -22,6 +22,11 @@ GroundAtom ApplyAtom(const Atom& atom, const Binding& binding);
 /// Enumerates homomorphisms h from a conjunction of atoms into a FactStore
 /// (the h(A) ⊆ B matching of §3). Uses greedy bound-first atom ordering and
 /// per-column hash indices. The callback returns false to stop enumeration.
+///
+/// This is the *reference* matcher: simple, interpreted, one hash lookup
+/// per variable per row. The production hot path is the compiled join
+/// machinery in ground/join_plan.h; the property tests hold the two
+/// bit-identical on randomized programs.
 class Matcher {
  public:
   explicit Matcher(const FactStore* store) : store_(store) {}

@@ -117,6 +117,12 @@ TEST(Datalog, StatsAreMeaningful) {
   EXPECT_GT(stats.rounds, 2u);          // chain forces many rounds
   EXPECT_EQ(stats.derived_facts, 190u); // 20*19/2 paths
   EXPECT_GE(stats.rule_applications, stats.derived_facts);
+  // Compiled-join counters: the recursive rule probes edge's index every
+  // round through plans reused from the cache.
+  EXPECT_GT(stats.match.bindings, 0u);
+  EXPECT_GT(stats.match.index_hits, 0u);
+  EXPECT_GT(stats.match.plan_cache_hits, 0u);
+  EXPECT_GT(stats.match.plans_compiled, 0u);
 }
 
 TEST(Datalog, FactsOnlyProgramInBody) {

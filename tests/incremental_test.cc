@@ -138,8 +138,7 @@ TEST(Incremental, ExtendDirectlyMatchesGround) {
   const Grounder& grounder = engine->grounder();
 
   GroundRuleSet base;
-  FactStore base_heads;
-  ASSERT_TRUE(grounder.GroundWithState(ChoiceSet(), &base, &base_heads).ok());
+  ASSERT_TRUE(grounder.Ground(ChoiceSet(), &base).ok());
 
   // The single trigger: Active(0.1, 1, 2).
   std::vector<GroundAtom> triggers =
@@ -153,11 +152,10 @@ TEST(Incremental, ExtendDirectlyMatchesGround) {
   GroundRuleSet scratch;
   ASSERT_TRUE(grounder.Ground(choices, &scratch).ok());
 
-  // Incremental.
+  // Incremental: the clone's heads() carries the whole matching instance,
+  // so Extend resumes from the grounding alone.
   GroundRuleSet extended = base.Clone();
-  FactStore extended_heads = base_heads;
-  ASSERT_TRUE(
-      grounder.Extend(choices, triggers[0], &extended, &extended_heads).ok());
+  ASSERT_TRUE(grounder.Extend(choices, triggers[0], &extended).ok());
 
   ASSERT_EQ(extended.size(), scratch.size());
   for (const GroundRule* rule : scratch.rules()) {

@@ -62,6 +62,18 @@ def rows(doc):
                                             row.get("time_unit", "ns"))
     return table, cpus
 
+def counter_rows(doc, counter):
+    """(binary, benchmark name) -> counter value, for rows that carry it."""
+    table = {}
+    for binary, payload in doc.items():
+        if binary.startswith("_") or not isinstance(payload, dict):
+            continue
+        for row in payload.get("benchmarks", []):
+            if row.get("aggregate_name") or counter not in row:
+                continue
+            table[(binary, row["name"])] = row[counter]
+    return table
+
 old_rows, old_cpus = rows(old)
 new_rows, new_cpus = rows(new)
 if skip_mismatch and old_cpus != new_cpus:
@@ -89,6 +101,25 @@ for key in sorted(set(old_rows) | set(new_rows)):
         flag = "  REGRESSED"
         regressions.append((label, delta))
     print(f"{label:<58} {old_t:>12.0f} {new_t:>12.0f} {delta:>+7.1f}%{flag}")
+
+# Grounding-family throughput: the rules/s counters the grounding
+# benches export, as a dedicated delta table (higher is better; never
+# gates — the real_time gate above already covers these rows).
+old_rules = counter_rows(old, "rules/s")
+new_rules = counter_rows(new, "rules/s")
+if old_rules or new_rules:
+    print(f"\ngrounding family (rules/s; higher is better)")
+    print(f"{'benchmark':<58} {'old':>12} {'new':>12} {'delta':>8}")
+    for key in sorted(set(old_rules) | set(new_rules)):
+        label = f"{key[0]}:{key[1]}"
+        o, n = old_rules.get(key), new_rules.get(key)
+        if o is None:
+            print(f"{label:<58} {'-':>12} {n:>12.0f}      new")
+        elif n is None:
+            print(f"{label:<58} {o:>12.0f} {'-':>12}  removed")
+        else:
+            delta = (n - o) / o * 100.0 if o > 0 else 0.0
+            print(f"{label:<58} {o:>12.0f} {n:>12.0f} {delta:>+7.1f}%")
 
 if regressions:
     print(f"\n{len(regressions)} benchmark(s) regressed more than "

@@ -39,6 +39,11 @@
 //                         grid, in cells (default 4096, range [1, 2^20];
 //                         requires --extensions)
 //   --condition           condition marginals on consistency
+//   --stats               print grounding statistics for G(∅) — ground
+//                         rules, complete bindings, index / composite /
+//                         scan candidate fetches, plan cache behavior —
+//                         after the report (stderr when combined with
+//                         --json, so the JSON stream stays parseable)
 //   --json                exact mode: emit machine-readable JSON (sections
 //                         controlled by --outcomes / --events) and exit
 //   --dot                 print the dependency graph in DOT and exit
@@ -74,6 +79,7 @@ struct CliOptions {
   bool condition = false;
   bool dot = false;
   bool json = false;
+  bool stats = false;
   bool extensions = false;
   size_t mc_samples = 0;  // 0 = exact
   uint64_t seed = 2023;
@@ -99,7 +105,7 @@ struct CliOptions {
                "          [--threads N] [--shards N [--shard-index I]]\n"
                "          [--shard-prefix-depth K] [--merge FILE]...\n"
                "          [--extensions] [--normalgrid-max-cells K]\n"
-               "          [--json] [--dot]\n",
+               "          [--stats] [--json] [--dot]\n",
                argv0);
   std::exit(2);
 }
@@ -141,6 +147,8 @@ CliOptions ParseArgs(int argc, char** argv) {
       opts.dot = true;
     } else if (!std::strcmp(arg, "--json")) {
       opts.json = true;
+    } else if (!std::strcmp(arg, "--stats")) {
+      opts.stats = true;
     } else if (!std::strcmp(arg, "--mc")) {
       opts.mc_samples = std::strtoull(need_value(i), nullptr, 10);
     } else if (!std::strcmp(arg, "--seed")) {
@@ -202,6 +210,37 @@ gdlog::ChaseOptions MakeChaseOptions(const CliOptions& opts) {
 int ReportSpace(const gdlog::GDatalog& engine, const gdlog::OutcomeSpace& space,
                 const CliOptions& opts);
 
+// --stats: grounds once under the empty choice set with counters enabled
+// and prints the compiled-join statistics — the per-Ground shape of the
+// work every chase node repeats.
+void PrintGroundStats(const gdlog::GDatalog& engine, const CliOptions& opts) {
+  gdlog::GroundRuleSet out;
+  gdlog::MatchStats stats;
+  auto st = engine.grounder().Ground(gdlog::ChoiceSet(), &out, &stats);
+  std::FILE* dst = opts.json ? stderr : stdout;
+  if (!st.ok()) {
+    std::fprintf(dst, "grounding stats unavailable: %s\n",
+                 st.ToString().c_str());
+    return;
+  }
+  std::fprintf(dst,
+               "\ngrounding stats (G(empty)):\n"
+               "  ground rules         : %zu\n"
+               "  bindings             : %llu\n"
+               "  index_hits           : %llu\n"
+               "  composite_index_hits : %llu\n"
+               "  full_scans           : %llu\n"
+               "  plans_compiled       : %llu\n"
+               "  plan_cache_hits      : %llu\n",
+               out.size(),
+               static_cast<unsigned long long>(stats.bindings),
+               static_cast<unsigned long long>(stats.index_hits),
+               static_cast<unsigned long long>(stats.composite_index_hits),
+               static_cast<unsigned long long>(stats.full_scans),
+               static_cast<unsigned long long>(stats.plans_compiled),
+               static_cast<unsigned long long>(stats.plan_cache_hits));
+}
+
 int RunExact(const gdlog::GDatalog& engine, const CliOptions& opts) {
   auto space = engine.Infer(MakeChaseOptions(opts));
   if (!space.ok()) {
@@ -209,7 +248,9 @@ int RunExact(const gdlog::GDatalog& engine, const CliOptions& opts) {
                  space.status().ToString().c_str());
     return 1;
   }
-  return ReportSpace(engine, *space, opts);
+  int code = ReportSpace(engine, *space, opts);
+  if (code == 0 && opts.stats) PrintGroundStats(engine, opts);
+  return code;
 }
 
 int ReportSpace(const gdlog::GDatalog& engine, const gdlog::OutcomeSpace& space,
