@@ -1,4 +1,4 @@
-// Shared generators and helpers for the experiment benches (E1–E12).
+// Shared generators and helpers for the experiment benches (E1–E13).
 // Every bench binary prints a verification table first (the "rows the paper
 // reports"), then runs google-benchmark timings.
 #ifndef GDLOG_BENCH_BENCH_COMMON_H_

@@ -70,6 +70,17 @@ class Program {
   bool has_fail() const { return has_fail_; }
   uint32_t fail_predicate() const { return fail_predicate_; }
 
+  /// Structural copy whose name table is `interner` instead of this
+  /// program's. Only meaningful when `interner` preserves this program's
+  /// ids (see Interner::Clone) — the rules are copied verbatim.
+  Program CloneWith(std::shared_ptr<Interner> interner) const {
+    Program copy(std::move(interner));
+    copy.rules_ = rules_;
+    copy.has_fail_ = has_fail_;
+    copy.fail_predicate_ = fail_predicate_;
+    return copy;
+  }
+
   std::string ToString() const;
 
  private:

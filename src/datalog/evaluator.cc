@@ -42,13 +42,47 @@ Result<DatalogEvaluator::Model> DatalogEvaluator::Materialize(
   Model model;
   model.facts = db;
   Stats local;
-  local.strata = stratum_rules_.size();
+
+  // Optimized view: when the pipeline runs, the rules are re-specialized
+  // against this database's summary and recompiled locally; otherwise the
+  // Create()-time compilation is used as-is. Strata still come from the
+  // original dependency graph — with sharing off the passes introduce no
+  // predicates, and specialization never changes a head predicate.
+  std::vector<Rule> opt_rules;
+  std::vector<CompiledRule> opt_compiled;
+  std::vector<std::vector<const CompiledRule*>> opt_strata;
+  std::vector<const CompiledRule*> opt_constraints;
+  const std::vector<std::vector<const CompiledRule*>>* strata = &stratum_rules_;
+  const std::vector<const CompiledRule*>* constraints = &constraints_;
+  if (optimize_ && !OptDisabledByEnv()) {
+    ProgramIr ir = ProgramIr::LiftPlain(pi_, pi_.shared_interner().get());
+    PipelineOptions popts;
+    popts.share_subjoins = false;  // aux facts would pollute the model
+    local.opt = RunPipeline(&ir, SummarizeDb(db), popts);
+    opt_rules = std::move(ir).TakePlainRules();
+    opt_compiled.reserve(opt_rules.size());
+    for (const Rule& rule : opt_rules) {
+      opt_compiled.push_back(CompileRule(rule));
+    }
+    opt_strata.assign(dg_->Components().size(), {});
+    for (const CompiledRule& compiled : opt_compiled) {
+      if (compiled.rule->is_constraint) {
+        opt_constraints.push_back(&compiled);
+      } else {
+        opt_strata[dg_->ComponentOf(compiled.rule->head.predicate)].push_back(
+            &compiled);
+      }
+    }
+    strata = &opt_strata;
+    constraints = &opt_constraints;
+  }
+  local.strata = strata->size();
 
   JoinPlanCache plans(&model.facts);
   JoinExecutor exec;
   GroundAtom neg_scratch;
 
-  for (const std::vector<const CompiledRule*>& stratum : stratum_rules_) {
+  for (const std::vector<const CompiledRule*>& stratum : *strata) {
     if (stratum.empty()) continue;
 
     // Predicates some positive body of this stratum mentions: only their
@@ -146,7 +180,7 @@ Result<DatalogEvaluator::Model> DatalogEvaluator::Materialize(
   }
 
   // Constraints: check against the completed model.
-  for (const CompiledRule* constraint : constraints_) {
+  for (const CompiledRule* constraint : *constraints) {
     bool violated = false;
     const JoinPlan& plan =
         plans.Get(*constraint, JoinPlan::kNoPivot, &local.match);

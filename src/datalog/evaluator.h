@@ -9,6 +9,7 @@
 #include "ground/dependency_graph.h"
 #include "ground/fact_store.h"
 #include "ground/join_plan.h"
+#include "opt/pass_manager.h"
 
 namespace gdlog {
 
@@ -37,6 +38,10 @@ class DatalogEvaluator {
     /// Compiled-join counters (index/composite/scan candidate fetches,
     /// plan cache behavior) for the whole materialization.
     MatchStats match;
+    /// Pass-pipeline stats for this materialization (enabled == false when
+    /// optimization was off; the pipeline is per-Materialize because it
+    /// specializes against the database summary).
+    OptStats opt;
   };
 
   struct Model {
@@ -54,6 +59,11 @@ class DatalogEvaluator {
   const Program& program() const { return pi_; }
   const DependencyGraph& dependency_graph() const { return *dg_; }
 
+  /// Toggles the specialization/dead-rule pipeline run at the start of each
+  /// Materialize (subjoin sharing stays off here: its auxiliary facts would
+  /// pollute the materialized model). GDLOG_NO_OPT overrides to off.
+  void set_optimize(bool on) { optimize_ = on; }
+
   /// Convenience: all rows of `store` matching an atom pattern given in
   /// surface syntax (e.g. "path(1, X)"); variables match anything, repeated
   /// variables must agree.
@@ -65,6 +75,7 @@ class DatalogEvaluator {
   explicit DatalogEvaluator(Program pi) : pi_(std::move(pi)) {}
 
   Program pi_;
+  bool optimize_ = true;
   std::shared_ptr<DependencyGraph> dg_;
   /// Every rule compiled to slot form once, parallel to pi_.rules().
   /// (Both live on heap storage that moves with the evaluator, so the

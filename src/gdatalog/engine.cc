@@ -9,9 +9,14 @@ namespace gdlog {
 struct GDatalog::State {
   Program program;  // desugared
   FactStore db;
-  std::unique_ptr<DistributionRegistry> registry;
+  // Shared (not owned) so that WithDatabase engines can point their
+  // Σ_Π delta-signature metadata at the same distribution objects.
+  std::shared_ptr<DistributionRegistry> registry;
   TranslatedProgram translated;
   bool stratified = false;
+  GrounderKind effective_grounder = GrounderKind::kSimple;
+  DbSummary db_summary;
+  OptStats opt_stats;
   std::unique_ptr<Grounder> grounder;
   std::unique_ptr<ChaseEngine> chase;
 };
@@ -55,8 +60,8 @@ Result<GDatalog> GDatalog::FromProgram(Program pi, FactStore db,
   state->db.Freeze();
   state->registry =
       options.registry != nullptr
-          ? std::move(options.registry)
-          : std::make_unique<DistributionRegistry>(
+          ? std::shared_ptr<DistributionRegistry>(std::move(options.registry))
+          : std::make_shared<DistributionRegistry>(
                 DistributionRegistry::Builtins());
 
   GDLOG_ASSIGN_OR_RETURN(
@@ -66,11 +71,39 @@ Result<GDatalog> GDatalog::FromProgram(Program pi, FactStore db,
   DependencyGraph dg(state->program);
   state->stratified = dg.IsStratified();
 
+  state->db_summary = SummarizeDb(state->db);
+  if (options.optimize && !OptDisabledByEnv()) {
+    ProgramIr ir = ProgramIr::LiftSigma(state->program, state->translated,
+                                        state->program.interner());
+    PipelineOptions popts;
+    popts.record_dumps = options.record_ir_dumps;
+    if (state->stratified) {
+      // The demand pass changes the outcome space away from the goals, so
+      // it is only sound under stratification (splitting-set argument in
+      // ROADMAP) and only requested by callers observing goal marginals.
+      for (const std::string& goal : options.demand_goals) {
+        uint32_t id = state->program.interner()->Lookup(goal);
+        if (id != Interner::kNotFound) popts.demand_goals.push_back(id);
+      }
+    }
+    state->opt_stats = RunPipeline(&ir, state->db_summary, popts);
+    ir.ApplyTo(&state->translated);
+    // The passes preserve range-restriction and arity by construction;
+    // re-validating is cheap insurance against a pass bug silently
+    // producing an unsafe Σ_Π.
+    GDLOG_RETURN_IF_ERROR(state->translated.sigma().Validate());
+  }
+
   GrounderKind kind = options.grounder;
   if (kind == GrounderKind::kAuto) {
     kind = state->stratified ? GrounderKind::kPerfect : GrounderKind::kSimple;
   }
-  if (kind == GrounderKind::kPerfect) {
+  state->effective_grounder = kind;
+  return FinishEngine(std::move(state));
+}
+
+Result<GDatalog> GDatalog::FinishEngine(std::unique_ptr<State> state) {
+  if (state->effective_grounder == GrounderKind::kPerfect) {
     GDLOG_ASSIGN_OR_RETURN(
         state->grounder,
         PerfectGrounder::Create(state->program, &state->translated,
@@ -84,6 +117,49 @@ Result<GDatalog> GDatalog::FromProgram(Program pi, FactStore db,
   return GDatalog(std::move(state));
 }
 
+Result<GDatalog> GDatalog::WithDatabase(const GDatalog& base,
+                                        std::string_view database_text) {
+  const State& bs = *base.state_;
+  auto state = std::make_unique<State>();
+  // Clone the interner so the new engine can intern database-only symbols
+  // without mutating the base engine (which may be serving concurrently).
+  std::shared_ptr<Interner> interner = bs.program.interner()->Clone();
+  state->program = bs.program.CloneWith(interner);
+  GDLOG_ASSIGN_OR_RETURN(state->db, ParseFacts(database_text, interner.get()));
+  state->db.Freeze();
+  state->registry = bs.registry;
+  state->stratified = bs.stratified;
+  state->effective_grounder = bs.effective_grounder;
+  state->db_summary = SummarizeDb(state->db);
+
+  // The pass pipeline consumes only the database summary, so an equal
+  // summary makes the optimized Σ_Π a pure function of inputs that did not
+  // change — adopt it. Note the base's demand transformation (if any)
+  // carries over: it depends only on the program and goals, never the db.
+  if (!bs.opt_stats.enabled || state->db_summary == bs.db_summary) {
+    state->translated = bs.translated.CloneWith(interner);
+    state->opt_stats = bs.opt_stats;
+    state->opt_stats.pipeline_reused = bs.opt_stats.enabled;
+    state->opt_stats.dumps.clear();
+    return FinishEngine(std::move(state));
+  }
+
+  GDLOG_ASSIGN_OR_RETURN(
+      state->translated, TranslateToTgd(state->program, *state->registry));
+  if (!OptDisabledByEnv()) {
+    ProgramIr ir = ProgramIr::LiftSigma(state->program, state->translated,
+                                        state->program.interner());
+    PipelineOptions popts;
+    // Demand goals deliberately do not carry over: this path serves generic
+    // engines whose query set is unknown (the registry layers demand on top
+    // per query signature).
+    state->opt_stats = RunPipeline(&ir, state->db_summary, popts);
+    ir.ApplyTo(&state->translated);
+    GDLOG_RETURN_IF_ERROR(state->translated.sigma().Validate());
+  }
+  return FinishEngine(std::move(state));
+}
+
 const Program& GDatalog::program() const { return state_->program; }
 const TranslatedProgram& GDatalog::translated() const {
   return state_->translated;
@@ -94,6 +170,8 @@ const DistributionRegistry& GDatalog::registry() const {
 }
 const Grounder& GDatalog::grounder() const { return *state_->grounder; }
 bool GDatalog::stratified() const { return state_->stratified; }
+const OptStats& GDatalog::opt_stats() const { return state_->opt_stats; }
+const DbSummary& GDatalog::db_summary() const { return state_->db_summary; }
 const ChaseEngine& GDatalog::chase() const { return *state_->chase; }
 
 Result<OutcomeSpace> GDatalog::Infer(const ChaseOptions& options) const {

@@ -2,10 +2,13 @@
 #define GDLOG_GDATALOG_ENGINE_H_
 
 #include <memory>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "gdatalog/chase.h"
 #include "gdatalog/outcome.h"
+#include "opt/pass_manager.h"
 
 namespace gdlog {
 
@@ -27,6 +30,18 @@ class GDatalog {
     /// Distribution set Δ; defaults to DistributionRegistry::Builtins().
     /// Moved into the engine when provided.
     std::unique_ptr<DistributionRegistry> registry;
+    /// Run the src/opt pass pipeline (specialization, dead-rule
+    /// elimination, subjoin sharing) over Σ_Π at construction. The
+    /// GDLOG_NO_OPT environment variable overrides this to off.
+    bool optimize = true;
+    /// Goal predicate names; non-empty enables the magic-sets demand pass
+    /// (applied only when Π is stratified — see ROADMAP's correctness
+    /// argument — and only observing goal marginals stays sound; exact
+    /// outcome/model listings are coarsened). Unknown names resolve to no
+    /// goals and leave the demand pass off.
+    std::vector<std::string> demand_goals;
+    /// Record before/after-pass IR dumps into opt_stats().dumps.
+    bool record_ir_dumps = false;
   };
 
   /// Builds an engine from program text and database text (facts in surface
@@ -45,6 +60,15 @@ class GDatalog {
   static Result<GDatalog> FromProgram(Program pi, FactStore db,
                                       Options options);
 
+  /// Builds an engine for `base`'s program with a different database. The
+  /// distribution registry is shared, and when the new database's summary
+  /// (predicate presence and column domains — all the pass pipeline is
+  /// allowed to observe) matches `base`'s, the already-optimized Σ_Π is
+  /// adopted instead of re-running the pipeline; opt_stats().pipeline_reused
+  /// reports which path was taken. The serving layer's PUT /db path.
+  static Result<GDatalog> WithDatabase(const GDatalog& base,
+                                       std::string_view database_text);
+
   GDatalog(GDatalog&&) noexcept;
   GDatalog& operator=(GDatalog&&) noexcept;
   ~GDatalog();
@@ -59,6 +83,12 @@ class GDatalog {
   const Grounder& grounder() const;
   /// True iff Π has stratified negation.
   bool stratified() const;
+  /// Stats of the optimization pipeline run at construction (enabled ==
+  /// false when the pipeline was off).
+  const OptStats& opt_stats() const;
+  /// The database summary the pipeline consumed (also the reuse key for
+  /// WithDatabase).
+  const DbSummary& db_summary() const;
 
   /// The chase engine (Explore/SamplePath live there).
   const ChaseEngine& chase() const;
@@ -88,6 +118,7 @@ class GDatalog {
  private:
   struct State;
   explicit GDatalog(std::unique_ptr<State> state);
+  static Result<GDatalog> FinishEngine(std::unique_ptr<State> state);
   std::unique_ptr<State> state_;
 };
 

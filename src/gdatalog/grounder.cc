@@ -39,6 +39,19 @@ GroundRuleSet MakeDbBase(const FactStore& db) {
   return base;
 }
 
+/// Compiles sigma rule `i` with its optimizer execution annotations: aux
+/// heads (subjoin sharing's synthesized rules) and emit bodies (consumers
+/// emit their pre-rewrite body so G(Σ) is unchanged).
+CompiledRule CompileSigmaRule(const TranslatedProgram& translated, size_t i) {
+  CompiledRule out = CompileRule(translated.sigma().rules()[i]);
+  if (i < translated.exec_info().size()) {
+    const RuleExecInfo& info = translated.exec_info()[i];
+    out.aux_head = info.aux_head;
+    if (!info.emit_body.empty()) AttachEmitBody(&out, info.emit_body);
+  }
+  return out;
+}
+
 bool NegativeBodyHits(const GroundRule& gr, const FactStore& heads) {
   for (const GroundAtom& a : gr.negative) {
     if (heads.Contains(a)) return true;
@@ -145,6 +158,10 @@ Status RunGroundingFixpoint(const TranslatedProgram& translated,
   JoinExecutor exec;
   GroundAtom neg_scratch;
   std::vector<GroundRule> derived;
+  // Synthesized __join heads are matching state only: they enter the
+  // instance (so consumers and later rounds see them) but never become
+  // ground rules.
+  std::vector<GroundAtom> derived_aux;
   while (true) {
     bool any_delta = false;
     for (uint32_t pred : body_preds) {
@@ -160,6 +177,7 @@ Status RunGroundingFixpoint(const TranslatedProgram& translated,
     // Collect first, apply after: applying mutates the instance, which
     // the executor's bound plans are reading.
     derived.clear();
+    derived_aux.clear();
     for (const CompiledRule* rule : rules) {
       for (size_t pivot = 0; pivot < rule->positive.size(); ++pivot) {
         uint32_t pred = rule->positive[pivot].predicate;
@@ -171,6 +189,10 @@ Status RunGroundingFixpoint(const TranslatedProgram& translated,
         exec.ExecuteWithPivotRange(
             plan, rows, begin, rows.size(), &local,
             [&](const BindingFrame& frame) {
+              if (rule->aux_head) {
+                derived_aux.push_back(rule->head.Instantiate(frame));
+                return true;
+              }
               if (check_negative &&
                   NegativeBodyHits(*rule, frame, *heads, &neg_scratch)) {
                 return true;
@@ -183,6 +205,7 @@ Status RunGroundingFixpoint(const TranslatedProgram& translated,
     }
     snapshot_old();
     for (GroundRule& gr : derived) add_ground_rule(std::move(gr));
+    for (GroundAtom& atom : derived_aux) heads->Insert(atom);
   }
   if (stats != nullptr) stats->Add(local);
   return Status::OK();
@@ -197,7 +220,9 @@ SimpleGrounder::SimpleGrounder(const TranslatedProgram* translated,
     : translated_(translated), db_(db) {
   const std::vector<Rule>& rules = translated_->sigma().rules();
   compiled_.reserve(rules.size());
-  for (const Rule& r : rules) compiled_.push_back(CompileRule(r));
+  for (size_t i = 0; i < rules.size(); ++i) {
+    compiled_.push_back(CompileSigmaRule(*translated_, i));
+  }
   all_rules_.reserve(compiled_.size());
   for (const CompiledRule& c : compiled_) all_rules_.push_back(&c);
   body_preds_ = CollectBodyPreds(all_rules_);
@@ -247,8 +272,8 @@ Result<std::unique_ptr<PerfectGrounder>> PerfectGrounder::Create(
   const std::vector<Rule>& sigma_rules = translated->sigma().rules();
   const std::vector<size_t>& origin = translated->origin();
   grounder->compiled_.reserve(sigma_rules.size());
-  for (const Rule& r : sigma_rules) {
-    grounder->compiled_.push_back(CompileRule(r));
+  for (size_t i = 0; i < sigma_rules.size(); ++i) {
+    grounder->compiled_.push_back(CompileSigmaRule(*translated, i));
   }
   for (size_t i = 0; i < sigma_rules.size(); ++i) {
     // A Σ∄ rule belongs to the stratum of its originating Π-rule's head

@@ -16,6 +16,28 @@ const DeltaSignature* TranslatedProgram::SignatureByResult(
   return &signatures_[it->second];
 }
 
+void TranslatedProgram::ReplaceRules(std::vector<Rule> rules,
+                                     std::vector<size_t> origin,
+                                     std::vector<RuleExecInfo> exec_info) {
+  Program replacement(sigma_.shared_interner());
+  for (Rule& rule : rules) replacement.AddRule(std::move(rule));
+  sigma_ = std::move(replacement);
+  origin_ = std::move(origin);
+  exec_info_ = std::move(exec_info);
+}
+
+TranslatedProgram TranslatedProgram::CloneWith(
+    std::shared_ptr<Interner> interner) const {
+  TranslatedProgram copy;
+  copy.sigma_ = sigma_.CloneWith(std::move(interner));
+  copy.origin_ = origin_;
+  copy.exec_info_ = exec_info_;
+  copy.signatures_ = signatures_;
+  copy.by_active_ = by_active_;
+  copy.by_result_ = by_result_;
+  return copy;
+}
+
 Result<TranslatedProgram> TranslateToTgd(const Program& pi,
                                          const DistributionRegistry& registry) {
   TranslatedProgram out;

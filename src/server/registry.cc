@@ -1,14 +1,17 @@
 #include "server/registry.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/hash.h"
 
 namespace gdlog {
 
-Result<GDatalog> BuildEngine(const ProgramSpec& spec) {
+Result<GDatalog> BuildEngine(const ProgramSpec& spec,
+                             std::vector<std::string> demand_goals) {
   GDatalog::Options options;
   options.grounder = spec.grounder;
+  options.demand_goals = std::move(demand_goals);
   if (spec.extensions) {
     auto registry = std::make_unique<DistributionRegistry>(
         DistributionRegistry::Builtins());
@@ -93,7 +96,15 @@ Result<ProgramRegistry::Info> ProgramRegistry::ReplaceDatabase(
   }
   ProgramSpec spec = current->spec;
   spec.db_text = std::move(db_text);
-  GDLOG_ASSIGN_OR_RETURN(GDatalog engine, BuildEngine(spec));
+  // Only the database changed, so build through WithDatabase: the
+  // already-optimized Σ_Π is adopted whenever the new database's summary
+  // matches, skipping translation and the whole pass pipeline.
+  GDLOG_ASSIGN_OR_RETURN(GDatalog engine,
+                         GDatalog::WithDatabase(current->engine, spec.db_text));
+  db_replacements_.fetch_add(1, std::memory_order_relaxed);
+  if (engine.opt_stats().pipeline_reused) {
+    pipeline_reuses_.fetch_add(1, std::memory_order_relaxed);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = by_id_.find(id);
   if (it == by_id_.end()) {
@@ -128,6 +139,54 @@ Status ProgramRegistry::Remove(const std::string& id) {
 size_t ProgramRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return by_id_.size();
+}
+
+std::string ProgramRegistry::DemandSignature(std::vector<std::string> goals) {
+  std::sort(goals.begin(), goals.end());
+  goals.erase(std::unique(goals.begin(), goals.end()), goals.end());
+  std::string signature;
+  for (const std::string& goal : goals) {
+    if (!signature.empty()) signature += ",";
+    signature += goal;
+  }
+  return signature;
+}
+
+Result<std::shared_ptr<const GDatalog>> ProgramRegistry::DemandEngine(
+    const Entry& entry, const std::vector<std::string>& goals) {
+  std::string signature = DemandSignature(goals);
+  {
+    std::lock_guard<std::mutex> lock(entry.demand_mu);
+    auto it = entry.demand_engines.find(signature);
+    if (it != entry.demand_engines.end()) {
+      demand_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Build unlocked (it is a full engine construction); racing queries for
+  // the same signature may build twice, the insert below keeps the first.
+  std::vector<std::string> sorted_goals(goals);
+  std::sort(sorted_goals.begin(), sorted_goals.end());
+  sorted_goals.erase(std::unique(sorted_goals.begin(), sorted_goals.end()),
+                     sorted_goals.end());
+  GDLOG_ASSIGN_OR_RETURN(GDatalog engine,
+                         BuildEngine(entry.spec, std::move(sorted_goals)));
+  demand_built_.fetch_add(1, std::memory_order_relaxed);
+  auto built = std::make_shared<const GDatalog>(std::move(engine));
+  std::lock_guard<std::mutex> lock(entry.demand_mu);
+  auto [it, inserted] = entry.demand_engines.emplace(signature, built);
+  (void)inserted;
+  return it->second;
+}
+
+ProgramRegistry::OptCounters ProgramRegistry::opt_counters() const {
+  OptCounters counters;
+  counters.db_replacements = db_replacements_.load(std::memory_order_relaxed);
+  counters.pipeline_reuses = pipeline_reuses_.load(std::memory_order_relaxed);
+  counters.demand_engines_built =
+      demand_built_.load(std::memory_order_relaxed);
+  counters.demand_cache_hits = demand_hits_.load(std::memory_order_relaxed);
+  return counters;
 }
 
 }  // namespace gdlog

@@ -1,11 +1,13 @@
 #ifndef GDLOG_SERVER_REGISTRY_H_
 #define GDLOG_SERVER_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "gdatalog/engine.h"
 
@@ -56,6 +58,15 @@ class ProgramRegistry {
           revision(revision_in),
           spec(std::move(spec_in)),
           engine(std::move(engine_in)) {}
+
+    /// Demand-transformed sibling engines for marginal queries, keyed by
+    /// goal-signature (see DemandSignature), built lazily by
+    /// DemandEngine(). Mutable because entries are published as
+    /// shared_ptr<const Entry>; a ReplaceDatabase publishes a fresh Entry,
+    /// so stale demand engines can never serve a newer database.
+    mutable std::mutex demand_mu;
+    mutable std::unordered_map<std::string, std::shared_ptr<const GDatalog>>
+        demand_engines;
   };
 
   struct Info {
@@ -85,6 +96,28 @@ class ProgramRegistry {
 
   size_t size() const;
 
+  /// The engine of `entry` re-optimized with the magic-sets demand pass for
+  /// `goals` (predicate names the caller will observe marginals of).
+  /// Cached on the entry per goal signature — the first marginal query of
+  /// a signature pays one engine build, repeats are a map lookup.
+  Result<std::shared_ptr<const GDatalog>> DemandEngine(
+      const Entry& entry, const std::vector<std::string>& goals);
+
+  /// Canonical cache/fingerprint key for a goal set: sorted, deduplicated,
+  /// comma-joined predicate names.
+  static std::string DemandSignature(std::vector<std::string> goals);
+
+  /// Pass-pipeline observability counters, aggregated across entries.
+  struct OptCounters {
+    uint64_t db_replacements = 0;
+    /// ReplaceDatabase calls that adopted the already-optimized Σ_Π
+    /// because the new database's summary matched.
+    uint64_t pipeline_reuses = 0;
+    uint64_t demand_engines_built = 0;
+    uint64_t demand_cache_hits = 0;
+  };
+  OptCounters opt_counters() const;
+
   static Info InfoFor(const Entry& entry, bool created);
 
  private:
@@ -96,12 +129,18 @@ class ProgramRegistry {
   /// (collisions resolved by comparing the stored spec).
   std::unordered_map<uint64_t, std::string> by_hash_;
   uint64_t next_id_ = 1;
+  std::atomic<uint64_t> db_replacements_{0};
+  std::atomic<uint64_t> pipeline_reuses_{0};
+  std::atomic<uint64_t> demand_built_{0};
+  std::atomic<uint64_t> demand_hits_{0};
 };
 
 /// Builds an engine for a spec — the one translation of ProgramSpec into
 /// GDatalog::Options (distribution extensions included) shared by
-/// Register and ReplaceDatabase.
-Result<GDatalog> BuildEngine(const ProgramSpec& spec);
+/// Register and ReplaceDatabase. Non-empty `demand_goals` enables the
+/// magic-sets demand pass for those predicates.
+Result<GDatalog> BuildEngine(const ProgramSpec& spec,
+                             std::vector<std::string> demand_goals = {});
 
 }  // namespace gdlog
 

@@ -202,6 +202,19 @@ void WriteEstimate(JsonWriter& json,
   json.EndObject();
 }
 
+/// The predicate name of a query atom in surface syntax ("infected(2, 1)"
+/// → "infected"); empty when the text has no leading name.
+std::string QueryPredicateName(const std::string& text) {
+  size_t begin = text.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  size_t end = begin;
+  while (end < text.size() && text[end] != '(' && text[end] != ' ' &&
+         text[end] != '\t') {
+    ++end;
+  }
+  return text.substr(begin, end - begin);
+}
+
 }  // namespace
 
 InferenceService::InferenceService(Options options)
@@ -335,13 +348,45 @@ HttpResponse InferenceService::HandleQuery(const HttpRequest& request) {
   auto chase = ReadChaseOptions(*body, options_.default_chase);
   if (!chase.ok()) return ErrorResponse(chase.status());
 
-  std::string key =
-      InferenceCache::Fingerprint(entry->id, entry->revision, *chase);
-  auto space = cache_.LookupOrCompute(
-      key, [&]() { return entry->engine.Infer(*chase); });
-  if (!space.ok()) return ErrorResponse(space.status());
-
+  // Marginal queries name their goals, which lets the magic-sets demand
+  // pass drop every Δ-choice outside the goals' (and the constraints')
+  // dependency cone before the chase runs. Only sound for stratified
+  // programs, and only for this path: the full-document path must stay
+  // byte-identical to `gdlog_cli --json`, so it always uses the base
+  // engine. Queried predicates all become goals, so their marginals (and
+  // prob_consistent — constraint cones are always kept) are exact.
   const JsonValue* queries = body->Find("queries");
+  const GDatalog* engine = &entry->engine;
+  std::shared_ptr<const GDatalog> demand_holder;
+  std::string demand_suffix;
+  if (queries != nullptr && queries->is_array() &&
+      entry->engine.stratified() && entry->engine.opt_stats().enabled) {
+    std::vector<std::string> goals;
+    for (const JsonValue& query : queries->array()) {
+      if (!query.is_string()) break;
+      std::string name = QueryPredicateName(query.string_value());
+      if (!name.empty()) goals.push_back(std::move(name));
+    }
+    if (goals.size() == queries->array().size()) {
+      auto demand = registry_.DemandEngine(*entry, goals);
+      // Failure to build a demand engine is never a query failure: fall
+      // back to the base engine (same answers, just less pruning).
+      if (demand.ok()) {
+        demand_holder = std::move(*demand);
+        engine = demand_holder.get();
+        demand_suffix =
+            "|demand:" + ProgramRegistry::DemandSignature(std::move(goals));
+        demand_queries_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::string key =
+      InferenceCache::Fingerprint(entry->id, entry->revision, *chase) +
+      demand_suffix;
+  auto space = cache_.LookupOrCompute(
+      key, [&]() { return engine->Infer(*chase); });
+  if (!space.ok()) return ErrorResponse(space.status());
   if (queries == nullptr) {
     auto include_outcomes = OptionalBool(*body, "include_outcomes", false);
     auto include_models = OptionalBool(*body, "include_models", false);
@@ -385,7 +430,7 @@ HttpResponse InferenceService::HandleQuery(const HttpRequest& request) {
           Status::InvalidArgument("'queries' must be an array of atoms"));
     }
     const std::string& text = query.string_value();
-    auto atom = entry->engine.LookupGroundAtom(text);
+    auto atom = engine->LookupGroundAtom(text);
     bool unknown_name = !atom.ok() &&
                         atom.status().code() == StatusCode::kNotFound;
     if (!atom.ok() && !unknown_name) {
@@ -541,6 +586,18 @@ HttpResponse InferenceService::HandleStats() {
   json.KV("bytes", static_cast<long long>(cache_stats.bytes));
   json.KV("capacity_bytes",
           static_cast<long long>(cache_stats.capacity_bytes));
+  json.EndObject();
+  ProgramRegistry::OptCounters opt = registry_.opt_counters();
+  json.Key("opt").BeginObject();
+  json.KV("db_replacements", static_cast<long long>(opt.db_replacements));
+  json.KV("pipeline_reuses", static_cast<long long>(opt.pipeline_reuses));
+  json.KV("demand_engines_built",
+          static_cast<long long>(opt.demand_engines_built));
+  json.KV("demand_cache_hits",
+          static_cast<long long>(opt.demand_cache_hits));
+  json.KV("demand_queries",
+          static_cast<long long>(
+              demand_queries_.load(std::memory_order_relaxed)));
   json.EndObject();
   json.EndObject();
   return JsonResponse(200, json.str() + "\n");

@@ -76,6 +76,8 @@ class InferenceService {
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> samples_{0};
+  /// Marginal queries served through a demand-transformed engine.
+  std::atomic<uint64_t> demand_queries_{0};
 };
 
 }  // namespace gdlog

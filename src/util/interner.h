@@ -2,6 +2,7 @@
 #define GDLOG_UTIL_INTERNER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -30,6 +31,17 @@ class Interner {
   const std::string& Name(uint32_t id) const;
 
   size_t size() const { return strings_.size(); }
+
+  /// A deep copy with identical id assignment (copying is otherwise deleted
+  /// so shared name tables are never duplicated by accident). The server
+  /// uses this to give a database-swapped engine its own mutable name table
+  /// whose existing ids agree with the original's.
+  std::shared_ptr<Interner> Clone() const {
+    auto copy = std::make_shared<Interner>();
+    copy->index_ = index_;
+    copy->strings_ = strings_;
+    return copy;
+  }
 
  private:
   std::unordered_map<std::string, uint32_t> index_;

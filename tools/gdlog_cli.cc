@@ -39,11 +39,25 @@
 //                         grid, in cells (default 4096, range [1, 2^20];
 //                         requires --extensions)
 //   --condition           condition marginals on consistency
-//   --stats               print grounding statistics for G(∅) — ground
-//                         rules, complete bindings, index / composite /
-//                         scan candidate fetches, plan cache behavior —
-//                         after the report (stderr when combined with
-//                         --json, so the JSON stream stays parseable)
+//   --opt / --no-opt      enable / disable the Σ_Π optimization pipeline
+//                         (specialization, dead-rule elimination, subjoin
+//                         sharing; default on, GDLOG_NO_OPT=1 also
+//                         disables). The outcome space — and the --json
+//                         bytes — are identical either way; only grounding
+//                         work changes. With --query in plain exact mode
+//                         (no --json/--outcomes/--events/--mc/--shards),
+//                         the magic-sets demand pass additionally restricts
+//                         exploration to the queried predicates' dependency
+//                         cone: marginals and P(consistent) are exact,
+//                         the outcome count may coarsen
+//   --stats               print optimization-pass and grounding statistics
+//                         for G(∅) — per-pass rewrites and wall time,
+//                         ground rules, complete bindings, index /
+//                         composite / scan candidate fetches, plan cache
+//                         behavior — after the report (stderr when combined
+//                         with --json, so the JSON stream stays parseable)
+//   --dump-ir             print the Σ_Π rule IR before and after each
+//                         optimization pass, then exit
 //   --json                exact mode: emit machine-readable JSON (sections
 //                         controlled by --outcomes / --events) and exit
 //   --dot                 print the dependency graph in DOT and exit
@@ -81,6 +95,8 @@ struct CliOptions {
   bool json = false;
   bool stats = false;
   bool extensions = false;
+  bool optimize = true;
+  bool dump_ir = false;
   size_t mc_samples = 0;  // 0 = exact
   uint64_t seed = 2023;
   size_t max_outcomes = 1u << 20;
@@ -105,6 +121,7 @@ struct CliOptions {
                "          [--threads N] [--shards N [--shard-index I]]\n"
                "          [--shard-prefix-depth K] [--merge FILE]...\n"
                "          [--extensions] [--normalgrid-max-cells K]\n"
+               "          [--opt | --no-opt] [--dump-ir]\n"
                "          [--stats] [--json] [--dot]\n",
                argv0);
   std::exit(2);
@@ -171,6 +188,12 @@ CliOptions ParseArgs(int argc, char** argv) {
       opts.merge_files.push_back(need_value(i));
     } else if (!std::strcmp(arg, "--extensions")) {
       opts.extensions = true;
+    } else if (!std::strcmp(arg, "--opt")) {
+      opts.optimize = true;
+    } else if (!std::strcmp(arg, "--no-opt")) {
+      opts.optimize = false;
+    } else if (!std::strcmp(arg, "--dump-ir")) {
+      opts.dump_ir = true;
     } else if (!std::strcmp(arg, "--normalgrid-max-cells")) {
       opts.normalgrid_max_cells = std::strtoll(need_value(i), nullptr, 10);
     } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
@@ -209,6 +232,53 @@ gdlog::ChaseOptions MakeChaseOptions(const CliOptions& opts) {
 
 int ReportSpace(const gdlog::GDatalog& engine, const gdlog::OutcomeSpace& space,
                 const CliOptions& opts);
+
+// The predicate name of a query atom in surface syntax ("infected(2, 1)"
+// → "infected"); empty when the text has no leading name.
+std::string QueryPredicate(const std::string& text) {
+  size_t begin = text.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  size_t end = begin;
+  while (end < text.size() && text[end] != '(' && text[end] != ' ' &&
+         text[end] != '\t') {
+    ++end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+// --stats: what the pass pipeline did at engine construction.
+void PrintOptStats(const gdlog::GDatalog& engine, const CliOptions& opts) {
+  const gdlog::OptStats& os = engine.opt_stats();
+  std::FILE* dst = opts.json ? stderr : stdout;
+  if (!os.enabled) {
+    std::fprintf(dst, "\noptimization: off\n");
+    return;
+  }
+  std::fprintf(dst, "\noptimization (%llu -> %llu rules%s, %.3f ms):\n",
+               static_cast<unsigned long long>(os.rules_in),
+               static_cast<unsigned long long>(os.rules_out),
+               os.demand_applied ? ", demand applied" : "",
+               static_cast<double>(os.total_wall_ns) / 1e6);
+  for (const gdlog::PassStat& pass : os.passes) {
+    std::fprintf(dst, "  pass %-14s: %llu rewrites, %.3f ms\n",
+                 pass.name.c_str(),
+                 static_cast<unsigned long long>(pass.rewrites),
+                 static_cast<double>(pass.wall_ns) / 1e6);
+  }
+  std::fprintf(dst,
+               "  rules eliminated       : %llu\n"
+               "  rules specialized      : %llu\n"
+               "  predicates specialized : %llu\n"
+               "  subjoins shared        : %llu\n"
+               "  demand-eliminated rules: %llu\n",
+               static_cast<unsigned long long>(os.counters.rules_eliminated),
+               static_cast<unsigned long long>(os.counters.rules_specialized),
+               static_cast<unsigned long long>(
+                   os.counters.predicates_specialized),
+               static_cast<unsigned long long>(os.counters.subjoins_shared),
+               static_cast<unsigned long long>(
+                   os.counters.demand_eliminated_rules));
+}
 
 // --stats: grounds once under the empty choice set with counters enabled
 // and prints the compiled-join statistics — the per-Ground shape of the
@@ -249,7 +319,10 @@ int RunExact(const gdlog::GDatalog& engine, const CliOptions& opts) {
     return 1;
   }
   int code = ReportSpace(engine, *space, opts);
-  if (code == 0 && opts.stats) PrintGroundStats(engine, opts);
+  if (code == 0 && opts.stats) {
+    PrintOptStats(engine, opts);
+    PrintGroundStats(engine, opts);
+  }
   return code;
 }
 
@@ -440,6 +513,7 @@ int RunShardDriver(const gdlog::GDatalog& engine, const CliOptions& opts) {
       argv.push_back(opts.db_path);
     }
     if (opts.extensions) argv.push_back("--extensions");
+    if (!opts.optimize) argv.push_back("--no-opt");
     if (opts.normalgrid_max_cells >= 0) {
       argv.push_back("--normalgrid-max-cells");
       argv.push_back(std::to_string(opts.normalgrid_max_cells));
@@ -581,6 +655,22 @@ int main(int argc, char** argv) {
   } else if (opts.grounder != "auto") {
     Usage(argv[0], "grounder must be auto, simple or perfect");
   }
+  engine_options.optimize = opts.optimize;
+  engine_options.record_ir_dumps = opts.dump_ir;
+  // Demand transformation: only on the plain exact --query path, where the
+  // observables (marginals of the queried atoms, P(consistent)) are
+  // provably preserved. Every mode that exposes the raw outcome space
+  // (--json, --outcomes, --events, sharding/merge, sampling) keeps the
+  // full program so its bytes match a --no-opt run.
+  if (!opts.queries.empty() && !opts.json && !opts.print_events &&
+      !opts.print_outcomes && opts.mc_samples == 0 && opts.shards == 0 &&
+      opts.shard_index == kNoShardIndex && opts.merge_files.empty() &&
+      opts.optimize) {
+    for (const std::string& query : opts.queries) {
+      std::string name = QueryPredicate(query);
+      if (!name.empty()) engine_options.demand_goals.push_back(name);
+    }
+  }
 
   auto engine = gdlog::GDatalog::Create(program_text, db_text,
                                         std::move(engine_options));
@@ -592,6 +682,17 @@ int main(int argc, char** argv) {
   if (opts.dot) {
     gdlog::DependencyGraph dg(engine->program());
     std::fputs(dg.ToDot(engine->program().interner()).c_str(), stdout);
+    return 0;
+  }
+
+  if (opts.dump_ir) {
+    if (!engine->opt_stats().enabled) {
+      std::printf("optimization: off\n");
+      return 0;
+    }
+    for (const auto& [label, text] : engine->opt_stats().dumps) {
+      std::printf("== %s ==\n%s", label.c_str(), text.c_str());
+    }
     return 0;
   }
 
