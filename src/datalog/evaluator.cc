@@ -201,6 +201,127 @@ Result<DatalogEvaluator::Model> DatalogEvaluator::Materialize(
   return model;
 }
 
+Result<DatalogEvaluator::Model> DatalogEvaluator::MaterializeDelta(
+    const Model& base, const FactStore& db, const DeltaRanges& ranges,
+    Stats* stats) const {
+  for (const CompiledRule& compiled : compiled_) {
+    if (!compiled.rule->is_constraint && !compiled.negative.empty()) {
+      return Status::Unsupported(
+          "MaterializeDelta supports positive rule bodies only (adding "
+          "facts under negation can retract derivations; DRed-style "
+          "maintenance is not implemented): " +
+          compiled.rule->ToString(pi_.interner()));
+    }
+  }
+  Model model;
+  model.facts = base.facts;  // copy-on-write share of the base model
+  Stats local;
+  local.strata = stratum_rules_.size();
+
+  // Pre-delta watermarks over every body predicate: rows at index >= the
+  // watermark — the delta rows inserted below plus whatever earlier
+  // strata of this very run derive — are the new facts each stratum
+  // resumes from. The base model is already a fixpoint of the rules, so
+  // old×old matches need never be re-enumerated.
+  std::unordered_set<uint32_t> all_body_preds;
+  for (const std::vector<const CompiledRule*>& stratum : stratum_rules_) {
+    for (const CompiledRule* rule : stratum) {
+      for (const CompiledAtom& atom : rule->positive) {
+        all_body_preds.insert(atom.predicate);
+      }
+    }
+  }
+  std::unordered_map<uint32_t, uint32_t> base_counts;
+  for (uint32_t pred : all_body_preds) {
+    base_counts[pred] = static_cast<uint32_t>(model.facts.Count(pred));
+  }
+
+  // Append the delta rows (ones the base run already derived dedup away).
+  for (const auto& [pred, range] : ranges.ranges) {
+    const std::vector<Tuple>& rows = db.Rows(pred);
+    for (uint32_t r = range.begin; r < range.end && r < rows.size(); ++r) {
+      model.facts.Insert(pred, rows[r]);
+    }
+  }
+
+  JoinPlanCache plans(&model.facts);
+  JoinExecutor exec;
+
+  for (const std::vector<const CompiledRule*>& stratum : stratum_rules_) {
+    if (stratum.empty()) continue;
+    std::unordered_set<uint32_t> body_preds;
+    for (const CompiledRule* rule : stratum) {
+      for (const CompiledAtom& atom : rule->positive) {
+        body_preds.insert(atom.predicate);
+      }
+    }
+    std::unordered_map<uint32_t, uint32_t> old_counts;
+    for (uint32_t pred : body_preds) old_counts[pred] = base_counts[pred];
+    auto snapshot_old = [&] {
+      for (uint32_t pred : body_preds) {
+        old_counts[pred] = static_cast<uint32_t>(model.facts.Count(pred));
+      }
+    };
+
+    std::vector<GroundAtom> derived;
+    while (true) {
+      bool any_delta = false;
+      for (uint32_t pred : body_preds) {
+        if (model.facts.Count(pred) > old_counts[pred]) {
+          any_delta = true;
+          break;
+        }
+      }
+      if (!any_delta) break;
+      ++local.rounds;
+      derived.clear();
+      for (const CompiledRule* rule : stratum) {
+        for (size_t pivot = 0; pivot < rule->positive.size(); ++pivot) {
+          uint32_t pred = rule->positive[pivot].predicate;
+          size_t begin = old_counts[pred];
+          const std::vector<Tuple>& rows = model.facts.Rows(pred);
+          if (begin >= rows.size()) continue;
+          const JoinPlan& plan = plans.Get(*rule, pivot, &local.match);
+          exec.ExecuteWithPivotRange(
+              plan, rows, begin, rows.size(), &local.match,
+              [&](const BindingFrame& frame) {
+                ++local.rule_applications;
+                derived.push_back(rule->head.Instantiate(frame));
+                return true;
+              },
+              &old_counts);
+        }
+      }
+      snapshot_old();
+      for (GroundAtom& atom : derived) {
+        if (model.facts.Insert(atom)) ++local.derived_facts;
+      }
+    }
+  }
+
+  // Constraints (negation allowed here): re-checked from scratch against
+  // the final model, exactly as in Materialize.
+  for (const CompiledRule* constraint : constraints_) {
+    bool violated = false;
+    const JoinPlan& plan =
+        plans.Get(*constraint, JoinPlan::kNoPivot, &local.match);
+    exec.Execute(plan, &local.match, [&](const BindingFrame& frame) {
+      for (const CompiledAtom& neg : constraint->negative) {
+        if (model.facts.Contains(neg.Instantiate(frame))) return true;
+      }
+      violated = true;
+      if (model.violations.size() < 8) {
+        model.violations.push_back(constraint->rule->ToString(pi_.interner()));
+      }
+      return false;  // one witness per constraint suffices
+    });
+    if (violated) model.consistent = false;
+  }
+
+  if (stats != nullptr) *stats = local;
+  return model;
+}
+
 Result<std::vector<Tuple>> DatalogEvaluator::Query(const FactStore& store,
                                                    const Program& pi,
                                                    std::string_view pattern) {

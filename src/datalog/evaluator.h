@@ -56,6 +56,22 @@ class DatalogEvaluator {
   /// Materializes the perfect model of Π on `db`.
   Result<Model> Materialize(const FactStore& db, Stats* stats = nullptr) const;
 
+  /// Re-materializes after a database delta: `base` is a Model previously
+  /// returned by Materialize()/MaterializeDelta() on the pre-delta
+  /// database, `db` the post-delta database and `ranges` the rows it
+  /// gained (FactStore::ApplyDelta). Resumes the semi-naive fixpoint with
+  /// the delta rows as the only new facts — cost proportional to what the
+  /// delta newly derives, not to |D|. Sound only when no non-constraint
+  /// rule has a negative literal: under negation added facts can retract
+  /// derivations, which needs DRed-style maintenance (rejected with
+  /// kUnsupported; see ROADMAP "Incremental serving architecture").
+  /// Constraints (negation included) are re-checked against the final
+  /// model. The pass pipeline is skipped — the resume must run under the
+  /// same rules the base model was computed with.
+  Result<Model> MaterializeDelta(const Model& base, const FactStore& db,
+                                 const DeltaRanges& ranges,
+                                 Stats* stats = nullptr) const;
+
   const Program& program() const { return pi_; }
   const DependencyGraph& dependency_graph() const { return *dg_; }
 

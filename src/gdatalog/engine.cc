@@ -17,6 +17,10 @@ struct GDatalog::State {
   GrounderKind effective_grounder = GrounderKind::kSimple;
   DbSummary db_summary;
   OptStats opt_stats;
+  DeltaStats delta_stats;
+  /// Facts a WithDatabaseDelta construction appended (duplicates
+  /// excluded), for the serving layer's outcome-space patching.
+  std::vector<GroundAtom> delta_added;
   std::unique_ptr<Grounder> grounder;
   std::unique_ptr<ChaseEngine> chase;
 };
@@ -132,11 +136,14 @@ Result<GDatalog> GDatalog::WithDatabase(const GDatalog& base,
   state->effective_grounder = bs.effective_grounder;
   state->db_summary = SummarizeDb(state->db);
 
-  // The pass pipeline consumes only the database summary, so an equal
-  // summary makes the optimized Σ_Π a pure function of inputs that did not
-  // change — adopt it. Note the base's demand transformation (if any)
-  // carries over: it depends only on the program and goals, never the db.
-  if (!bs.opt_stats.enabled || state->db_summary == bs.db_summary) {
+  // The pass pipeline consumes only the database summary — and of the
+  // summary only predicate presence and column domains, never exact row
+  // counts — so a pipeline-equivalent summary makes the optimized Σ_Π a
+  // pure function of inputs that did not change: adopt it. Note the base's
+  // demand transformation (if any) carries over: it depends only on the
+  // program and goals, never the db.
+  if (!bs.opt_stats.enabled ||
+      PipelineEquivalent(state->db_summary, bs.db_summary)) {
     state->translated = bs.translated.CloneWith(interner);
     state->opt_stats = bs.opt_stats;
     state->opt_stats.pipeline_reused = bs.opt_stats.enabled;
@@ -160,6 +167,109 @@ Result<GDatalog> GDatalog::WithDatabase(const GDatalog& base,
   return FinishEngine(std::move(state));
 }
 
+Result<GDatalog> GDatalog::WithDatabaseDelta(const GDatalog& base,
+                                             std::string_view delta_text) {
+  const State& bs = *base.state_;
+  auto state = std::make_unique<State>();
+  std::shared_ptr<Interner> interner = bs.program.interner()->Clone();
+  state->program = bs.program.CloneWith(interner);
+  GDLOG_ASSIGN_OR_RETURN(FactDelta delta,
+                         ParseFactDelta(delta_text, interner.get()));
+
+  // COW-extend the base database: the copy shares row storage and adopts
+  // the already-built indices, so applying the delta costs O(|delta|) plus
+  // one relation detach per touched predicate — never O(|D|) re-parsing.
+  state->db = bs.db;
+  DeltaRanges ranges;
+  GDLOG_RETURN_IF_ERROR(state->db.ApplyDelta(delta, &ranges));
+  state->db.Freeze();
+
+  state->registry = bs.registry;
+  state->stratified = bs.stratified;
+  state->effective_grounder = bs.effective_grounder;
+
+  state->delta_stats.applied = true;
+  state->delta_stats.rows_appended = ranges.rows_appended;
+  state->delta_stats.duplicates_skipped = ranges.duplicates_skipped;
+  state->delta_stats.predicates_touched = ranges.ranges.size();
+  state->delta_added.reserve(ranges.rows_appended);
+  for (const auto& [pred, range] : ranges.ranges) {
+    const std::vector<Tuple>& rows = state->db.Rows(pred);
+    for (uint32_t r = range.begin; r < range.end && r < rows.size(); ++r) {
+      state->delta_added.push_back(GroundAtom{pred, rows[r]});
+    }
+  }
+
+  // Incremental summary maintenance: equal to SummarizeDb on the
+  // post-delta database by construction (delta_test pins this), at cost
+  // proportional to the delta.
+  state->db_summary = bs.db_summary;
+  UpdateSummaryForDelta(&state->db_summary, state->db, ranges);
+  bool equivalent = PipelineEquivalent(state->db_summary, bs.db_summary);
+  state->delta_stats.summary_changed = !equivalent;
+
+  // Does the delta touch any rule body of Π? Checked against Π itself (via
+  // the IR's use index), which is conservative for every derived engine
+  // variant — a transformed body only ever mentions Π body predicates plus
+  // synthesized "__"-prefixed ones, which the name guard covers. The
+  // serving layer keys cache revalidation off this bit.
+  {
+    ProgramIr ir = ProgramIr::LiftPlain(state->program, interner.get());
+    for (const auto& [pred, range] : ranges.ranges) {
+      (void)range;
+      const std::string& name = interner->Name(pred);
+      if (ir.uses().count(pred) != 0 || name.rfind("__", 0) == 0) {
+        state->delta_stats.touches_rule_bodies = true;
+        break;
+      }
+    }
+  }
+
+  bool reuse_pipeline = !bs.opt_stats.enabled || equivalent;
+  if (reuse_pipeline) {
+    state->translated = bs.translated.CloneWith(interner);
+    state->opt_stats = bs.opt_stats;
+    state->opt_stats.pipeline_reused = bs.opt_stats.enabled;
+    state->opt_stats.dumps.clear();
+  } else {
+    GDLOG_ASSIGN_OR_RETURN(
+        state->translated, TranslateToTgd(state->program, *state->registry));
+    if (!OptDisabledByEnv()) {
+      ProgramIr ir = ProgramIr::LiftSigma(state->program, state->translated,
+                                          state->program.interner());
+      PipelineOptions popts;
+      state->opt_stats = RunPipeline(&ir, state->db_summary, popts);
+      ir.ApplyTo(&state->translated);
+      GDLOG_RETURN_IF_ERROR(state->translated.sigma().Validate());
+    }
+  }
+  state->delta_stats.pipeline_reused = state->opt_stats.pipeline_reused;
+
+  // Grounders share the base's database-prefix grounding (COW-extension)
+  // instead of rebuilding it fact by fact. The simple grounder additionally
+  // resumes the base's saturated root grounding from the delta ranges —
+  // sound only when the rule sets are identical, which pipeline reuse (or
+  // the pipeline being off) guarantees.
+  if (state->effective_grounder == GrounderKind::kPerfect) {
+    const auto& base_grounder =
+        static_cast<const PerfectGrounder&>(*bs.grounder);
+    GDLOG_ASSIGN_OR_RETURN(
+        state->grounder,
+        PerfectGrounder::CreateDelta(state->program, &state->translated,
+                                     &state->db, base_grounder, ranges));
+  } else {
+    const auto& base_grounder =
+        static_cast<const SimpleGrounder&>(*bs.grounder);
+    state->grounder = std::make_unique<SimpleGrounder>(
+        &state->translated, &state->db, base_grounder, ranges,
+        /*resume_root=*/reuse_pipeline, &state->delta_stats.root_resumed,
+        &state->delta_stats.rules_refired);
+  }
+  state->chase = std::make_unique<ChaseEngine>(&state->translated, &state->db,
+                                               state->grounder.get());
+  return GDatalog(std::move(state));
+}
+
 const Program& GDatalog::program() const { return state_->program; }
 const TranslatedProgram& GDatalog::translated() const {
   return state_->translated;
@@ -172,6 +282,10 @@ const Grounder& GDatalog::grounder() const { return *state_->grounder; }
 bool GDatalog::stratified() const { return state_->stratified; }
 const OptStats& GDatalog::opt_stats() const { return state_->opt_stats; }
 const DbSummary& GDatalog::db_summary() const { return state_->db_summary; }
+const DeltaStats& GDatalog::delta_stats() const { return state_->delta_stats; }
+const std::vector<GroundAtom>& GDatalog::delta_added_facts() const {
+  return state_->delta_added;
+}
 const ChaseEngine& GDatalog::chase() const { return *state_->chase; }
 
 Result<OutcomeSpace> GDatalog::Infer(const ChaseOptions& options) const {

@@ -1,6 +1,7 @@
 #ifndef GDLOG_GDATALOG_ENGINE_H_
 #define GDLOG_GDATALOG_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -18,6 +19,29 @@ enum class GrounderKind {
   kAuto,     ///< Perfect when Π is stratified, simple otherwise.
   kSimple,   ///< GSimple (Definition 3.4).
   kPerfect,  ///< GPerfect (Definition 5.1); fails if Π is not stratified.
+};
+
+/// Observability counters for a WithDatabaseDelta construction — surfaced
+/// on gdlog_cli --stats and the server's GET /stats.
+struct DeltaStats {
+  bool applied = false;  ///< This engine was built by WithDatabaseDelta.
+  size_t rows_appended = 0;
+  size_t duplicates_skipped = 0;
+  size_t predicates_touched = 0;
+  /// The delta changed what the pass pipeline is allowed to observe
+  /// (predicate presence or a column domain), forcing a fresh pipeline run.
+  bool summary_changed = false;
+  bool pipeline_reused = false;
+  /// The simple grounder resumed the base's saturated root grounding from
+  /// the delta ranges instead of re-deriving the choice-free core.
+  bool root_resumed = false;
+  /// Ground rules derived by that resume, beyond the delta facts
+  /// themselves.
+  uint64_t rules_refired = 0;
+  /// Some delta predicate occurs in a rule body of Π (or collides with a
+  /// synthesized "__" name) — reachability that forbids the serving
+  /// layer's cache revalidation.
+  bool touches_rule_bodies = false;
 };
 
 /// The top-level engine: parse → validate → desugar constraints → translate
@@ -69,6 +93,20 @@ class GDatalog {
   static Result<GDatalog> WithDatabase(const GDatalog& base,
                                        std::string_view database_text);
 
+  /// Builds an engine for `base`'s program with `base`'s database extended
+  /// by a delta (see ParseFactDelta for the syntax; removals are rejected
+  /// with kUnsupported). Everything is proportional to the delta, not the
+  /// database: the FactStore is COW-extended in place (indices included),
+  /// the summary is recomputed incrementally, the pipeline is adopted
+  /// whenever the delta leaves the summary pipeline-equivalent, the
+  /// grounder shares the base's database-prefix grounding, and — for the
+  /// simple grounder under an unchanged rule set — the saturated root
+  /// grounding is re-ground semi-naively from the delta ranges only.
+  /// delta_stats() on the result reports which of these paths were taken.
+  /// The serving layer's PATCH /db path.
+  static Result<GDatalog> WithDatabaseDelta(const GDatalog& base,
+                                            std::string_view delta_text);
+
   GDatalog(GDatalog&&) noexcept;
   GDatalog& operator=(GDatalog&&) noexcept;
   ~GDatalog();
@@ -89,6 +127,13 @@ class GDatalog {
   /// The database summary the pipeline consumed (also the reuse key for
   /// WithDatabase).
   const DbSummary& db_summary() const;
+  /// Delta counters (applied == false unless this engine came from
+  /// WithDatabaseDelta).
+  const DeltaStats& delta_stats() const;
+  /// The facts the delta actually appended (duplicates excluded), in
+  /// predicate-sorted row order. Empty unless built by WithDatabaseDelta.
+  /// The serving layer patches revalidated outcome spaces with these.
+  const std::vector<GroundAtom>& delta_added_facts() const;
 
   /// The chase engine (Explore/SamplePath live there).
   const ChaseEngine& chase() const;

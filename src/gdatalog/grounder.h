@@ -2,7 +2,10 @@
 #define GDLOG_GDATALOG_GROUNDER_H_
 
 #include <memory>
+#include <mutex>
+#include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "gdatalog/choice.h"
@@ -47,7 +50,8 @@ class Grounder {
     (void)choices;
     (void)new_active;
     (void)out;
-    return Status::Unsupported("grounder does not support incremental mode");
+    return Status::Unsupported(std::string(name()) +
+                               " grounder does not support incremental mode");
   }
 };
 
@@ -62,6 +66,21 @@ class SimpleGrounder : public Grounder {
   /// bodies read-only.
   SimpleGrounder(const TranslatedProgram* translated, const FactStore* db);
 
+  /// Delta-extension construction (GDatalog::WithDatabaseDelta): shares
+  /// `base`'s database-prefix grounding instead of rebuilding it from |D|
+  /// and carries the rows `db` gained in `ranges` as a tail of body-less
+  /// rules. With `resume_root`, and provided `base` has already saturated
+  /// its root grounding, the root is re-grounded semi-naively from the
+  /// delta ranges only (watermarks seeded at the base root's counts);
+  /// `resume_root` must only be set when `translated` holds the same rule
+  /// set as the base's — the engine ties it to pipeline reuse. Outputs:
+  /// `root_resumed` reports whether the resume happened, `rules_refired`
+  /// the number of ground rules the resume derived beyond the delta facts.
+  SimpleGrounder(const TranslatedProgram* translated, const FactStore* db,
+                 const SimpleGrounder& base, const DeltaRanges& ranges,
+                 bool resume_root, bool* root_resumed,
+                 uint64_t* rules_refired);
+
   std::string_view name() const override { return "simple"; }
 
   Status Ground(const ChoiceSet& choices, GroundRuleSet* out,
@@ -72,6 +91,17 @@ class SimpleGrounder : public Grounder {
                 GroundRuleSet* out) const override;
 
  private:
+  /// Compiles the Σ∄ rules into compiled_/all_rules_/body_preds_ (shared
+  /// by both constructors).
+  void CompileRules();
+  /// The saturated root grounding G(∅), built on first use (thread-safely)
+  /// and shared by every Ground(): Simple^∞ is monotone, so G(Σ) is the
+  /// fixpoint resumed from G(∅) with Σ's Result atoms as the only new
+  /// facts — the choice-free core is derived once per engine, not once per
+  /// chase node.
+  Result<std::shared_ptr<const GroundRuleSet>> RootGrounding(
+      MatchStats* stats) const;
+
   const TranslatedProgram* translated_;
   const FactStore* db_;
   /// Σ∄ rules compiled to slot form, parallel to sigma().rules().
@@ -80,9 +110,14 @@ class SimpleGrounder : public Grounder {
   /// Positive-body predicates of all_rules_, sorted.
   std::vector<uint32_t> body_preds_;
   /// Π[D]'s database prefix as a grounding (one body-less rule per fact)
-  /// with a frozen, fully indexed matching instance; every Ground() clones
-  /// it (copy-on-write heads) instead of re-inserting and re-indexing D.
-  GroundRuleSet db_base_;
+  /// with a frozen, fully indexed matching instance — shared (not cloned)
+  /// with delta-extension grounders derived from this one.
+  std::shared_ptr<const GroundRuleSet> db_base_;
+  /// Facts appended after db_base_ was built (delta-extension engines);
+  /// the root grounding stacks them on top of the cloned prefix.
+  std::vector<GroundRule> db_tail_;
+  mutable std::mutex root_mu_;
+  mutable std::shared_ptr<const GroundRuleSet> root_;  ///< Guarded by root_mu_.
 };
 
 /// The perfect grounder GPerfect_Π[D] (Definition 5.1) for programs with
@@ -99,6 +134,16 @@ class PerfectGrounder : public Grounder {
       const Program& pi, const TranslatedProgram* translated,
       const FactStore* db);
 
+  /// Delta-extension construction: shares `base`'s database-prefix
+  /// grounding and appends the delta rows as a tail. Unlike the simple
+  /// grounder there is no fixpoint resume: under negation, added facts can
+  /// retract derivations (DRed territory), so every Ground() still runs
+  /// the per-stratum fixpoints from the (shared) prefix.
+  static Result<std::unique_ptr<PerfectGrounder>> CreateDelta(
+      const Program& pi, const TranslatedProgram* translated,
+      const FactStore* db, const PerfectGrounder& base,
+      const DeltaRanges& ranges);
+
   std::string_view name() const override { return "perfect"; }
 
   Status Ground(const ChoiceSet& choices, GroundRuleSet* out,
@@ -109,6 +154,12 @@ class PerfectGrounder : public Grounder {
  private:
   PerfectGrounder(const TranslatedProgram* translated, const FactStore* db)
       : translated_(translated), db_(db) {}
+
+  /// Everything Create/CreateDelta share: strata, rule compilation, body
+  /// predicate sets — all but the database prefix.
+  static Result<std::unique_ptr<PerfectGrounder>> Build(
+      const Program& pi, const TranslatedProgram* translated,
+      const FactStore* db);
 
   const TranslatedProgram* translated_;
   const FactStore* db_;
@@ -122,8 +173,9 @@ class PerfectGrounder : public Grounder {
   /// and for the constraint pass, each sorted.
   std::vector<std::vector<uint32_t>> stratum_body_preds_;
   std::vector<uint32_t> constraint_body_preds_;
-  /// See SimpleGrounder::db_base_.
-  GroundRuleSet db_base_;
+  /// See SimpleGrounder::db_base_ / db_tail_.
+  std::shared_ptr<const GroundRuleSet> db_base_;
+  std::vector<GroundRule> db_tail_;
 };
 
 /// The triggers of Definition 4.1: Active atoms occurring in heads(G(Σ))
@@ -145,12 +197,20 @@ std::vector<GroundAtom> FindTriggers(const TranslatedProgram& translated,
 /// `body_preds` must list the positive-body predicates of `rules`, sorted
 /// and unique (the grounders precompute it once; it drives the delta
 /// watermarks).
-Status RunGroundingFixpoint(const TranslatedProgram& translated,
-                            const std::vector<const CompiledRule*>& rules,
-                            const std::vector<uint32_t>& body_preds,
-                            const ChoiceSet& choices, bool check_negative,
-                            GroundRuleSet* out, bool resume = false,
-                            MatchStats* stats = nullptr);
+/// With `seed_watermarks` non-null (implies resume semantics), the entry
+/// watermarks are taken from the map instead of snapshotted: rows of
+/// predicate P at index ≥ (*seed_watermarks)[P] are treated as new, and
+/// predicates missing from the map count as all-new. This is the
+/// delta-driven re-grounding path — the caller seeds the watermarks at the
+/// pre-delta counts and lets the semi-naive loop fire only what the delta
+/// rows can newly match.
+Status RunGroundingFixpoint(
+    const TranslatedProgram& translated,
+    const std::vector<const CompiledRule*>& rules,
+    const std::vector<uint32_t>& body_preds, const ChoiceSet& choices,
+    bool check_negative, GroundRuleSet* out, bool resume = false,
+    MatchStats* stats = nullptr,
+    const std::unordered_map<uint32_t, uint32_t>* seed_watermarks = nullptr);
 
 }  // namespace gdlog
 

@@ -1,6 +1,7 @@
 #include "gdatalog/outcome.h"
 
 #include <algorithm>
+#include <iterator>
 
 namespace gdlog {
 
@@ -77,6 +78,27 @@ StableModel OutcomeSpace::StripAuxiliary(const StableModel& model,
       continue;
     }
     out.push_back(atom);
+  }
+  return out;
+}
+
+OutcomeSpace OutcomeSpace::WithAddedFacts(
+    const std::vector<GroundAtom>& facts) const {
+  OutcomeSpace out = *this;
+  if (facts.empty()) return out;
+  std::vector<GroundAtom> sorted = facts;
+  std::sort(sorted.begin(), sorted.end());
+  for (PossibleOutcome& outcome : out.outcomes) {
+    StableModelSet patched;
+    for (const StableModel& model : outcome.models) {
+      StableModel merged;
+      merged.reserve(model.size() + sorted.size());
+      std::merge(model.begin(), model.end(), sorted.begin(), sorted.end(),
+                 std::back_inserter(merged));
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      patched.insert(std::move(merged));
+    }
+    outcome.models = std::move(patched);
   }
   return out;
 }

@@ -86,6 +86,15 @@ class OutcomeSpace {
   /// user-facing instance over sch(Π) ("modulo active/result").
   static StableModel StripAuxiliary(const StableModel& model,
                                     const TranslatedProgram& translated);
+
+  /// The space a fresh chase would produce if `facts` were appended to the
+  /// database, *provided* their predicates occur in no rule body of Π: the
+  /// facts enter every grounding only as body-less rules, so every stable
+  /// model of every outcome gains exactly them, while choices,
+  /// probabilities, masses, consistency and outcome order are untouched
+  /// (splitting-set argument in ROADMAP "Incremental serving
+  /// architecture"). The serving layer's cache-revalidation patch.
+  OutcomeSpace WithAddedFacts(const std::vector<GroundAtom>& facts) const;
 };
 
 }  // namespace gdlog

@@ -226,6 +226,42 @@ const FactStore::CompositeKeyMap* FactStore::GetCompositeIndex(
   return &rel.BuiltComposite(cols).map;
 }
 
+Status FactStore::ApplyDelta(const FactDelta& delta, DeltaRanges* out) {
+  assert(!frozen_ && "ApplyDelta() on a frozen FactStore");
+  if (!delta.removed.empty()) {
+    return Status::Unsupported(
+        "fact removal is not supported (the store is append-only; "
+        "retraction needs DRed-style re-derivation): got " +
+        std::to_string(delta.removed.size()) + " removal(s), first: -" +
+        delta.removed.front().ToString());
+  }
+  DeltaRanges ranges;
+  for (const GroundAtom& atom : delta.added) {
+    auto [it, first_touch] = ranges.ranges.try_emplace(atom.predicate);
+    if (first_touch) {
+      it->second.begin = it->second.end =
+          static_cast<uint32_t>(Count(atom.predicate));
+    }
+    if (Insert(atom)) {
+      it->second.end = static_cast<uint32_t>(Count(atom.predicate));
+      ++ranges.rows_appended;
+    } else {
+      ++ranges.duplicates_skipped;
+    }
+  }
+  // Drop predicates where every fact was a duplicate: consumers treat a
+  // range's presence as "this predicate gained rows".
+  for (auto it = ranges.ranges.begin(); it != ranges.ranges.end();) {
+    if (it->second.begin == it->second.end) {
+      it = ranges.ranges.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (out != nullptr) *out = std::move(ranges);
+  return Status::OK();
+}
+
 void FactStore::Freeze() {
   for (auto& [pred, rel] : relations_) {
     (void)pred;
@@ -290,6 +326,58 @@ Result<FactStore> ParseFacts(std::string_view text, Interner* interner) {
     store.Insert(rule.head.predicate, std::move(tuple));
   }
   return store;
+}
+
+Result<FactDelta> ParseFactDelta(std::string_view text, Interner* interner) {
+  // Split removal lines ("-fact(...)." with the sign stripped) from the
+  // rest, then reuse the program parser on each half so the surface syntax
+  // (comments, multi-fact lines) matches ParseFacts exactly.
+  std::string added_text;
+  std::string removed_text;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first != std::string_view::npos && line[first] == '-') {
+      removed_text.append(line.substr(first + 1));
+      removed_text += '\n';
+    } else {
+      added_text.append(line);
+      added_text += '\n';
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  auto parse_atoms = [&](const std::string& half, const char* what,
+                         std::vector<GroundAtom>* atoms) -> Status {
+    std::shared_ptr<Interner> shared(interner, [](Interner*) {});
+    auto parsed = ParseProgram(half, shared);
+    if (!parsed.ok()) return parsed.status();
+    for (const Rule& rule : parsed->rules()) {
+      if (!rule.IsFact()) {
+        return Status::InvalidArgument(std::string("delta ") + what +
+                                       " contains a non-fact rule: " +
+                                       rule.ToString(interner));
+      }
+      GroundAtom atom;
+      atom.predicate = rule.head.predicate;
+      atom.args.reserve(rule.head.args.size());
+      for (const HeadArg& arg : rule.head.args) {
+        atom.args.push_back(arg.term().constant());
+      }
+      atoms->push_back(std::move(atom));
+    }
+    return Status::OK();
+  };
+  FactDelta delta;
+  Status status = parse_atoms(added_text, "addition", &delta.added);
+  if (!status.ok()) return status;
+  status = parse_atoms(removed_text, "removal", &delta.removed);
+  if (!status.ok()) return status;
+  return delta;
 }
 
 }  // namespace gdlog

@@ -57,6 +57,43 @@ DbSummary SummarizeDb(const FactStore& db, size_t max_domain_values) {
   return out;
 }
 
+bool PipelineEquivalent(const DbSummary& a, const DbSummary& b) {
+  if (a.predicates.size() != b.predicates.size()) return false;
+  auto ia = a.predicates.begin();
+  auto ib = b.predicates.begin();
+  for (; ia != a.predicates.end(); ++ia, ++ib) {
+    if (ia->first != ib->first) return false;
+    if ((ia->second.rows > 0) != (ib->second.rows > 0)) return false;
+    if (!(ia->second.columns == ib->second.columns)) return false;
+  }
+  return true;
+}
+
+void UpdateSummaryForDelta(DbSummary* summary, const FactStore& db,
+                           const DeltaRanges& ranges,
+                           size_t max_domain_values) {
+  for (const auto& [pred, range] : ranges.ranges) {
+    if (range.end <= range.begin) continue;
+    const std::vector<Tuple>& rows = db.Rows(pred);
+    DbSummary::PredicateSummary& s = summary->predicates[pred];
+    for (uint32_t r = range.begin; r < range.end && r < rows.size(); ++r) {
+      const Tuple& row = rows[r];
+      if (s.rows == 0 && s.columns.empty()) {
+        s.columns.assign(row.size(), ColumnDomain{});
+      }
+      ++s.rows;
+      if (row.size() != s.columns.size()) {
+        // Ragged relation: mirror SummarizeDb's fallback.
+        for (ColumnDomain& col : s.columns) col = ColumnDomain::Top();
+        continue;
+      }
+      for (size_t c = 0; c < row.size(); ++c) {
+        s.columns[c].JoinValue(row[c], max_domain_values);
+      }
+    }
+  }
+}
+
 namespace {
 
 size_t StratumOfOrigin(const Program& pi, const std::map<uint32_t, size_t>& strata,

@@ -77,6 +77,21 @@ struct DbSummary {
 /// constants.
 DbSummary SummarizeDb(const FactStore& db, size_t max_domain_values = 4);
 
+/// True iff two summaries are indistinguishable to the pass pipeline: the
+/// same predicates present and the same column domains. Exact row counts
+/// are deliberately ignored — no pass consumes them (passes.cc reads only
+/// Present() and columns) — so a row-appending delta that stays inside the
+/// existing domains keeps the optimized program reusable verbatim.
+bool PipelineEquivalent(const DbSummary& a, const DbSummary& b);
+
+/// Folds the rows `db` gained in `ranges` into `summary` in place: row
+/// counts bumped, column domains joined with the new values. Equivalent to
+/// SummarizeDb(db, max_domain_values) on the post-delta database, at a cost
+/// proportional to the delta.
+void UpdateSummaryForDelta(DbSummary* summary, const FactStore& db,
+                           const DeltaRanges& ranges,
+                           size_t max_domain_values = 4);
+
 /// One rule of the program IR. Wraps the AST rule with the annotations the
 /// passes read and write: provenance (which Π-rule it came from), stratum
 /// membership, the sideways-information-passing adornment, and the

@@ -2,22 +2,35 @@
 
 #include <cstdio>
 #include <utility>
+#include <vector>
 
 namespace gdlog {
 
+std::string InferenceCache::KeyPrefix(std::string_view program_id,
+                                      uint64_t revision,
+                                      std::string_view lineage_digest) {
+  std::string key;
+  key.reserve(program_id.size() + lineage_digest.size() + 32);
+  key += program_id;
+  key += "|rev=";
+  key += std::to_string(revision);
+  key += "|lin=";
+  key += lineage_digest;
+  key += "|";
+  return key;
+}
+
 std::string InferenceCache::Fingerprint(std::string_view program_id,
                                         uint64_t revision,
+                                        std::string_view lineage_digest,
                                         const ChaseOptions& options) {
   // min_path_prob is a double; %a renders its bits exactly, so two options
   // differing only in the last ulp get distinct keys.
   char mpp[40];
   std::snprintf(mpp, sizeof(mpp), "%a", options.min_path_prob);
-  std::string key;
-  key.reserve(program_id.size() + 96);
-  key += program_id;
-  key += "|rev=";
-  key += std::to_string(revision);
-  key += "|mo=";
+  std::string key = KeyPrefix(program_id, revision, lineage_digest);
+  key.reserve(key.size() + 96);
+  key += "mo=";
   key += std::to_string(options.max_outcomes);
   key += "|md=";
   key += std::to_string(options.max_depth);
@@ -124,6 +137,49 @@ void InferenceCache::EraseLocked(
   entries_.erase(it);
 }
 
+size_t InferenceCache::Revalidate(std::string_view program_prefix,
+                                  std::string_view old_prefix,
+                                  std::string_view new_prefix,
+                                  const PatchFn& patch, size_t* evicted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::shared_ptr<const OutcomeSpace>>>
+      moved;
+  size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    std::string_view key = it->first;
+    if (key.substr(0, program_prefix.size()) != program_prefix) {
+      ++it;
+      continue;
+    }
+    if (key.substr(0, old_prefix.size()) == old_prefix) {
+      moved.emplace_back(
+          std::string(new_prefix) + std::string(key.substr(old_prefix.size())),
+          it->second.space);
+    } else {
+      ++evictions_;
+      ++dropped;
+    }
+    auto victim = it++;
+    EraseLocked(victim);
+  }
+  size_t count = 0;
+  for (auto& [key, space] : moved) {
+    std::shared_ptr<const OutcomeSpace> patched =
+        patch ? patch(*space) : space;
+    if (patched == nullptr) {
+      ++evictions_;
+      ++dropped;
+      continue;
+    }
+    if (entries_.count(key) != 0) continue;  // fresh compute landed first
+    InsertLocked(key, std::move(patched));
+    ++count;
+    ++revalidated_;
+  }
+  if (evicted != nullptr) *evicted = dropped;
+  return count;
+}
+
 size_t InferenceCache::ErasePrefix(std::string_view prefix) {
   std::lock_guard<std::mutex> lock(mu_);
   size_t dropped = 0;
@@ -155,6 +211,7 @@ InferenceCache::Stats InferenceCache::stats() const {
   stats.coalesced = coalesced_;
   stats.evictions = evictions_;
   stats.inserts = inserts_;
+  stats.revalidated = revalidated_;
   stats.entries = entries_.size();
   stats.bytes = bytes_;
   stats.capacity_bytes = capacity_bytes_;

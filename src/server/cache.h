@@ -35,13 +35,15 @@ namespace gdlog {
 class InferenceCache {
  public:
   struct Stats {
-    uint64_t hits = 0;        ///< Served from the cache.
-    uint64_t misses = 0;      ///< Led a compute (one chase each).
-    uint64_t coalesced = 0;   ///< Waited on another lookup's compute.
-    uint64_t evictions = 0;   ///< Entries dropped to respect the bound.
-    uint64_t inserts = 0;     ///< Entries ever stored.
-    size_t entries = 0;       ///< Current entry count.
-    size_t bytes = 0;         ///< Current approximate footprint.
+    uint64_t hits = 0;         ///< Served from the cache.
+    uint64_t misses = 0;       ///< Led a compute (one chase each).
+    uint64_t coalesced = 0;    ///< Waited on another lookup's compute.
+    uint64_t evictions = 0;    ///< Entries dropped to respect the bound.
+    uint64_t inserts = 0;      ///< Entries ever stored.
+    uint64_t revalidated = 0;  ///< Entries moved to a new lineage by
+                               ///< Revalidate() instead of evicted.
+    size_t entries = 0;        ///< Current entry count.
+    size_t bytes = 0;          ///< Current approximate footprint.
     size_t capacity_bytes = 0;
   };
 
@@ -67,15 +69,44 @@ class InferenceCache {
 
   Stats stats() const;
 
-  /// Canonical cache key: program id and DB revision plus exactly the
-  /// ChaseOptions fields that affect the resulting space — max_outcomes,
-  /// max_depth, support_limit, min_path_prob, trigger_shuffle_seed,
-  /// solver_max_nodes. num_threads, incremental and keep_groundings are
-  /// deliberately excluded (they change the computation, not the result);
+  /// The identity half of a fingerprint: program id, DB revision and the
+  /// delta-lineage digest (empty for a freshly registered or fully
+  /// replaced database). Every fingerprint starts with this, so the delta
+  /// path can move a whole revision's entries to a new lineage with one
+  /// prefix rewrite.
+  static std::string KeyPrefix(std::string_view program_id, uint64_t revision,
+                               std::string_view lineage_digest);
+
+  /// Canonical cache key: KeyPrefix plus exactly the ChaseOptions fields
+  /// that affect the resulting space — max_outcomes, max_depth,
+  /// support_limit, min_path_prob, trigger_shuffle_seed, solver_max_nodes.
+  /// num_threads, incremental and keep_groundings are deliberately
+  /// excluded (they change the computation, not the result);
   /// compute_models is forced true by the serving layer.
   static std::string Fingerprint(std::string_view program_id,
                                  uint64_t revision,
+                                 std::string_view lineage_digest,
                                  const ChaseOptions& options);
+  static std::string Fingerprint(std::string_view program_id,
+                                 uint64_t revision,
+                                 const ChaseOptions& options) {
+    return Fingerprint(program_id, revision, "", options);
+  }
+
+  /// Lineage-keyed revalidation (the PATCH /db path for deltas that
+  /// provably cannot change any grounding fixpoint): every entry under
+  /// `old_prefix` is re-keyed under `new_prefix` (same option suffix)
+  /// after passing its space through `patch`; entries under
+  /// `program_prefix` but not `old_prefix` (older revisions/lineages) are
+  /// dropped as ordinary evictions. A `patch` returning nullptr demotes
+  /// that entry to an eviction; a re-keyed entry whose new key is already
+  /// present (a fresh compute landed first) is skipped. Returns the number
+  /// revalidated; `evicted`, when non-null, receives the number dropped.
+  using PatchFn =
+      std::function<std::shared_ptr<const OutcomeSpace>(const OutcomeSpace&)>;
+  size_t Revalidate(std::string_view program_prefix,
+                    std::string_view old_prefix, std::string_view new_prefix,
+                    const PatchFn& patch, size_t* evicted = nullptr);
 
   /// Approximate heap footprint of a space (outcomes, choice sets, stable
   /// models) — the unit of the LRU bound.
@@ -112,6 +143,7 @@ class InferenceCache {
   uint64_t coalesced_ = 0;
   uint64_t evictions_ = 0;
   uint64_t inserts_ = 0;
+  uint64_t revalidated_ = 0;
 };
 
 }  // namespace gdlog

@@ -1,11 +1,40 @@
 #include "server/registry.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "util/hash.h"
 
 namespace gdlog {
+
+namespace {
+
+std::string HexDigest(uint64_t x) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(x));
+  return std::string(buf);
+}
+
+/// Content digest of a delta text — what a LineageLink records.
+std::string DeltaDigest(const std::string& delta_text) {
+  return HexDigest(Mix64(std::hash<std::string>{}(delta_text)));
+}
+
+/// Rolling lineage digest: folds the previous chain digest, the base
+/// revision and the new delta's digest, so equal digests imply equal
+/// derivation histories (up to hash collision).
+std::string ChainDigest(const std::string& previous, uint64_t base_revision,
+                        const std::string& delta_digest) {
+  std::hash<std::string> h;
+  size_t x = Mix64(h(previous));
+  x = HashCombine(x, static_cast<size_t>(base_revision));
+  x = HashCombine(x, h(delta_digest));
+  return HexDigest(x);
+}
+
+}  // namespace
 
 Result<GDatalog> BuildEngine(const ProgramSpec& spec,
                              std::vector<std::string> demand_goals) {
@@ -122,6 +151,75 @@ Result<ProgramRegistry::Info> ProgramRegistry::ReplaceDatabase(
   return InfoFor(*entry, /*created=*/false);
 }
 
+Result<ProgramRegistry::DeltaResult> ProgramRegistry::ApplyDatabaseDelta(
+    const std::string& id, const std::string& delta_text) {
+  std::shared_ptr<const Entry> current = Find(id);
+  if (current == nullptr) {
+    return Status::NotFound("unknown program id: " + id);
+  }
+  // The expensive part — delta-proportional re-grounding — runs unlocked
+  // against the snapshot we just read.
+  GDLOG_ASSIGN_OR_RETURN(
+      GDatalog engine,
+      GDatalog::WithDatabaseDelta(current->engine, delta_text));
+
+  DeltaResult result;
+  result.base_revision = current->revision;
+  result.delta_digest = DeltaDigest(delta_text);
+  result.old_lineage_digest = current->lineage_digest;
+  result.new_lineage_digest = ChainDigest(
+      current->lineage_digest, current->revision, result.delta_digest);
+  result.stats = engine.delta_stats();
+  result.touches_rule_bodies = result.stats.touches_rule_bodies;
+  result.added_facts = engine.delta_added_facts();
+
+  // The published spec's db_text must reproduce the delta-applied store so
+  // idempotent registration and demand-engine builds (which parse the spec
+  // from scratch) see the same database.
+  ProgramSpec spec = current->spec;
+  if (!spec.db_text.empty() && spec.db_text.back() != '\n') {
+    spec.db_text += '\n';
+  }
+  spec.db_text += delta_text;
+
+  std::vector<LineageLink> lineage = current->lineage;
+  lineage.push_back(LineageLink{current->revision, result.delta_digest});
+
+  deltas_applied_.fetch_add(1, std::memory_order_relaxed);
+  delta_rows_appended_.fetch_add(result.stats.rows_appended,
+                                 std::memory_order_relaxed);
+  delta_rules_refired_.fetch_add(result.stats.rules_refired,
+                                 std::memory_order_relaxed);
+  if (result.stats.pipeline_reused) {
+    delta_pipeline_reuses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return Status::NotFound("program removed during delta application: " + id);
+  }
+  // A delta is relative to the exact entry it was computed against. If a
+  // concurrent PUT/PATCH published a different entry meanwhile, applying
+  // ours on top would silently drop that update — reject instead.
+  if (it->second != current) {
+    return Status::AlreadyExists(
+        "program " + id + " was updated concurrently (revision is now " +
+        std::to_string(it->second->revision) + ", delta was against " +
+        std::to_string(current->revision) + "); re-read and retry");
+  }
+  uint64_t revision = current->revision + 1;
+  by_hash_.erase(SpecHash(it->second->spec));
+  auto entry = std::make_shared<const Entry>(
+      id, revision, std::move(spec), std::move(engine), std::move(lineage),
+      result.new_lineage_digest);
+  by_hash_[SpecHash(entry->spec)] = id;
+  it->second = entry;
+  result.info = InfoFor(*entry, /*created=*/false);
+  result.entry = entry;
+  return result;
+}
+
 Status ProgramRegistry::Remove(const std::string& id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = by_id_.find(id);
@@ -186,6 +284,18 @@ ProgramRegistry::OptCounters ProgramRegistry::opt_counters() const {
   counters.demand_engines_built =
       demand_built_.load(std::memory_order_relaxed);
   counters.demand_cache_hits = demand_hits_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+ProgramRegistry::DeltaCounters ProgramRegistry::delta_counters() const {
+  DeltaCounters counters;
+  counters.deltas_applied = deltas_applied_.load(std::memory_order_relaxed);
+  counters.rows_appended =
+      delta_rows_appended_.load(std::memory_order_relaxed);
+  counters.rules_refired =
+      delta_rules_refired_.load(std::memory_order_relaxed);
+  counters.pipeline_reuses =
+      delta_pipeline_reuses_.load(std::memory_order_relaxed);
   return counters;
 }
 

@@ -41,23 +41,41 @@ struct ProgramSpec {
 /// through const, concurrency-safe entry points) and handed out as
 /// shared_ptr<const Entry>: a Remove() or ReplaceDatabase() never
 /// invalidates an engine a concurrent query is still chasing.
+/// One applied delta in an entry's lineage chain: which revision it
+/// extended and a digest of the delta text.
+struct LineageLink {
+  uint64_t base_revision = 0;
+  std::string delta_digest;
+};
+
 class ProgramRegistry {
  public:
   struct Entry {
     std::string id;
-    /// Bumped by ReplaceDatabase; (id, revision) names one exact
-    /// (program, DB) pair forever, which is what inference-cache keys
-    /// build on.
+    /// Bumped by ReplaceDatabase/ApplyDatabaseDelta; (id, revision) names
+    /// one exact (program, DB) pair forever, which is what inference-cache
+    /// keys build on.
     uint64_t revision = 0;
     ProgramSpec spec;
     GDatalog engine;
+    /// Delta lineage since the last full registration/replacement, oldest
+    /// first (empty right after Register/ReplaceDatabase — a full
+    /// replacement starts a fresh lineage).
+    std::vector<LineageLink> lineage;
+    /// Rolling digest over the lineage chain; cache fingerprints embed it
+    /// (InferenceCache::KeyPrefix) so a delta-produced revision names its
+    /// exact derivation history.
+    std::string lineage_digest;
 
     Entry(std::string id_in, uint64_t revision_in, ProgramSpec spec_in,
-          GDatalog engine_in)
+          GDatalog engine_in, std::vector<LineageLink> lineage_in = {},
+          std::string lineage_digest_in = {})
         : id(std::move(id_in)),
           revision(revision_in),
           spec(std::move(spec_in)),
-          engine(std::move(engine_in)) {}
+          engine(std::move(engine_in)),
+          lineage(std::move(lineage_in)),
+          lineage_digest(std::move(lineage_digest_in)) {}
 
     /// Demand-transformed sibling engines for marginal queries, keyed by
     /// goal-signature (see DemandSignature), built lazily by
@@ -88,8 +106,42 @@ class ProgramRegistry {
   std::shared_ptr<const Entry> Find(const std::string& id) const;
 
   /// Rebuilds `id`'s engine against a new database (same program text and
-  /// options) and publishes it under the same id with revision + 1.
+  /// options) and publishes it under the same id with revision + 1. Starts
+  /// a fresh (empty) delta lineage.
   Result<Info> ReplaceDatabase(const std::string& id, std::string db_text);
+
+  /// Everything the serving layer needs to act on an applied delta: the
+  /// published entry plus the lineage transition (for cache revalidation)
+  /// and the engine's own DeltaStats.
+  struct DeltaResult {
+    Info info;
+    uint64_t base_revision = 0;
+    std::string delta_digest;
+    /// Lineage digest before/after this delta — the cache's old and new
+    /// KeyPrefix inputs.
+    std::string old_lineage_digest;
+    std::string new_lineage_digest;
+    /// True when some delta predicate occurs in a rule body of Π (or is a
+    /// reserved "__" predicate): cached spaces for this program must be
+    /// evicted, not revalidated.
+    bool touches_rule_bodies = false;
+    DeltaStats stats;
+    /// The facts actually appended (duplicates excluded) — the cache
+    /// revalidation patch (OutcomeSpace::WithAddedFacts) input.
+    std::vector<GroundAtom> added_facts;
+    std::shared_ptr<const Entry> entry;
+  };
+
+  /// Applies a fact delta to `id`'s database via
+  /// GDatalog::WithDatabaseDelta — cost proportional to the delta, not the
+  /// database — and publishes the result under revision + 1 with the delta
+  /// appended to the lineage chain. Unlike ReplaceDatabase (last writer
+  /// wins), a delta is *relative* to the revision it was computed against:
+  /// if another update published concurrently, returns kAlreadyExists so
+  /// the caller can re-read and retry rather than silently dropping the
+  /// other update.
+  Result<DeltaResult> ApplyDatabaseDelta(const std::string& id,
+                                         const std::string& delta_text);
 
   /// Unregisters `id`. In-flight queries holding the entry keep it alive.
   Status Remove(const std::string& id);
@@ -118,6 +170,17 @@ class ProgramRegistry {
   };
   OptCounters opt_counters() const;
 
+  /// Incremental-update observability counters, aggregated across entries.
+  struct DeltaCounters {
+    uint64_t deltas_applied = 0;
+    uint64_t rows_appended = 0;
+    uint64_t rules_refired = 0;
+    /// Deltas whose DB summary stayed pipeline-equivalent, so the
+    /// optimized Σ_Π (and the simple grounder's root cache) was reused.
+    uint64_t pipeline_reuses = 0;
+  };
+  DeltaCounters delta_counters() const;
+
   static Info InfoFor(const Entry& entry, bool created);
 
  private:
@@ -133,6 +196,10 @@ class ProgramRegistry {
   std::atomic<uint64_t> pipeline_reuses_{0};
   std::atomic<uint64_t> demand_built_{0};
   std::atomic<uint64_t> demand_hits_{0};
+  std::atomic<uint64_t> deltas_applied_{0};
+  std::atomic<uint64_t> delta_rows_appended_{0};
+  std::atomic<uint64_t> delta_rules_refired_{0};
+  std::atomic<uint64_t> delta_pipeline_reuses_{0};
 };
 
 /// Builds an engine for a spec — the one translation of ProgramSpec into

@@ -303,19 +303,85 @@ HttpResponse InferenceService::HandleProgram(const HttpRequest& request,
                                              const std::string& id,
                                              bool db_subresource) {
   if (db_subresource) {
-    if (request.method != "PUT") return MethodNotAllowed("PUT");
-    auto body = ParseBody(request);
-    if (!body.ok()) return ErrorResponse(body.status());
-    auto db = RequiredString(*body, "db");
-    if (!db.ok()) return ErrorResponse(db.status());
-    auto info = registry_.ReplaceDatabase(id, std::move(*db));
-    if (!info.ok()) return ErrorResponse(info.status());
-    // Every cache line of the old revision is now unreachable via
-    // fingerprints; drop them eagerly rather than waiting for LRU aging.
-    cache_.ErasePrefix(id + "|");
-    JsonWriter json;
-    WriteInfo(json, *info);
-    return JsonResponse(200, json.str() + "\n");
+    if (request.method == "PUT") {
+      auto body = ParseBody(request);
+      if (!body.ok()) return ErrorResponse(body.status());
+      auto db = RequiredString(*body, "db");
+      if (!db.ok()) return ErrorResponse(db.status());
+      auto info = registry_.ReplaceDatabase(id, std::move(*db));
+      if (!info.ok()) return ErrorResponse(info.status());
+      // Every cache line of the old revision is now unreachable via
+      // fingerprints; drop them eagerly rather than waiting for LRU aging.
+      cache_.ErasePrefix(id + "|");
+      JsonWriter json;
+      WriteInfo(json, *info);
+      return JsonResponse(200, json.str() + "\n");
+    }
+    if (request.method == "PATCH") {
+      auto body = ParseBody(request);
+      if (!body.ok()) return ErrorResponse(body.status());
+      auto delta = RequiredString(*body, "delta");
+      if (!delta.ok()) return ErrorResponse(delta.status());
+      auto applied = registry_.ApplyDatabaseDelta(id, *delta);
+      if (!applied.ok()) return ErrorResponse(applied.status());
+      delta_patches_.fetch_add(1, std::memory_order_relaxed);
+      size_t revalidated = 0;
+      size_t evicted = 0;
+      if (applied->touches_rule_bodies) {
+        // The delta can change grounding fixpoints: every cached space for
+        // this program is stale. Drop them all.
+        evicted = cache_.ErasePrefix(id + "|");
+      } else {
+        // The delta's predicates occur in no rule body of Π, so every
+        // outcome space of the old lineage equals the new one minus the
+        // appended facts (splitting-set argument in ROADMAP): carry the
+        // entries over — patched with the new facts — instead of
+        // re-chasing them on the next query.
+        std::vector<GroundAtom> added = applied->added_facts;
+        auto patch = [added](const OutcomeSpace& space) {
+          return std::make_shared<const OutcomeSpace>(
+              space.WithAddedFacts(added));
+        };
+        revalidated = cache_.Revalidate(
+            id + "|",
+            InferenceCache::KeyPrefix(id, applied->base_revision,
+                                      applied->old_lineage_digest),
+            InferenceCache::KeyPrefix(id, applied->info.revision,
+                                      applied->new_lineage_digest),
+            patch, &evicted);
+      }
+      spaces_revalidated_.fetch_add(revalidated, std::memory_order_relaxed);
+      spaces_evicted_.fetch_add(evicted, std::memory_order_relaxed);
+
+      const DeltaStats& stats = applied->stats;
+      JsonWriter json;
+      json.BeginObject();
+      json.KV("id", applied->info.id);
+      json.KV("revision", static_cast<long long>(applied->info.revision));
+      json.KV("stratified", applied->info.stratified);
+      json.KV("grounder", applied->info.grounder);
+      json.KV("created", applied->info.created);
+      json.Key("delta").BeginObject();
+      json.KV("base_revision",
+              static_cast<long long>(applied->base_revision));
+      json.KV("lineage", applied->new_lineage_digest);
+      json.KV("rows_appended", static_cast<long long>(stats.rows_appended));
+      json.KV("duplicates_skipped",
+              static_cast<long long>(stats.duplicates_skipped));
+      json.KV("predicates_touched",
+              static_cast<long long>(stats.predicates_touched));
+      json.KV("rules_refired", static_cast<long long>(stats.rules_refired));
+      json.KV("summary_changed", stats.summary_changed);
+      json.KV("pipeline_reused", stats.pipeline_reused);
+      json.KV("root_resumed", stats.root_resumed);
+      json.KV("touches_rule_bodies", applied->touches_rule_bodies);
+      json.KV("spaces_revalidated", static_cast<long long>(revalidated));
+      json.KV("spaces_evicted", static_cast<long long>(evicted));
+      json.EndObject();
+      json.EndObject();
+      return JsonResponse(200, json.str() + "\n");
+    }
+    return MethodNotAllowed("PUT, PATCH");
   }
   if (request.method == "GET") {
     auto entry = registry_.Find(id);
@@ -382,7 +448,8 @@ HttpResponse InferenceService::HandleQuery(const HttpRequest& request) {
   }
 
   std::string key =
-      InferenceCache::Fingerprint(entry->id, entry->revision, *chase) +
+      InferenceCache::Fingerprint(entry->id, entry->revision,
+                                  entry->lineage_digest, *chase) +
       demand_suffix;
   auto space = cache_.LookupOrCompute(
       key, [&]() { return engine->Infer(*chase); });
@@ -582,6 +649,7 @@ HttpResponse InferenceService::HandleStats() {
   json.KV("coalesced", static_cast<long long>(cache_stats.coalesced));
   json.KV("evictions", static_cast<long long>(cache_stats.evictions));
   json.KV("inserts", static_cast<long long>(cache_stats.inserts));
+  json.KV("revalidated", static_cast<long long>(cache_stats.revalidated));
   json.KV("entries", static_cast<long long>(cache_stats.entries));
   json.KV("bytes", static_cast<long long>(cache_stats.bytes));
   json.KV("capacity_bytes",
@@ -598,6 +666,19 @@ HttpResponse InferenceService::HandleStats() {
   json.KV("demand_queries",
           static_cast<long long>(
               demand_queries_.load(std::memory_order_relaxed)));
+  json.EndObject();
+  ProgramRegistry::DeltaCounters delta = registry_.delta_counters();
+  json.Key("delta").BeginObject();
+  json.KV("patches", static_cast<long long>(delta.deltas_applied));
+  json.KV("rows_appended", static_cast<long long>(delta.rows_appended));
+  json.KV("rules_refired", static_cast<long long>(delta.rules_refired));
+  json.KV("pipeline_reuses", static_cast<long long>(delta.pipeline_reuses));
+  json.KV("spaces_revalidated",
+          static_cast<long long>(
+              spaces_revalidated_.load(std::memory_order_relaxed)));
+  json.KV("spaces_evicted",
+          static_cast<long long>(
+              spaces_evicted_.load(std::memory_order_relaxed)));
   json.EndObject();
   json.EndObject();
   return JsonResponse(200, json.str() + "\n");

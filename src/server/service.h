@@ -25,6 +25,13 @@ namespace gdlog {
 ///                             stratified, grounder, created}
 ///   GET    /programs/<id>     registration info
 ///   PUT    /programs/<id>/db  replace the database: {db}; bumps revision
+///                             and starts a fresh delta lineage
+///   PATCH  /programs/<id>/db  apply a fact delta: {delta}; appends facts
+///                             in cost proportional to the delta, bumps
+///                             revision, chains the lineage digest, and
+///                             either revalidates cached outcome spaces
+///                             (delta provably outside every rule body) or
+///                             evicts them; 409 on concurrent update
 ///   DELETE /programs/<id>     unregister (drops the program's cache lines)
 ///   POST   /query             exact inference: {program_id, options?,
 ///                             include_outcomes?, include_models?,
@@ -78,6 +85,12 @@ class InferenceService {
   std::atomic<uint64_t> samples_{0};
   /// Marginal queries served through a demand-transformed engine.
   std::atomic<uint64_t> demand_queries_{0};
+  /// PATCH /db requests that applied successfully.
+  std::atomic<uint64_t> delta_patches_{0};
+  /// Cached outcome spaces carried across a delta (patched + re-keyed)
+  /// versus dropped because the delta touched rule bodies.
+  std::atomic<uint64_t> spaces_revalidated_{0};
+  std::atomic<uint64_t> spaces_evicted_{0};
 };
 
 }  // namespace gdlog

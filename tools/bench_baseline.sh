@@ -174,10 +174,14 @@ merged = {
                 "speedup when num_cpus > 1. The committed file covers "
                 "E1-E13 (E13 = the PR 6 demand transformation, whose "
                 "facts_derived counters feed the CI bench-smoke "
-                "summary) and was recorded in quick mode on the same "
-                "1-vCPU container class as the previous baselines, so "
-                "the CI compare gate keeps self-skipping on the "
-                "multicore hosted runners.",
+                "summary; E11 additionally carries the PR 7 "
+                "delta-serving rows — BM_DeltaUpdate_Patch1Pct vs "
+                "BM_DeltaUpdate_FullRebuild is the >=10x update gate, "
+                "BM_DeltaQuery_Revalidated must report chases=1) and "
+                "was recorded in quick mode on the same 1-vCPU "
+                "container class as the previous baselines, so the CI "
+                "compare gate keeps self-skipping on the multicore "
+                "hosted runners.",
     }
 }
 for filename in sorted(os.listdir(directory)):

@@ -21,6 +21,14 @@
 //                         responses were 200 and byte-identical
 //   --dump-response FILE  write the response body to FILE (compare with
 //                         `gdlog_cli --json` via cmp)
+//   --delta FILE          after the query storm, PATCH the file's facts
+//                         onto the program's database and issue one more
+//                         /query. Prints the server's delta report
+//                         (rows appended, rules refired, spaces
+//                         revalidated/evicted); with --check, when the
+//                         server revalidated at least one cached space,
+//                         asserts the post-delta query hit the cache
+//                         (zero additional chases)
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -51,6 +59,7 @@ struct LoadOptions {
   bool include_events = false;
   bool check = false;
   std::string dump_path;
+  std::string delta_path;
 };
 
 [[noreturn]] void Usage(const char* argv0, const char* error = nullptr) {
@@ -60,7 +69,7 @@ struct LoadOptions {
                "          [--grounder MODE] [--requests N]\n"
                "          [--concurrency C] [--include-outcomes]\n"
                "          [--include-events] [--check]\n"
-               "          [--dump-response FILE]\n",
+               "          [--dump-response FILE] [--delta FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -131,6 +140,8 @@ int main(int argc, char** argv) {
       opts.check = true;
     } else if (!std::strcmp(arg, "--dump-response")) {
       opts.dump_path = need_value(i);
+    } else if (!std::strcmp(arg, "--delta")) {
+      opts.delta_path = need_value(i);
     } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
       Usage(argv[0]);
     } else {
@@ -281,6 +292,59 @@ int main(int argc, char** argv) {
       ok = false;
     }
   }
+
+  if (ok && !opts.delta_path.empty()) {
+    gdlog::JsonWriter patch;
+    patch.BeginObject();
+    patch.KV("delta", ReadFile(opts.delta_path));
+    patch.EndObject();
+    auto patched = client->Request(
+        "PATCH", "/programs/" + program_id + "/db", patch.str());
+    if (!patched.ok() || patched->status != 200) {
+      std::fprintf(stderr, "FAIL: PATCH /db: %s\n",
+                   patched.ok() ? patched->body.c_str()
+                                : patched.status().ToString().c_str());
+      std::printf("FAIL\n");
+      return 1;
+    }
+    auto patch_doc = gdlog::JsonValue::Parse(patched->body);
+    const gdlog::JsonValue* delta_obj =
+        patch_doc.ok() ? patch_doc->Find("delta") : nullptr;
+    auto delta_counter = [&](const char* field) -> long long {
+      if (delta_obj == nullptr) return -1;
+      const gdlog::JsonValue* value = delta_obj->Find(field);
+      if (value == nullptr || !value->is_number()) return -1;
+      auto n = value->NumberAsInt();
+      return n.ok() ? *n : -1;
+    };
+    long long revalidated = delta_counter("spaces_revalidated");
+    std::printf(
+        "delta: rows_appended=%lld rules_refired=%lld "
+        "spaces_revalidated=%lld spaces_evicted=%lld\n",
+        delta_counter("rows_appended"), delta_counter("rules_refired"),
+        revalidated, delta_counter("spaces_evicted"));
+
+    auto after_query = client->Request("POST", "/query", query_body);
+    if (!after_query.ok() || after_query->status != 200) {
+      std::fprintf(stderr, "FAIL: post-delta query failed\n");
+      std::printf("FAIL\n");
+      return 1;
+    }
+    auto stats_final = FetchStats(opts.host, opts.port);
+    long long post_misses =
+        stats_final.ok() ? CacheCounter(*stats_final, "misses") -
+                               CacheCounter(*stats_after, "misses")
+                         : -1;
+    std::printf("post-delta query: misses=%lld\n", post_misses);
+    if (opts.check && revalidated >= 1 && post_misses != 0) {
+      // The server claimed it carried the cached space across the delta,
+      // yet the very next identical query ran a chase.
+      std::fprintf(stderr,
+                   "FAIL: revalidated space did not serve the query\n");
+      ok = false;
+    }
+  }
+
   std::printf("%s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }
