@@ -1,0 +1,155 @@
+// E14 — Fleet partitioning: probability-mass-weighted shard assignment
+// versus round-robin on a deliberately skewed chase tree. The first
+// choice picks a branch whose probability is proportional to its subtree
+// leaf count (branch i unlocks log2(leaves(i)) independent fair flips),
+// so path mass is a perfect work proxy. Every fourth branch is heavy —
+// the stride-aligned skew that is round-robin's classic pathology: with
+// four shards, all heavy branches land on the same shard, and the
+// fleet's wall-clock (the makespan, its slowest shard) carries most of
+// the tree. The weighted greedy (largest mass onto the lightest shard)
+// spreads them and lands within one light task of the ideal quarter.
+// The assignment is part of the pure plan function, so both policies
+// stay zero-coordination: every worker recomputes the same partition
+// from the same coordinates.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "gdatalog/shard.h"
+
+namespace {
+
+using namespace gdlog_bench;
+
+constexpr int kBranches = 12;
+constexpr size_t kShards = 4;
+
+/// Branch i's flip count: heavy (2^9 leaves) on every fourth branch,
+/// light (2^6) elsewhere. Shard plans order tasks canonically (ascending
+/// branch value), so the heavy branches sit at task indices 3, 7, 11 —
+/// all congruent mod kShards.
+int FlipsFor(int branch) { return branch % 4 == 0 ? 9 : 6; }
+
+/// pick(discrete<1, leaves(1), ..., k, leaves(k)>), branch i unlocking
+/// FlipsFor(i) flips: subtree mass ∝ subtree leaf count (masses
+/// renormalize).
+std::string SkewedProgram() {
+  std::string params;
+  for (int i = 1; i <= kBranches; ++i) {
+    if (i > 1) params += ", ";
+    params += std::to_string(i) + ", " +
+              std::to_string(double(1 << FlipsFor(i)));
+  }
+  return "pick(discrete<" + params + ">).\n"
+         "coin(J, flip<0.5>[J]) :- pick(I), unlocks(I, J).\n";
+}
+
+std::string SkewedDb() {
+  std::string db;
+  for (int i = 1; i <= kBranches; ++i) {
+    for (int j = 1; j <= FlipsFor(i); ++j) {
+      db += "unlocks(" + std::to_string(i) + "," + std::to_string(j) + ").\n";
+    }
+  }
+  return db;
+}
+
+gdlog::ShardPlan MustPlan(const gdlog::GDatalog& engine,
+                          gdlog::ShardAssignment assignment) {
+  gdlog::ChaseOptions options;
+  // Depth 1 = one task per discrete branch: the cleanest skew exhibit.
+  auto plan = engine.chase().PlanShards(options, kShards,
+                                        /*prefix_depth=*/1, assignment);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "bench plan failed: %s\n",
+                 plan.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(plan).value();
+}
+
+std::vector<double> ShardMasses(const gdlog::ShardPlan& plan) {
+  std::vector<double> mass(plan.num_shards, 0.0);
+  for (size_t i = 0; i < plan.tasks.size(); ++i) {
+    mass[plan.shard_of[i]] += plan.tasks[i].path_prob.value();
+  }
+  return mass;
+}
+
+size_t HeaviestShard(const gdlog::ShardPlan& plan) {
+  std::vector<double> mass = ShardMasses(plan);
+  return static_cast<size_t>(
+      std::max_element(mass.begin(), mass.end()) - mass.begin());
+}
+
+void VerificationTable() {
+  auto engine = MustCreate(SkewedProgram(), SkewedDb());
+  gdlog::ChaseOptions options;
+  std::printf("=== E14: weighted vs round-robin shard partitioning ===\n");
+  std::printf("skewed tree: %d branches, P(branch i) = leaves(i)/total "
+              "(mass == work)\n\n",
+              kBranches);
+  for (gdlog::ShardAssignment assignment :
+       {gdlog::ShardAssignment::kWeighted,
+        gdlog::ShardAssignment::kRoundRobin}) {
+    gdlog::ShardPlan plan = MustPlan(engine, assignment);
+    std::vector<double> mass = ShardMasses(plan);
+    double worst = 0.0;
+    double makespan_ms = 0.0;
+    size_t outcomes = 0;
+    std::printf("%-12s", gdlog::ShardAssignmentName(assignment));
+    for (size_t shard = 0; shard < plan.num_shards; ++shard) {
+      auto start = std::chrono::steady_clock::now();
+      auto partial = engine.chase().ExploreShard(plan, shard, options);
+      double ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      if (!partial.ok()) {
+        std::fprintf(stderr, "bench explore failed: %s\n",
+                     partial.status().ToString().c_str());
+        std::abort();
+      }
+      outcomes += partial->outcomes.size();
+      worst = std::max(worst, mass[shard]);
+      makespan_ms = std::max(makespan_ms, ms);
+      std::printf("  shard%zu: mass=%.3f %7.2fms", shard, mass[shard], ms);
+    }
+    std::printf("\n%-12s  worst-shard mass=%.3f (ideal %.3f), "
+                "makespan=%.2fms, outcomes=%zu\n\n",
+                "", worst, 1.0 / double(kShards), makespan_ms, outcomes);
+  }
+}
+
+/// The fleet wall-clock proxy: exploring the heaviest shard of the plan.
+/// Weighted keeps it near total/kShards; round-robin's carries roughly
+/// half the tree.
+void BM_Fleet_WorstShard(benchmark::State& state) {
+  gdlog::ShardAssignment assignment = state.range(0) == 0
+                                          ? gdlog::ShardAssignment::kWeighted
+                                          : gdlog::ShardAssignment::kRoundRobin;
+  auto engine = MustCreate(SkewedProgram(), SkewedDb());
+  gdlog::ShardPlan plan = MustPlan(engine, assignment);
+  size_t shard = HeaviestShard(plan);
+  gdlog::ChaseOptions options;
+  for (auto _ : state) {
+    auto partial = engine.chase().ExploreShard(plan, shard, options);
+    if (!partial.ok()) std::abort();
+    benchmark::DoNotOptimize(partial->outcomes);
+  }
+  state.counters["worst_mass"] = ShardMasses(plan)[shard];
+  state.SetLabel(gdlog::ShardAssignmentName(assignment));
+}
+BENCHMARK(BM_Fleet_WorstShard)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  VerificationTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -13,6 +13,7 @@ namespace gdlog {
 
 struct ShardPlan;
 struct PartialSpace;
+enum class ShardAssignment;
 
 /// Budgets and knobs for chase-tree exploration (§4). The chase tree of a
 /// program may be infinite (countably infinite distribution supports,
@@ -79,12 +80,14 @@ class ChaseEngine {
 
   /// Plans a decomposition of the chase tree into `num_shards` shards by
   /// expanding the first `prefix_depth` choice levels serially and
-  /// partitioning the resulting frontier (shard.h). `prefix_depth` 0 picks
-  /// the smallest depth whose frontier holds at least a few tasks per
-  /// shard. The plan is deterministic — independent processes recompute
-  /// the identical plan — and cheap (only the prefix levels are grounded).
-  Result<ShardPlan> PlanShards(const ChaseOptions& options, size_t num_shards,
-                               size_t prefix_depth = 0) const;
+  /// partitioning the resulting frontier (shard.h) under `assignment`
+  /// (default: probability-mass-weighted). `prefix_depth` 0 picks the
+  /// smallest depth whose frontier holds at least a few tasks per shard.
+  /// The plan is deterministic — independent processes recompute the
+  /// identical plan — and cheap (only the prefix levels are grounded).
+  Result<ShardPlan> PlanShards(
+      const ChaseOptions& options, size_t num_shards, size_t prefix_depth = 0,
+      ShardAssignment assignment = ShardAssignment{}) const;
 
   /// Executes one shard of `plan`: explores the subtree below every task
   /// assigned to `shard_index`, using the parallel frontier per

@@ -307,6 +307,7 @@ std::string PartialSpaceToJson(const PartialSpace& partial,
   json.KV("num_shards", static_cast<long long>(meta.num_shards));
   json.KV("shard_index", static_cast<long long>(meta.shard_index));
   json.KV("prefix_depth", static_cast<long long>(meta.prefix_depth));
+  json.KV("assignment", ShardAssignmentName(meta.assignment));
   json.KV("max_outcomes", static_cast<long long>(meta.max_outcomes));
   json.KV("max_depth", static_cast<long long>(meta.max_depth));
   json.KV("support_limit", static_cast<long long>(meta.support_limit));
@@ -379,6 +380,15 @@ Result<PartialSpace> PartialSpaceFromJson(std::string_view json_text,
   if (meta->num_shards < 1 || meta->num_shards > kMaxShards ||
       meta->shard_index >= meta->num_shards) {
     return FieldError("shard coordinates out of range");
+  }
+  const JsonValue* assignment = doc.Find("assignment");
+  if (assignment == nullptr || !assignment->is_string()) {
+    return FieldError("missing 'assignment'");
+  }
+  {
+    auto parsed = ParseShardAssignment(assignment->string_value());
+    if (!parsed.ok()) return FieldError("malformed 'assignment'");
+    meta->assignment = *parsed;
   }
   GDLOG_ASSIGN_OR_RETURN(meta->max_outcomes, ReadSize(doc, "max_outcomes"));
   GDLOG_ASSIGN_OR_RETURN(meta->max_depth, ReadSize(doc, "max_depth"));

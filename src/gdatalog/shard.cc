@@ -1,6 +1,7 @@
 #include "gdatalog/shard.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "gdatalog/chase_internal.h"
@@ -11,8 +12,8 @@ namespace gdlog {
 namespace {
 
 /// Auto planning stops deepening once the frontier holds this many tasks
-/// per shard — enough for the round-robin assignment to balance subtree
-/// sizes without ballooning the plan.
+/// per shard — enough for the assignment policy to balance subtree sizes
+/// without ballooning the plan.
 constexpr size_t kTasksPerShard = 4;
 /// Hard caps for auto planning: the prefix never exceeds this depth, and a
 /// frontier this large is always accepted (the plan itself must stay cheap
@@ -40,11 +41,70 @@ void SortCanonically(PartialSpace* partial) {
 
 }  // namespace
 
+const char* ShardAssignmentName(ShardAssignment assignment) {
+  switch (assignment) {
+    case ShardAssignment::kWeighted: return "weighted";
+    case ShardAssignment::kRoundRobin: return "round_robin";
+  }
+  return "weighted";
+}
+
+Result<ShardAssignment> ParseShardAssignment(std::string_view name) {
+  if (name == "weighted") return ShardAssignment::kWeighted;
+  if (name == "round_robin") return ShardAssignment::kRoundRobin;
+  return Status::InvalidArgument(
+      "assignment must be weighted or round_robin; got '" +
+      std::string(name) + "'");
+}
+
+std::vector<uint32_t> AssignTasksToShards(const std::vector<ShardTask>& tasks,
+                                          size_t num_shards,
+                                          ShardAssignment policy) {
+  if (num_shards < 1) num_shards = 1;
+  std::vector<uint32_t> shard_of(tasks.size(), 0);
+  if (policy == ShardAssignment::kRoundRobin || num_shards == 1) {
+    if (num_shards > 1) {
+      for (size_t i = 0; i < tasks.size(); ++i) {
+        shard_of[i] = static_cast<uint32_t>(i % num_shards);
+      }
+    }
+    return shard_of;
+  }
+
+  // Greedy LPT over path-probability mass: visit tasks heaviest-first and
+  // place each on the lightest shard so far. Ties break on the canonical
+  // task index (for the order) and the lowest shard index (for the bin),
+  // making the partition a pure function of the task list — every process
+  // that recomputes the plan derives the identical map. Loads are compared
+  // as doubles: Prob::value() is itself deterministic, and only the
+  // partition (not any reported mass) depends on these sums.
+  std::vector<size_t> order(tasks.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    double wa = tasks[a].path_prob.value();
+    double wb = tasks[b].path_prob.value();
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+  std::vector<double> load(num_shards, 0.0);
+  for (size_t i : order) {
+    size_t lightest = 0;
+    for (size_t s = 1; s < num_shards; ++s) {
+      if (load[s] < load[lightest]) lightest = s;
+    }
+    shard_of[i] = static_cast<uint32_t>(lightest);
+    load[lightest] += tasks[i].path_prob.value();
+  }
+  return shard_of;
+}
+
 Result<ShardPlan> ChaseEngine::PlanShards(const ChaseOptions& options,
                                           size_t num_shards,
-                                          size_t prefix_depth) const {
+                                          size_t prefix_depth,
+                                          ShardAssignment assignment) const {
   ShardPlan plan;
   plan.num_shards = num_shards < 1 ? 1 : num_shards;
+  plan.assignment = assignment;
   size_t cut_tasks = 0;
 
   // Expands the first `depth` choice levels serially; every node at the
@@ -84,12 +144,13 @@ Result<ShardPlan> ChaseEngine::PlanShards(const ChaseOptions& options,
     }
   }
 
-  // Canonical order makes the shard assignment (task i → shard i mod N) a
-  // pure function of the chase tree, independent of traversal details.
+  // Canonical order makes the shard assignment a pure function of the
+  // chase tree, independent of traversal details.
   std::sort(plan.tasks.begin(), plan.tasks.end(),
             [](const ShardTask& a, const ShardTask& b) {
               return a.choices < b.choices;
             });
+  plan.shard_of = AssignTasksToShards(plan.tasks, plan.num_shards, assignment);
   return plan;
 }
 
@@ -109,8 +170,16 @@ Result<PartialSpace> ChaseEngine::ExploreShard(
   if (workers < 1) workers = 1;
   state.partials.resize(workers);
 
+  // Hand-assembled plans (deserialized, or pre-assignment ones) may lack
+  // the explicit map; they mean PR 3's round-robin.
+  const std::vector<uint32_t>& shard_of =
+      plan.shard_of.size() == plan.tasks.size()
+          ? plan.shard_of
+          : AssignTasksToShards(plan.tasks, plan.num_shards,
+                                ShardAssignment::kRoundRobin);
   std::vector<WorkItem> roots;
-  for (size_t i = shard_index; i < plan.tasks.size(); i += plan.num_shards) {
+  for (size_t i = 0; i < plan.tasks.size(); ++i) {
+    if (shard_of[i] != shard_index) continue;
     WorkItem root;
     root.choices = plan.tasks[i].choices;
     root.path_prob = plan.tasks[i].path_prob;
@@ -160,6 +229,7 @@ ShardPartialMeta MakeShardPartialMeta(const ShardPlan& plan,
   meta.num_shards = plan.num_shards;
   meta.shard_index = shard_index;
   meta.prefix_depth = plan.prefix_depth;
+  meta.assignment = plan.assignment;
   meta.max_outcomes = options.max_outcomes;
   meta.max_depth = options.max_depth;
   meta.support_limit = options.support_limit;

@@ -1,0 +1,483 @@
+#include "server/fleet.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "gdatalog/export.h"
+#include "gdatalog/shard.h"
+#include "server/options.h"
+#include "util/json.h"
+
+namespace gdlog {
+
+namespace {
+
+/// The shard-plan coordinates every fleet request carries. All of them are
+/// inputs of the pure plan function, so a worker given the same
+/// coordinates recomputes the coordinator's plan exactly.
+struct PlanCoordinates {
+  size_t shards = 1;
+  size_t prefix_depth = 0;
+  ShardAssignment assignment = ShardAssignment::kWeighted;
+};
+
+Result<PlanCoordinates> ReadPlanCoordinates(const JsonValue& body,
+                                            size_t default_shards) {
+  PlanCoordinates plan;
+  GDLOG_ASSIGN_OR_RETURN(uint64_t shards,
+                         OptionalU64(body, "shards", default_shards));
+  if (shards < 1) {
+    return Status::InvalidArgument("'shards' must be a positive integer");
+  }
+  plan.shards = static_cast<size_t>(shards);
+  GDLOG_ASSIGN_OR_RETURN(uint64_t depth,
+                         OptionalU64(body, "prefix_depth", 0));
+  plan.prefix_depth = static_cast<size_t>(depth);
+  GDLOG_ASSIGN_OR_RETURN(
+      std::string assignment,
+      OptionalString(body, "assignment",
+                     ShardAssignmentName(ShardAssignment::kWeighted)));
+  GDLOG_ASSIGN_OR_RETURN(plan.assignment, ParseShardAssignment(assignment));
+  return plan;
+}
+
+/// The /v1/shards request a coordinator sends for `indices`. The program
+/// travels inline (spec fields, not the coordinator-local id): the
+/// worker's registry registers it idempotently, so only the first request
+/// per worker pays an engine build, and a worker that has never seen the
+/// program needs no separate provisioning step. The registry keeps
+/// spec.db_text current across PATCH deltas, which is what makes shipping
+/// the spec equivalent to shipping the coordinator's database.
+std::string ShardRequestBody(const ProgramSpec& spec,
+                             const ChaseOptions& chase,
+                             const PlanCoordinates& plan,
+                             const std::vector<size_t>& indices) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("program", spec.program_text);
+  if (!spec.db_text.empty()) json.KV("db", spec.db_text);
+  json.KV("grounder", GrounderWireName(spec.grounder));
+  if (spec.extensions) {
+    json.KV("extensions", true);
+    if (spec.normalgrid_max_cells >= 0) {
+      json.KV("normalgrid_max_cells",
+              static_cast<long long>(spec.normalgrid_max_cells));
+    }
+  }
+  // Exactly the result-affecting options (the fingerprint fields), stated
+  // explicitly so a worker with different built-in defaults still explores
+  // the coordinator's space. num_threads stays a worker-local choice —
+  // thread count never changes results.
+  json.Key("options").BeginObject();
+  json.KV("max_outcomes", static_cast<long long>(chase.max_outcomes));
+  json.KV("max_depth", static_cast<long long>(chase.max_depth));
+  json.KV("support_limit", static_cast<long long>(chase.support_limit));
+  // %.17g round-trips through strtod, so the worker's double — and hence
+  // its serialized meta — matches the coordinator's bit for bit.
+  json.KV("min_path_prob", chase.min_path_prob);
+  json.KV("trigger_shuffle_seed",
+          static_cast<long long>(chase.trigger_shuffle_seed));
+  json.KV("solver_max_nodes",
+          static_cast<long long>(chase.solver_max_nodes));
+  json.EndObject();
+  json.KV("shards", static_cast<long long>(plan.shards));
+  json.KV("prefix_depth", static_cast<long long>(plan.prefix_depth));
+  json.KV("assignment", ShardAssignmentName(plan.assignment));
+  json.Key("shard_indices").BeginArray();
+  for (size_t index : indices) json.Int(static_cast<long long>(index));
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+struct FetchedPartial {
+  PartialSpace partial;
+  ShardPartialMeta meta;
+};
+
+/// One worker exchange: POST the shard group, bounded as a whole by
+/// `deadline_ms`, and parse the NDJSON partial per requested index. Any
+/// failure — refused connection, non-200, deadline expiry (the straggler
+/// case: the per-wait budget shrinks as the deadline nears, so a trickling
+/// worker cannot stretch the exchange), short or malformed response —
+/// surfaces as a non-OK Status and the caller re-dispatches the group.
+Result<std::vector<FetchedPartial>> FetchGroup(
+    const std::string& address, const std::string& request_body,
+    const std::vector<size_t>& indices, int deadline_ms,
+    const Interner& interner) {
+  GDLOG_ASSIGN_OR_RETURN(auto host_port, ParseHostPort(address));
+  GDLOG_ASSIGN_OR_RETURN(
+      HttpClient client,
+      HttpClient::Connect(host_port.first, host_port.second, deadline_ms));
+  GDLOG_ASSIGN_OR_RETURN(
+      HttpResponse response,
+      client.RequestWithDeadline("POST", "/v1/shards", request_body,
+                                 deadline_ms));
+  if (response.status != 200) {
+    return Status::Internal("worker " + address + " returned HTTP " +
+                            std::to_string(response.status));
+  }
+  std::vector<FetchedPartial> fetched;
+  fetched.reserve(indices.size());
+  size_t pos = 0;
+  while (pos < response.body.size()) {
+    size_t eol = response.body.find('\n', pos);
+    if (eol == std::string::npos) eol = response.body.size();
+    std::string_view line(response.body.data() + pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    FetchedPartial one;
+    GDLOG_ASSIGN_OR_RETURN(one.partial,
+                           PartialSpaceFromJson(line, interner, &one.meta));
+    fetched.push_back(std::move(one));
+  }
+  if (fetched.size() != indices.size()) {
+    return Status::Internal("worker " + address + " returned " +
+                            std::to_string(fetched.size()) +
+                            " partials for " +
+                            std::to_string(indices.size()) + " shards");
+  }
+  for (size_t i = 0; i < fetched.size(); ++i) {
+    if (fetched[i].meta.shard_index != indices[i]) {
+      return Status::Internal("worker " + address +
+                              " returned partials out of order");
+    }
+  }
+  return fetched;
+}
+
+}  // namespace
+
+Result<std::pair<std::string, int>> ParseHostPort(
+    const std::string& address) {
+  size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= address.size()) {
+    return Status::InvalidArgument("worker address must be host:port; got '" +
+                                   address + "'");
+  }
+  std::string port_text = address.substr(colon + 1);
+  if (port_text.find_first_not_of("0123456789") != std::string::npos ||
+      port_text.size() > 5) {
+    return Status::InvalidArgument("bad worker port in '" + address + "'");
+  }
+  int port = std::atoi(port_text.c_str());
+  if (port < 1 || port > 65535) {
+    return Status::InvalidArgument("bad worker port in '" + address + "'");
+  }
+  return std::make_pair(address.substr(0, colon), port);
+}
+
+HttpResponse FleetService::HandleShards(const HttpRequest& request) {
+  shard_requests_.fetch_add(1, std::memory_order_relaxed);
+  auto body = ParseBody(request);
+  if (!body.ok()) return ErrorResponse(body.status());
+
+  // Program resolution: inline spec (registered idempotently — the
+  // coordinator's distribution path) or a worker-local id.
+  std::shared_ptr<const ProgramRegistry::Entry> entry;
+  if (body->Find("program") != nullptr) {
+    auto spec = ParseProgramSpec(*body);
+    if (!spec.ok()) return ErrorResponse(spec.status());
+    auto info = registry_->Register(std::move(*spec));
+    if (!info.ok()) return ErrorResponse(info.status());
+    entry = registry_->Find(info->id);
+  } else {
+    auto id = RequiredString(*body, "program_id");
+    if (!id.ok()) return ErrorResponse(id.status());
+    entry = registry_->Find(*id);
+    if (entry == nullptr) {
+      return ErrorResponse(Status::NotFound("unknown program id: " + *id));
+    }
+  }
+  if (entry == nullptr) {
+    return ErrorResponse(Status::Internal("program entry vanished"));
+  }
+  // Optional pinning: a caller naming revision/lineage means "this exact
+  // database state"; refuse rather than silently explore another one.
+  if (const JsonValue* revision = body->Find("revision")) {
+    auto want = revision->NumberAsInt();
+    if (!want.ok() || *want < 0 ||
+        static_cast<uint64_t>(*want) != entry->revision) {
+      return ErrorResponse(Status::AlreadyExists(
+          "revision mismatch: worker has " +
+          std::to_string(entry->revision)));
+    }
+  }
+  if (const JsonValue* lineage = body->Find("lineage")) {
+    if (!lineage->is_string() ||
+        lineage->string_value() != entry->lineage_digest) {
+      return ErrorResponse(
+          Status::AlreadyExists("lineage mismatch: worker has '" +
+                                entry->lineage_digest + "'"));
+    }
+  }
+
+  auto chase = ReadChaseOptions(*body, options_.default_chase);
+  if (!chase.ok()) return ErrorResponse(chase.status());
+  // "shards" is effectively required here: the 0 default fails the >= 1
+  // check, so a request without it is rejected with a named error.
+  auto plan_coords = ReadPlanCoordinates(*body, /*default_shards=*/0);
+  if (!plan_coords.ok()) return ErrorResponse(plan_coords.status());
+  const JsonValue* indices_field = body->Find("shard_indices");
+  if (indices_field == nullptr || !indices_field->is_array() ||
+      indices_field->array().empty()) {
+    return ErrorResponse(Status::InvalidArgument(
+        "'shard_indices' must be a non-empty array of shard indices"));
+  }
+  std::vector<size_t> indices;
+  for (const JsonValue& index : indices_field->array()) {
+    auto value = index.is_number() ? index.NumberAsInt()
+                                   : Result<long long>(Status::InvalidArgument(
+                                         "bad shard index"));
+    if (!value.ok() || *value < 0 ||
+        static_cast<uint64_t>(*value) >= plan_coords->shards) {
+      return ErrorResponse(Status::InvalidArgument(
+          "'shard_indices' entries must be integers in [0, shards)"));
+    }
+    indices.push_back(static_cast<size_t>(*value));
+  }
+
+  auto plan = entry->engine.chase().PlanShards(
+      *chase, plan_coords->shards, plan_coords->prefix_depth,
+      plan_coords->assignment);
+  if (!plan.ok()) return ErrorResponse(plan.status());
+
+  std::string ndjson;
+  for (size_t index : indices) {
+    auto partial = entry->engine.chase().ExploreShard(*plan, index, *chase);
+    if (!partial.ok()) return ErrorResponse(partial.status());
+    ShardPartialMeta meta = MakeShardPartialMeta(*plan, index, *chase);
+    ndjson += PartialSpaceToJson(*partial, meta,
+                                 entry->engine.program().interner());
+    ndjson += '\n';
+    shards_explored_.fetch_add(1, std::memory_order_relaxed);
+  }
+  HttpResponse response = JsonResponse(200, std::move(ndjson));
+  response.content_type = "application/x-ndjson";
+  return response;
+}
+
+HttpResponse FleetService::HandleJobs(const HttpRequest& request) {
+  jobs_.fetch_add(1, std::memory_order_relaxed);
+  auto fail = [&](const Status& status) {
+    jobs_failed_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(status);
+  };
+  auto body = ParseBody(request);
+  if (!body.ok()) return fail(body.status());
+  auto id = RequiredString(*body, "program_id");
+  if (!id.ok()) return fail(id.status());
+  auto entry = registry_->Find(*id);
+  if (entry == nullptr) {
+    return fail(Status::NotFound("unknown program id: " + *id));
+  }
+  auto chase = ReadChaseOptions(*body, options_.default_chase);
+  if (!chase.ok()) return fail(chase.status());
+
+  std::vector<std::string> workers = options_.default_workers;
+  if (const JsonValue* list = body->Find("workers")) {
+    if (!list->is_array()) {
+      return fail(Status::InvalidArgument(
+          "'workers' must be an array of host:port strings"));
+    }
+    workers.clear();
+    for (const JsonValue& worker : list->array()) {
+      if (!worker.is_string()) {
+        return fail(Status::InvalidArgument(
+            "'workers' must be an array of host:port strings"));
+      }
+      workers.push_back(worker.string_value());
+    }
+  }
+  if (workers.empty()) {
+    return fail(Status::InvalidArgument(
+        "no workers: pass 'workers' or start gdlogd with --fleet-workers"));
+  }
+  for (const std::string& worker : workers) {
+    auto parsed = ParseHostPort(worker);
+    if (!parsed.ok()) return fail(parsed.status());
+  }
+
+  auto plan_coords =
+      ReadPlanCoordinates(*body, /*default_shards=*/workers.size());
+  if (!plan_coords.ok()) return fail(plan_coords.status());
+  auto deadline = OptionalU64(*body, "deadline_ms",
+                              static_cast<uint64_t>(options_.deadline_ms));
+  if (!deadline.ok()) return fail(deadline.status());
+  int deadline_ms =
+      static_cast<int>(std::min<uint64_t>(*deadline, 3'600'000));
+  if (deadline_ms < 1) deadline_ms = 1;
+
+  auto include_outcomes = OptionalBool(*body, "include_outcomes", false);
+  auto include_models = OptionalBool(*body, "include_models", false);
+  auto include_events = OptionalBool(*body, "include_events", false);
+  if (!include_outcomes.ok()) return fail(include_outcomes.status());
+  if (!include_models.ok()) return fail(include_models.status());
+  if (!include_events.ok()) return fail(include_events.status());
+
+  // The merged space is bit-identical to a single-process run, so the job
+  // shares the *same* fingerprint — and hence cache entries — with /query:
+  // a job warms the cache for queries and vice versa.
+  std::string key = InferenceCache::Fingerprint(
+      entry->id, entry->revision, entry->lineage_digest, *chase);
+  auto space = cache_->LookupOrCompute(key, [&]() {
+    return RunJob(*entry, *chase, plan_coords->shards,
+                  plan_coords->prefix_depth, plan_coords->assignment,
+                  workers, deadline_ms);
+  });
+  if (!space.ok()) return fail(space.status());
+
+  JsonExportOptions json_options;
+  json_options.include_outcomes = *include_outcomes;
+  json_options.include_models = *include_models;
+  json_options.include_events = *include_events;
+  // Byte-identical to /query's full-document body (and so to
+  // `gdlog_cli --json`) for the same program/DB/options.
+  return JsonResponse(
+      200, OutcomeSpaceToJson(**space, entry->engine.translated(),
+                              entry->engine.program().interner(),
+                              json_options) +
+               "\n");
+}
+
+Result<OutcomeSpace> FleetService::RunJob(
+    const ProgramRegistry::Entry& entry, const ChaseOptions& chase,
+    size_t num_shards, size_t prefix_depth, ShardAssignment assignment,
+    const std::vector<std::string>& workers, int deadline_ms) {
+  GDLOG_ASSIGN_OR_RETURN(
+      ShardPlan plan,
+      entry.engine.chase().PlanShards(chase, num_shards, prefix_depth,
+                                      assignment));
+  const Interner& interner = *entry.engine.program().interner();
+
+  // Shard groups, one per worker (modular when shards outnumber workers).
+  // The weighted assignment already balanced mass across *shards*, so the
+  // grouping needs no weighting of its own.
+  const size_t num_groups = std::min(workers.size(), plan.num_shards);
+  std::vector<std::vector<size_t>> groups(num_groups);
+  for (size_t shard = 0; shard < plan.num_shards; ++shard) {
+    groups[shard % num_groups].push_back(shard);
+  }
+  // Workers recompute the plan from these coordinates; the resolved
+  // prefix_depth is sent (not the request's, which may have been 0 =
+  // auto) so workers skip the auto-deepening search and provably expand
+  // the same frontier.
+  PlanCoordinates coords;
+  coords.shards = plan.num_shards;
+  coords.prefix_depth = plan.prefix_depth;
+  coords.assignment = plan.assignment;
+  std::vector<std::string> bodies(num_groups);
+  for (size_t group = 0; group < num_groups; ++group) {
+    bodies[group] =
+        ShardRequestBody(entry.spec, chase, coords, groups[group]);
+  }
+
+  struct GroupState {
+    bool done = false;
+    std::vector<FetchedPartial> partials;
+    Status last_error = Status::OK();
+  };
+  std::vector<GroupState> states(num_groups);
+  std::vector<char> healthy(workers.size(), 1);
+
+  auto attempt = [&](size_t group, size_t worker) {
+    dispatches_.fetch_add(1, std::memory_order_relaxed);
+    auto fetched = FetchGroup(workers[worker], bodies[group], groups[group],
+                              deadline_ms, interner);
+    if (!fetched.ok()) {
+      worker_failures_.fetch_add(1, std::memory_order_relaxed);
+      healthy[worker] = 0;
+      states[group].last_error = fetched.status();
+      return;
+    }
+    states[group].partials = std::move(*fetched);
+    states[group].done = true;
+  };
+
+  // First wave: every group to its own worker, concurrently. Threads touch
+  // disjoint states[group]/healthy[worker] slots, so no locking is needed.
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(num_groups);
+    for (size_t group = 0; group < num_groups; ++group) {
+      threads.emplace_back([&, group]() { attempt(group, group); });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  // Re-dispatch failed groups — dead workers, 5xx, stragglers past the
+  // deadline — to the remaining healthy workers (including any spares the
+  // first wave never used), each worker at most once per group.
+  for (size_t group = 0; group < num_groups; ++group) {
+    if (states[group].done) continue;
+    for (size_t offset = 1; offset <= workers.size() && !states[group].done;
+         ++offset) {
+      size_t worker = (group + offset) % workers.size();
+      if (!healthy[worker]) continue;
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      attempt(group, worker);
+    }
+    if (!states[group].done) {
+      return Status::BudgetExhausted(
+          "fleet job failed: no healthy worker left for shard group " +
+          std::to_string(group) + " (last error: " +
+          states[group].last_error.message() + ")");
+    }
+  }
+
+  // Coverage + compatibility: every shard exactly once, every partial
+  // produced under this exact plan and these exact budgets. A mismatch
+  // means a worker disagreed about the pure plan function — merging would
+  // silently double- or under-count mass.
+  ShardPartialMeta expected = MakeShardPartialMeta(plan, 0, chase);
+  std::vector<PartialSpace> partials(plan.num_shards);
+  std::vector<char> seen(plan.num_shards, 0);
+  for (GroupState& state : states) {
+    for (FetchedPartial& fetched : state.partials) {
+      const ShardPartialMeta& meta = fetched.meta;
+      if (!meta.SamePlanAndBudgets(expected) ||
+          meta.shard_index >= plan.num_shards) {
+        return Status::Internal(
+            "worker partial was produced under a different shard plan or "
+            "different budgets");
+      }
+      if (seen[meta.shard_index]) {
+        return Status::Internal("duplicate partial for shard " +
+                                std::to_string(meta.shard_index));
+      }
+      seen[meta.shard_index] = 1;
+      partials[meta.shard_index] = std::move(fetched.partial);
+    }
+  }
+  for (size_t shard = 0; shard < plan.num_shards; ++shard) {
+    if (!seen[shard]) {
+      return Status::Internal("missing partial for shard " +
+                              std::to_string(shard));
+    }
+  }
+  partials_merged_.fetch_add(plan.num_shards, std::memory_order_relaxed);
+  return MergePartialSpaces(std::move(partials), chase.max_outcomes);
+}
+
+FleetService::Counters FleetService::counters() const {
+  Counters counters;
+  counters.shard_requests =
+      shard_requests_.load(std::memory_order_relaxed);
+  counters.shards_explored =
+      shards_explored_.load(std::memory_order_relaxed);
+  counters.jobs = jobs_.load(std::memory_order_relaxed);
+  counters.jobs_failed = jobs_failed_.load(std::memory_order_relaxed);
+  counters.dispatches = dispatches_.load(std::memory_order_relaxed);
+  counters.retries = retries_.load(std::memory_order_relaxed);
+  counters.worker_failures =
+      worker_failures_.load(std::memory_order_relaxed);
+  counters.partials_merged =
+      partials_merged_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+}  // namespace gdlog

@@ -1,0 +1,121 @@
+#ifndef GDLOG_SERVER_FLEET_H_
+#define GDLOG_SERVER_FLEET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gdatalog/chase.h"
+#include "gdatalog/shard.h"
+#include "server/cache.h"
+#include "server/http.h"
+#include "server/registry.h"
+
+namespace gdlog {
+
+/// The distributed chase dispatcher: the worker and coordinator halves of
+/// gdlogd's fleet mode.
+///
+/// The whole protocol rides on one fact from PR 3: the shard plan is a
+/// pure function of (program, database, grounder, options, shard count,
+/// prefix depth, assignment policy), and per-shard partials merge — in
+/// canonical choice-set order — into a space bit-identical to a
+/// single-process run. So there is zero coordination state: a coordinator
+/// ships the *query* (program spec + options + shard coordinates), every
+/// worker recomputes the identical plan locally, and any worker can take
+/// over any other worker's shard indices at any time.
+///
+///   POST /v1/shards   (worker) — explore shard indices of a plan.
+///     Request: {program_id | program[, db, grounder, extensions,
+///               normalgrid_max_cells], revision?, lineage?, options?,
+///               shards, prefix_depth?, assignment?, shard_indices: [i...]}
+///     The inline-program form registers the spec idempotently (the
+///     registry's dedup makes re-sends free) — this is how a coordinator
+///     distributes a program to workers that have never seen it; the
+///     registry keeps db_text current across deltas, so a shipped spec
+///     always reproduces the coordinator's database. Response 200 is
+///     application/x-ndjson: one PartialSpaceToJson line per requested
+///     index, in request order.
+///
+///   POST /v1/jobs     (coordinator) — run a query across a worker fleet.
+///     Request: {program_id, options?, workers?: ["host:port"...],
+///               shards?, prefix_depth?, assignment?, deadline_ms?,
+///               include_outcomes?, include_models?, include_events?}
+///     Plans shards (default: one per worker), dispatches shard groups
+///     concurrently over HttpClient with a whole-request deadline, retries
+///     a failed or straggling worker's indices on the remaining healthy
+///     workers, merges the partials via MergePartialSpaces, and serves the
+///     result through the normal InferenceCache fingerprint — the merged
+///     space is bit-identical to a single-process run, so jobs and /query
+///     share cache entries. The 200 body is the same OutcomeSpaceToJson
+///     document /query produces (byte-identical to `gdlog_cli --json`).
+class FleetService {
+ public:
+  struct Options {
+    /// Default worker list ("host:port") used when a job omits "workers".
+    std::vector<std::string> default_workers;
+    /// Default per-exchange deadline for worker requests; a worker that
+    /// cannot deliver its partials within it — dead, wedged, or trickling
+    /// — is abandoned and its shard indices are re-dispatched.
+    int deadline_ms = 60'000;
+    /// Baseline ChaseOptions (same as the service's /query defaults).
+    ChaseOptions default_chase;
+  };
+
+  /// Aggregated fleet counters for /v1/stats (monotonic totals).
+  struct Counters {
+    uint64_t shard_requests = 0;   ///< /v1/shards requests served.
+    uint64_t shards_explored = 0;  ///< Shard indices explored locally.
+    uint64_t jobs = 0;             ///< /v1/jobs requests served.
+    uint64_t jobs_failed = 0;      ///< Jobs that returned non-2xx.
+    uint64_t dispatches = 0;       ///< Worker exchanges attempted.
+    uint64_t retries = 0;          ///< Shard groups re-dispatched.
+    uint64_t worker_failures = 0;  ///< Worker exchanges that failed.
+    uint64_t partials_merged = 0;  ///< Partials merged into job results.
+  };
+
+  /// Both pointees must outlive the service (the owning InferenceService
+  /// guarantees this).
+  FleetService(ProgramRegistry* registry, InferenceCache* cache,
+               Options options)
+      : registry_(registry), cache_(cache), options_(std::move(options)) {}
+
+  HttpResponse HandleShards(const HttpRequest& request);
+  HttpResponse HandleJobs(const HttpRequest& request);
+
+  Counters counters() const;
+
+ private:
+  /// The dispatch loop behind /v1/jobs: plans, fans the shard groups out
+  /// to the workers concurrently, re-dispatches failed groups to healthy
+  /// workers, validates coverage and merges. Pure with respect to the
+  /// cache (the caller feeds the result through LookupOrCompute).
+  Result<OutcomeSpace> RunJob(const ProgramRegistry::Entry& entry,
+                              const ChaseOptions& chase, size_t num_shards,
+                              size_t prefix_depth, ShardAssignment assignment,
+                              const std::vector<std::string>& workers,
+                              int deadline_ms);
+
+  ProgramRegistry* registry_;
+  InferenceCache* cache_;
+  Options options_;
+
+  std::atomic<uint64_t> shard_requests_{0};
+  std::atomic<uint64_t> shards_explored_{0};
+  std::atomic<uint64_t> jobs_{0};
+  std::atomic<uint64_t> jobs_failed_{0};
+  std::atomic<uint64_t> dispatches_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> worker_failures_{0};
+  std::atomic<uint64_t> partials_merged_{0};
+};
+
+/// Splits "host:port" (the worker-list wire format). The port must be a
+/// decimal in [1, 65535].
+Result<std::pair<std::string, int>> ParseHostPort(const std::string& address);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_SERVER_FLEET_H_

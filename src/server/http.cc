@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <chrono>
 
 #include "util/json.h"
 #include "util/thread_pool.h"
@@ -42,6 +43,13 @@ constexpr int kReadSliceMs = 100;
 }  // namespace
 
 const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (IEquals(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+const std::string* HttpResponse::FindHeader(std::string_view name) const {
   for (const auto& [key, value] : headers) {
     if (IEquals(key, name)) return &value;
   }
@@ -302,6 +310,12 @@ struct HttpServer::Impl {
     head += response.content_type;
     head += "\r\nContent-Length: ";
     head += std::to_string(response.body.size());
+    for (const auto& [name, value] : response.headers) {
+      head += "\r\n";
+      head += name;
+      head += ": ";
+      head += value;
+    }
     head += keep_alive ? "\r\nConnection: keep-alive\r\n\r\n"
                        : "\r\nConnection: close\r\n\r\n";
     GDLOG_RETURN_IF_ERROR(conn.WriteAll(head, options.io_timeout_ms));
@@ -395,9 +409,40 @@ Result<HttpResponse> HttpClient::Request(std::string_view method,
                                          std::string_view target,
                                          std::string_view body,
                                          std::string_view content_type) {
+  return RequestInternal(method, target, body, content_type,
+                         /*deadline_ms=*/-1);
+}
+
+Result<HttpResponse> HttpClient::RequestWithDeadline(std::string_view method,
+                                                     std::string_view target,
+                                                     std::string_view body,
+                                                     int deadline_ms) {
+  return RequestInternal(method, target, body, "application/json",
+                         deadline_ms);
+}
+
+Result<HttpResponse> HttpClient::RequestInternal(std::string_view method,
+                                                 std::string_view target,
+                                                 std::string_view body,
+                                                 std::string_view content_type,
+                                                 int deadline_ms) {
   if (closed_) {
     return Status::Internal("connection closed by server; reconnect");
   }
+  const auto start = std::chrono::steady_clock::now();
+  // The per-wait budget: the fixed per-read timeout, further capped by
+  // whatever remains of the whole-request deadline.
+  auto wait_budget = [&]() -> Result<int> {
+    if (deadline_ms < 0) return timeout_ms_;
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    if (elapsed >= deadline_ms) {
+      return Status::BudgetExhausted("request deadline exceeded");
+    }
+    return static_cast<int>(
+        std::min<long long>(timeout_ms_, deadline_ms - elapsed));
+  };
   std::string request;
   request.reserve(128 + body.size());
   request += method;
@@ -413,7 +458,10 @@ Result<HttpResponse> HttpClient::Request(std::string_view method,
   request += std::to_string(body.size());
   request += "\r\n\r\n";
   request += body;
-  GDLOG_RETURN_IF_ERROR(conn_.WriteAll(request, timeout_ms_));
+  {
+    GDLOG_ASSIGN_OR_RETURN(int budget, wait_budget());
+    GDLOG_RETURN_IF_ERROR(conn_.WriteAll(request, budget));
+  }
 
   // Response head.
   size_t header_end;
@@ -421,8 +469,9 @@ Result<HttpResponse> HttpClient::Request(std::string_view method,
   for (;;) {
     header_end = buf_.find("\r\n\r\n");
     if (header_end != std::string::npos) break;
+    GDLOG_ASSIGN_OR_RETURN(int budget, wait_budget());
     GDLOG_ASSIGN_OR_RETURN(size_t n,
-                           conn_.ReadSome(tmp, sizeof(tmp), timeout_ms_));
+                           conn_.ReadSome(tmp, sizeof(tmp), budget));
     if (n == 0) return Status::Internal("server closed mid-response");
     buf_.append(tmp, n);
   }
@@ -467,12 +516,15 @@ Result<HttpResponse> HttpClient::Request(std::string_view method,
       response.content_type = std::string(value);
     } else if (IEquals(name, "connection")) {
       close_after = IEquals(value, "close");
+    } else {
+      response.headers.emplace_back(std::string(name), std::string(value));
     }
   }
   size_t total = header_end + 4 + content_length;
   while (buf_.size() < total) {
+    GDLOG_ASSIGN_OR_RETURN(int budget, wait_budget());
     GDLOG_ASSIGN_OR_RETURN(size_t n,
-                           conn_.ReadSome(tmp, sizeof(tmp), timeout_ms_));
+                           conn_.ReadSome(tmp, sizeof(tmp), budget));
     if (n == 0) return Status::Internal("server closed mid-body");
     buf_.append(tmp, n);
   }

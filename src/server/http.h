@@ -32,8 +32,15 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Extra response headers, written verbatim after the framing headers
+  /// (e.g. the Deprecation marker on legacy endpoint aliases).
+  std::vector<std::pair<std::string, std::string>> headers;
   /// Force-close the connection after this response.
   bool close = false;
+
+  /// First extra header with the given name (case-insensitive), or
+  /// nullptr. (Client side: Request() collects response headers here.)
+  const std::string* FindHeader(std::string_view name) const;
 };
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
@@ -123,9 +130,25 @@ class HttpClient {
                                std::string_view content_type =
                                    "application/json");
 
+  /// Like Request(), but bounds the *whole* exchange by `deadline_ms`:
+  /// every socket wait gets only the remaining budget, so a trickling
+  /// straggler cannot stretch the request past the deadline byte by byte.
+  /// Expiry surfaces as kBudgetExhausted — the same code the engine's
+  /// timeout-kill machinery uses — so callers retry uniformly.
+  Result<HttpResponse> RequestWithDeadline(std::string_view method,
+                                           std::string_view target,
+                                           std::string_view body,
+                                           int deadline_ms);
+
  private:
   HttpClient(Connection conn, int timeout_ms)
       : conn_(std::move(conn)), timeout_ms_(timeout_ms) {}
+
+  Result<HttpResponse> RequestInternal(std::string_view method,
+                                       std::string_view target,
+                                       std::string_view body,
+                                       std::string_view content_type,
+                                       int deadline_ms);
 
   Connection conn_;
   int timeout_ms_;

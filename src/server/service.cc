@@ -6,183 +6,13 @@
 
 #include "gdatalog/export.h"
 #include "gdatalog/sampler.h"
+#include "server/options.h"
 #include "util/json.h"
 #include "util/thread_pool.h"
 
 namespace gdlog {
 
 namespace {
-
-/// Library Status → HTTP status. Client-caused failures (bad programs,
-/// unknown ids, malformed bodies) map to 4xx; engine-side failures to 5xx.
-int HttpStatusFor(const Status& status) {
-  switch (status.code()) {
-    case StatusCode::kOk: return 200;
-    case StatusCode::kInvalidArgument:
-    case StatusCode::kParseError:
-    case StatusCode::kUnsafeProgram:
-    case StatusCode::kNotStratified: return 400;
-    case StatusCode::kNotFound: return 404;
-    case StatusCode::kAlreadyExists: return 409;
-    case StatusCode::kUnsupported: return 501;
-    case StatusCode::kBudgetExhausted: return 503;
-    case StatusCode::kInternal: return 500;
-  }
-  return 500;
-}
-
-HttpResponse JsonResponse(int status, std::string body) {
-  HttpResponse response;
-  response.status = status;
-  response.body = std::move(body);
-  return response;
-}
-
-HttpResponse ErrorResponse(const Status& status) {
-  return JsonResponse(HttpStatusFor(status),
-                      HttpErrorBody(StatusCodeName(status.code()),
-                                    status.message()));
-}
-
-HttpResponse MethodNotAllowed(const char* allowed) {
-  HttpResponse response = ErrorResponse(Status::InvalidArgument(
-      std::string("method not allowed; use ") + allowed));
-  response.status = 405;
-  return response;
-}
-
-// ---------------------------------------------------------------------------
-// Request-body field readers. Bodies are untrusted: every access validates
-// presence and type and surfaces a kInvalidArgument naming the field.
-// ---------------------------------------------------------------------------
-
-Result<std::string> RequiredString(const JsonValue& obj,
-                                   std::string_view key) {
-  const JsonValue* field = obj.Find(key);
-  if (field == nullptr || !field->is_string()) {
-    return Status::InvalidArgument("missing string field '" +
-                                   std::string(key) + "'");
-  }
-  return field->string_value();
-}
-
-Result<std::string> OptionalString(const JsonValue& obj, std::string_view key,
-                                   std::string fallback) {
-  const JsonValue* field = obj.Find(key);
-  if (field == nullptr) return fallback;
-  if (!field->is_string()) {
-    return Status::InvalidArgument("field '" + std::string(key) +
-                                   "' must be a string");
-  }
-  return field->string_value();
-}
-
-Result<bool> OptionalBool(const JsonValue& obj, std::string_view key,
-                          bool fallback) {
-  const JsonValue* field = obj.Find(key);
-  if (field == nullptr) return fallback;
-  if (!field->is_bool()) {
-    return Status::InvalidArgument("field '" + std::string(key) +
-                                   "' must be a boolean");
-  }
-  return field->bool_value();
-}
-
-Result<uint64_t> OptionalU64(const JsonValue& obj, std::string_view key,
-                             uint64_t fallback) {
-  const JsonValue* field = obj.Find(key);
-  if (field == nullptr) return fallback;
-  if (!field->is_number()) {
-    return Status::InvalidArgument("field '" + std::string(key) +
-                                   "' must be a non-negative integer");
-  }
-  auto value = field->NumberAsInt();
-  if (!value.ok() || *value < 0) {
-    return Status::InvalidArgument("field '" + std::string(key) +
-                                   "' must be a non-negative integer");
-  }
-  return static_cast<uint64_t>(*value);
-}
-
-Result<double> OptionalDouble(const JsonValue& obj, std::string_view key,
-                              double fallback) {
-  const JsonValue* field = obj.Find(key);
-  if (field == nullptr) return fallback;
-  if (!field->is_number()) {
-    return Status::InvalidArgument("field '" + std::string(key) +
-                                   "' must be a number");
-  }
-  return field->NumberAsDouble();
-}
-
-Result<JsonValue> ParseBody(const HttpRequest& request) {
-  if (request.body.empty()) {
-    return Status::InvalidArgument("request body must be a JSON object");
-  }
-  auto doc = JsonValue::Parse(request.body);
-  if (!doc.ok()) return doc.status();
-  if (!doc->is_object()) {
-    return Status::InvalidArgument("request body must be a JSON object");
-  }
-  return doc;
-}
-
-Result<GrounderKind> ParseGrounder(const std::string& name) {
-  if (name == "auto") return GrounderKind::kAuto;
-  if (name == "simple") return GrounderKind::kSimple;
-  if (name == "perfect") return GrounderKind::kPerfect;
-  return Status::InvalidArgument(
-      "grounder must be auto, simple or perfect; got '" + name + "'");
-}
-
-/// Applies the request's "options" object (if any) over the service
-/// defaults. Only exploration budgets and determinism knobs are exposed;
-/// keep_groundings/compute_models are owned by the server.
-Result<ChaseOptions> ReadChaseOptions(const JsonValue& body,
-                                      ChaseOptions defaults) {
-  const JsonValue* obj = body.Find("options");
-  ChaseOptions chase = defaults;
-  if (obj != nullptr) {
-    if (!obj->is_object()) {
-      return Status::InvalidArgument("'options' must be an object");
-    }
-    GDLOG_ASSIGN_OR_RETURN(uint64_t mo, OptionalU64(*obj, "max_outcomes",
-                                                    chase.max_outcomes));
-    GDLOG_ASSIGN_OR_RETURN(uint64_t md, OptionalU64(*obj, "max_depth",
-                                                    chase.max_depth));
-    GDLOG_ASSIGN_OR_RETURN(uint64_t sl, OptionalU64(*obj, "support_limit",
-                                                    chase.support_limit));
-    GDLOG_ASSIGN_OR_RETURN(
-        double mpp, OptionalDouble(*obj, "min_path_prob",
-                                   chase.min_path_prob));
-    GDLOG_ASSIGN_OR_RETURN(
-        uint64_t seed, OptionalU64(*obj, "trigger_shuffle_seed",
-                                   chase.trigger_shuffle_seed));
-    GDLOG_ASSIGN_OR_RETURN(
-        uint64_t smn, OptionalU64(*obj, "solver_max_nodes",
-                                  chase.solver_max_nodes));
-    GDLOG_ASSIGN_OR_RETURN(uint64_t threads,
-                           OptionalU64(*obj, "num_threads",
-                                       chase.num_threads));
-    if (!(mpp >= 0.0) || mpp > 1.0) {
-      return Status::InvalidArgument("min_path_prob must be in [0, 1]");
-    }
-    chase.max_outcomes = static_cast<size_t>(mo);
-    chase.max_depth = static_cast<size_t>(md);
-    chase.support_limit = static_cast<size_t>(sl);
-    chase.min_path_prob = mpp;
-    chase.trigger_shuffle_seed = seed;
-    chase.solver_max_nodes = smn;
-    // num_threads sizes a real thread pool, so a client must not pick it
-    // freely (a huge value aborts the process in std::thread). Clamp to
-    // the hardware; thread count never changes results, only speed.
-    chase.num_threads = static_cast<size_t>(
-        std::min<uint64_t>(threads, ThreadPool::DefaultWorkerCount()));
-  }
-  chase.compute_models = true;
-  chase.keep_groundings = false;
-  return chase;
-}
 
 void WriteInfo(JsonWriter& json, const ProgramRegistry::Info& info) {
   json.BeginObject();
@@ -218,11 +48,36 @@ std::string QueryPredicateName(const std::string& text) {
 }  // namespace
 
 InferenceService::InferenceService(Options options)
-    : options_(std::move(options)), cache_(options_.cache_bytes) {}
+    : options_(std::move(options)),
+      cache_(options_.cache_bytes),
+      fleet_(&registry_, &cache_,
+             FleetService::Options{options_.fleet_workers,
+                                   options_.fleet_deadline_ms,
+                                   options_.default_chase}) {}
 
 HttpResponse InferenceService::Handle(const HttpRequest& request) {
   requests_.fetch_add(1, std::memory_order_relaxed);
-  const std::string& target = request.target;
+  // The API surface lives under /v1/; the original unversioned paths stay
+  // routable as deprecated aliases, marked with a Deprecation header (RFC
+  // 9745) so clients can migrate on their own schedule.
+  std::string target = request.target;
+  bool versioned = false;
+  if (target.rfind("/v1/", 0) == 0) {
+    versioned = true;
+    target = target.substr(3);
+  }
+  HttpResponse response = Route(request, target);
+  if (!versioned) {
+    response.headers.emplace_back("Deprecation", "true");
+    response.headers.emplace_back("Link",
+                                  "</v1" + target +
+                                      ">; rel=\"successor-version\"");
+  }
+  return response;
+}
+
+HttpResponse InferenceService::Route(const HttpRequest& request,
+                                     const std::string& target) {
   if (target == "/healthz") {
     if (request.method != "GET") return MethodNotAllowed("GET");
     return JsonResponse(200, "{\"status\":\"ok\"}\n");
@@ -260,39 +115,24 @@ HttpResponse InferenceService::Handle(const HttpRequest& request) {
     if (request.method != "POST") return MethodNotAllowed("POST");
     return HandleSample(request);
   }
+  if (target == "/shards") {
+    if (request.method != "POST") return MethodNotAllowed("POST");
+    return fleet_.HandleShards(request);
+  }
+  if (target == "/jobs") {
+    if (request.method != "POST") return MethodNotAllowed("POST");
+    return fleet_.HandleJobs(request);
+  }
   return ErrorResponse(Status::NotFound("no such resource: " + target));
 }
 
 HttpResponse InferenceService::HandleRegister(const HttpRequest& request) {
   auto body = ParseBody(request);
   if (!body.ok()) return ErrorResponse(body.status());
-  ProgramSpec spec;
-  auto program = RequiredString(*body, "program");
-  if (!program.ok()) return ErrorResponse(program.status());
-  spec.program_text = std::move(*program);
-  auto db = OptionalString(*body, "db", "");
-  if (!db.ok()) return ErrorResponse(db.status());
-  spec.db_text = std::move(*db);
-  auto grounder_name = OptionalString(*body, "grounder", "auto");
-  if (!grounder_name.ok()) return ErrorResponse(grounder_name.status());
-  auto grounder = ParseGrounder(*grounder_name);
-  if (!grounder.ok()) return ErrorResponse(grounder.status());
-  spec.grounder = *grounder;
-  auto extensions = OptionalBool(*body, "extensions", false);
-  if (!extensions.ok()) return ErrorResponse(extensions.status());
-  spec.extensions = *extensions;
-  auto cells = OptionalU64(*body, "normalgrid_max_cells",
-                           static_cast<uint64_t>(-1));
-  if (!cells.ok()) return ErrorResponse(cells.status());
-  if (*cells != static_cast<uint64_t>(-1)) {
-    if (!spec.extensions) {
-      return ErrorResponse(Status::InvalidArgument(
-          "normalgrid_max_cells requires extensions"));
-    }
-    spec.normalgrid_max_cells = static_cast<long long>(*cells);
-  }
+  auto spec = ParseProgramSpec(*body);
+  if (!spec.ok()) return ErrorResponse(spec.status());
 
-  auto info = registry_.Register(std::move(spec));
+  auto info = registry_.Register(std::move(*spec));
   if (!info.ok()) return ErrorResponse(info.status());
   JsonWriter json;
   WriteInfo(json, *info);
@@ -631,10 +471,13 @@ HttpResponse InferenceService::HandleStats() {
   double uptime =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
+  // Counters nest under one stable key per subsystem (server, registry,
+  // cache, opt, delta, fleet) — the schema clients (gdlog_load --check,
+  // the CI greps) key on.
   JsonWriter json;
   json.BeginObject();
+  json.Key("server").BeginObject();
   json.KV("uptime_seconds", uptime);
-  json.KV("programs", static_cast<long long>(registry_.size()));
   json.Key("requests").BeginObject();
   json.KV("total", static_cast<long long>(
                        requests_.load(std::memory_order_relaxed)));
@@ -642,6 +485,10 @@ HttpResponse InferenceService::HandleStats() {
                          queries_.load(std::memory_order_relaxed)));
   json.KV("samples", static_cast<long long>(
                          samples_.load(std::memory_order_relaxed)));
+  json.EndObject();
+  json.EndObject();
+  json.Key("registry").BeginObject();
+  json.KV("programs", static_cast<long long>(registry_.size()));
   json.EndObject();
   json.Key("cache").BeginObject();
   json.KV("hits", static_cast<long long>(cache_stats.hits));
@@ -679,6 +526,17 @@ HttpResponse InferenceService::HandleStats() {
   json.KV("spaces_evicted",
           static_cast<long long>(
               spaces_evicted_.load(std::memory_order_relaxed)));
+  json.EndObject();
+  FleetService::Counters fleet = fleet_.counters();
+  json.Key("fleet").BeginObject();
+  json.KV("shard_requests", static_cast<long long>(fleet.shard_requests));
+  json.KV("shards_explored", static_cast<long long>(fleet.shards_explored));
+  json.KV("jobs", static_cast<long long>(fleet.jobs));
+  json.KV("jobs_failed", static_cast<long long>(fleet.jobs_failed));
+  json.KV("dispatches", static_cast<long long>(fleet.dispatches));
+  json.KV("retries", static_cast<long long>(fleet.retries));
+  json.KV("worker_failures", static_cast<long long>(fleet.worker_failures));
+  json.KV("partials_merged", static_cast<long long>(fleet.partials_merged));
   json.EndObject();
   json.EndObject();
   return JsonResponse(200, json.str() + "\n");

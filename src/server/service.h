@@ -8,6 +8,7 @@
 
 #include "gdatalog/chase.h"
 #include "server/cache.h"
+#include "server/fleet.h"
 #include "server/http.h"
 #include "server/registry.h"
 
@@ -17,35 +18,48 @@ namespace gdlog {
 /// tests (and benchmarks) drive it in-process. Every method is
 /// thread-safe; one instance serves every connection.
 ///
-/// Endpoints (all request/response bodies are JSON):
+/// The surface is versioned: every endpoint lives under /v1/ (the full
+/// contract — methods, schemas, error codes — is documented in
+/// docs/API.md). The original unversioned paths remain as deprecated
+/// aliases: same behavior, plus a "Deprecation: true" header and a Link
+/// to the /v1 successor. Every non-2xx response, HTTP framing layer
+/// included, carries the uniform {"error":{"code","message"}} envelope.
 ///
-///   POST   /programs          register {program, db?, grounder?,
-///                             extensions?, normalgrid_max_cells?};
-///                             idempotent per spec; returns {id, revision,
-///                             stratified, grounder, created}
-///   GET    /programs/<id>     registration info
-///   PUT    /programs/<id>/db  replace the database: {db}; bumps revision
-///                             and starts a fresh delta lineage
-///   PATCH  /programs/<id>/db  apply a fact delta: {delta}; appends facts
-///                             in cost proportional to the delta, bumps
-///                             revision, chains the lineage digest, and
-///                             either revalidates cached outcome spaces
-///                             (delta provably outside every rule body) or
-///                             evicts them; 409 on concurrent update
-///   DELETE /programs/<id>     unregister (drops the program's cache lines)
-///   POST   /query             exact inference: {program_id, options?,
-///                             include_outcomes?, include_models?,
-///                             include_events?, queries?, condition?}.
-///                             Without "queries" the response body is the
-///                             OutcomeSpaceToJson document — byte-identical
-///                             to `gdlog_cli --json` with matching flags.
-///                             With "queries" it reports credal marginal
-///                             bounds per atom. Served through the
-///                             InferenceCache.
-///   POST   /sample            Monte-Carlo: {program_id, samples, seed?,
-///                             queries?, options?}; never cached
-///   GET    /healthz           liveness: {"status":"ok"}
-///   GET    /stats             cache/registry/request counters
+/// Endpoints (all request bodies are JSON):
+///
+///   POST   /v1/programs          register {program, db?, grounder?,
+///                                extensions?, normalgrid_max_cells?};
+///                                idempotent per spec; returns {id,
+///                                revision, stratified, grounder, created}
+///   GET    /v1/programs/<id>     registration info
+///   PUT    /v1/programs/<id>/db  replace the database: {db}; bumps
+///                                revision, starts a fresh delta lineage
+///   PATCH  /v1/programs/<id>/db  apply a fact delta: {delta}; appends
+///                                facts in cost proportional to the delta,
+///                                bumps revision, chains the lineage
+///                                digest, and either revalidates cached
+///                                outcome spaces (delta provably outside
+///                                every rule body) or evicts them; 409 on
+///                                concurrent update
+///   DELETE /v1/programs/<id>     unregister (drops the cache lines)
+///   POST   /v1/query             exact inference: {program_id, options?,
+///                                include_outcomes?, include_models?,
+///                                include_events?, queries?, condition?}.
+///                                Without "queries" the response body is
+///                                the OutcomeSpaceToJson document —
+///                                byte-identical to `gdlog_cli --json`
+///                                with matching flags. With "queries" it
+///                                reports credal marginal bounds per atom.
+///                                Served through the InferenceCache.
+///   POST   /v1/sample            Monte-Carlo: {program_id, samples,
+///                                seed?, queries?, options?}; never cached
+///   POST   /v1/shards            fleet worker: explore shard indices of
+///                                a deterministic shard plan (fleet.h)
+///   POST   /v1/jobs              fleet coordinator: distribute a query
+///                                across workers and merge (fleet.h)
+///   GET    /v1/healthz           liveness: {"status":"ok"}
+///   GET    /v1/stats             per-subsystem counters: {server,
+///                                registry, cache, opt, delta, fleet}
 class InferenceService {
  public:
   struct Options {
@@ -56,6 +70,10 @@ class InferenceService {
     ChaseOptions default_chase;
     /// Ceiling on /sample's sample count per request (untrusted input).
     size_t max_samples = 10'000'000;
+    /// Default worker list for /v1/jobs (requests may override).
+    std::vector<std::string> fleet_workers;
+    /// Per-exchange deadline for fleet worker requests.
+    int fleet_deadline_ms = 60'000;
   };
 
   explicit InferenceService(Options options);
@@ -66,8 +84,12 @@ class InferenceService {
 
   ProgramRegistry& registry() { return registry_; }
   const InferenceCache& cache() const { return cache_; }
+  const FleetService& fleet() const { return fleet_; }
 
  private:
+  /// Routes a version-stripped target ("/query" for both /query and
+  /// /v1/query).
+  HttpResponse Route(const HttpRequest& request, const std::string& target);
   HttpResponse HandleRegister(const HttpRequest& request);
   HttpResponse HandleProgram(const HttpRequest& request,
                              const std::string& id, bool db_subresource);
@@ -78,6 +100,7 @@ class InferenceService {
   Options options_;
   ProgramRegistry registry_;
   InferenceCache cache_;
+  FleetService fleet_;
   std::chrono::steady_clock::time_point start_ =
       std::chrono::steady_clock::now();
   std::atomic<uint64_t> requests_{0};

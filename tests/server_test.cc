@@ -599,6 +599,67 @@ TEST(HttpServer, ConcurrentIdenticalQueriesRunOneChase) {
             uint64_t(kClients * kRequestsEach - 1));
 }
 
+TEST(InferenceService, V1PathsServeWithoutDeprecationHeaders) {
+  InferenceService service(ServiceOptions());
+  HttpResponse response = service.Handle(MakeRequest("GET", "/v1/healthz"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.FindHeader("Deprecation"), nullptr);
+  // /v1 prefixes every endpoint, not just the fixed-path ones.
+  std::string id = MustRegister(service, kCoinProgram);
+  HttpResponse query = service.Handle(MakeRequest(
+      "POST", "/v1/query",
+      std::string(R"({"program_id":")") + id + "\"}"));
+  EXPECT_EQ(query.status, 200) << query.body;
+  EXPECT_EQ(query.FindHeader("Deprecation"), nullptr);
+}
+
+TEST(InferenceService, UnversionedAliasesCarryDeprecationAndSuccessor) {
+  InferenceService service(ServiceOptions());
+  HttpResponse response = service.Handle(MakeRequest("GET", "/healthz"));
+  EXPECT_EQ(response.status, 200);
+  const std::string* deprecation = response.FindHeader("Deprecation");
+  ASSERT_NE(deprecation, nullptr);
+  EXPECT_EQ(*deprecation, "true");
+  const std::string* link = response.FindHeader("Link");
+  ASSERT_NE(link, nullptr);
+  EXPECT_NE(link->find("/v1/healthz"), std::string::npos);
+  EXPECT_NE(link->find("successor-version"), std::string::npos);
+
+  // The alias is behavior-identical: same body as the /v1 path.
+  HttpResponse versioned = service.Handle(MakeRequest("GET", "/v1/healthz"));
+  EXPECT_EQ(response.body, versioned.body);
+}
+
+TEST(InferenceService, StatsAreNestedPerSubsystem) {
+  InferenceService service(ServiceOptions());
+  HttpResponse response = service.Handle(MakeRequest("GET", "/v1/stats"));
+  ASSERT_EQ(response.status, 200);
+  auto doc = JsonValue::Parse(response.body);
+  ASSERT_TRUE(doc.ok());
+  const JsonValue* server = doc->Find("server");
+  ASSERT_NE(server, nullptr);
+  const JsonValue* requests = server->Find("requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_NE(requests->Find("total"), nullptr);
+  const JsonValue* registry = doc->Find("registry");
+  ASSERT_NE(registry, nullptr);
+  EXPECT_NE(registry->Find("programs"), nullptr);
+  const JsonValue* cache = doc->Find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_NE(cache->Find("hits"), nullptr);
+  EXPECT_NE(cache->Find("revalidated"), nullptr);
+  const JsonValue* opt = doc->Find("opt");
+  ASSERT_NE(opt, nullptr);
+  EXPECT_NE(opt->Find("demand_engines_built"), nullptr);
+  const JsonValue* delta = doc->Find("delta");
+  ASSERT_NE(delta, nullptr);
+  EXPECT_NE(delta->Find("spaces_revalidated"), nullptr);
+  const JsonValue* fleet = doc->Find("fleet");
+  ASSERT_NE(fleet, nullptr);
+  EXPECT_NE(fleet->Find("jobs"), nullptr);
+  EXPECT_NE(fleet->Find("shard_requests"), nullptr);
+}
+
 TEST(HttpServer, RejectsOversizedBodiesWith413) {
   HttpServerOptions options;
   options.max_body_bytes = 512;
@@ -609,6 +670,13 @@ TEST(HttpServer, RejectsOversizedBodiesWith413) {
   auto response = client->Request("POST", "/query", big);
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response->status, 413);
+  // Framing-layer rejections use the same error envelope as the service.
+  auto doc = JsonValue::Parse(response->body);
+  ASSERT_TRUE(doc.ok()) << response->body;
+  const JsonValue* error = doc->Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_NE(error->Find("code"), nullptr);
+  EXPECT_NE(error->Find("message"), nullptr);
 }
 
 TEST(HttpServer, RejectsOversizedHeadersWith431) {
@@ -618,10 +686,12 @@ TEST(HttpServer, RejectsOversizedHeadersWith431) {
   std::string request = "GET /healthz HTTP/1.1\r\nX-Big: ";
   request += std::string(128 * 1024, 'a');
   ASSERT_TRUE(conn->WriteAll(request, 5000).ok());
-  char buf[256];
+  char buf[1024];
   auto n = conn->ReadSome(buf, sizeof(buf), 5000);
   ASSERT_TRUE(n.ok());
-  EXPECT_NE(std::string(buf, *n).find("431"), std::string::npos);
+  std::string head(buf, *n);
+  EXPECT_NE(head.find("431"), std::string::npos);
+  EXPECT_NE(head.find("\"error\""), std::string::npos);
 }
 
 TEST(HttpServer, RejectsMalformedRequestLinesWith400) {
@@ -682,10 +752,12 @@ TEST(HttpServer, TransferEncodingIsNotImplemented) {
                              "Transfer-Encoding: chunked\r\n\r\n",
                              5000)
                   .ok());
-  char buf[256];
+  char buf[1024];
   auto n = conn->ReadSome(buf, sizeof(buf), 5000);
   ASSERT_TRUE(n.ok());
-  EXPECT_NE(std::string(buf, *n).find("501"), std::string::npos);
+  std::string head(buf, *n);
+  EXPECT_NE(head.find("501"), std::string::npos);
+  EXPECT_NE(head.find("\"error\""), std::string::npos);
 }
 
 TEST(HttpServer, ShutdownDrainsAndServeReturns) {

@@ -29,6 +29,14 @@
 //                         server revalidated at least one cached space,
 //                         asserts the post-delta query hit the cache
 //                         (zero additional chases)
+//   --fleet-workers LIST  fleet mode: POST /v1/jobs with this
+//                         comma-separated "host:port" worker list instead
+//                         of /v1/query. Jobs share /query's cache
+//                         fingerprint, so --check's "one chase for N
+//                         identical requests" assertion holds unchanged;
+//                         fleet counter deltas are printed alongside the
+//                         cache deltas
+//   --shards N            fleet mode: shard count (default: worker count)
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -60,6 +68,8 @@ struct LoadOptions {
   bool check = false;
   std::string dump_path;
   std::string delta_path;
+  std::string fleet_workers;
+  size_t shards = 0;
 };
 
 [[noreturn]] void Usage(const char* argv0, const char* error = nullptr) {
@@ -69,7 +79,8 @@ struct LoadOptions {
                "          [--grounder MODE] [--requests N]\n"
                "          [--concurrency C] [--include-outcomes]\n"
                "          [--include-events] [--check]\n"
-               "          [--dump-response FILE] [--delta FILE]\n",
+               "          [--dump-response FILE] [--delta FILE]\n"
+               "          [--fleet-workers H:P,H:P,...] [--shards N]\n",
                argv0);
   std::exit(2);
 }
@@ -85,14 +96,20 @@ std::string ReadFile(const std::string& path) {
   return out.str();
 }
 
-/// cache.<field> out of a /stats body, or -1.
-long long CacheCounter(const gdlog::JsonValue& stats, const char* field) {
-  const gdlog::JsonValue* cache = stats.Find("cache");
-  if (cache == nullptr) return -1;
-  const gdlog::JsonValue* value = cache->Find(field);
+/// <section>.<field> out of a /v1/stats body, or -1.
+long long StatsCounter(const gdlog::JsonValue& stats, const char* section,
+                       const char* field) {
+  const gdlog::JsonValue* obj = stats.Find(section);
+  if (obj == nullptr) return -1;
+  const gdlog::JsonValue* value = obj->Find(field);
   if (value == nullptr || !value->is_number()) return -1;
   auto n = value->NumberAsInt();
   return n.ok() ? *n : -1;
+}
+
+/// cache.<field> out of a /v1/stats body, or -1.
+long long CacheCounter(const gdlog::JsonValue& stats, const char* field) {
+  return StatsCounter(stats, "cache", field);
 }
 
 gdlog::Result<gdlog::JsonValue> FetchStats(const std::string& host,
@@ -100,7 +117,7 @@ gdlog::Result<gdlog::JsonValue> FetchStats(const std::string& host,
   GDLOG_ASSIGN_OR_RETURN(gdlog::HttpClient client,
                          gdlog::HttpClient::Connect(host, port));
   GDLOG_ASSIGN_OR_RETURN(gdlog::HttpResponse response,
-                         client.Request("GET", "/stats"));
+                         client.Request("GET", "/v1/stats"));
   if (response.status != 200) {
     return gdlog::Status::Internal("/stats returned " +
                                    std::to_string(response.status));
@@ -142,6 +159,10 @@ int main(int argc, char** argv) {
       opts.dump_path = need_value(i);
     } else if (!std::strcmp(arg, "--delta")) {
       opts.delta_path = need_value(i);
+    } else if (!std::strcmp(arg, "--fleet-workers")) {
+      opts.fleet_workers = need_value(i);
+    } else if (!std::strcmp(arg, "--shards")) {
+      opts.shards = std::strtoull(need_value(i), nullptr, 10);
     } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
       Usage(argv[0]);
     } else {
@@ -177,7 +198,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", client.status().ToString().c_str());
     return 1;
   }
-  auto registered = client->Request("POST", "/programs", reg.str());
+  auto registered = client->Request("POST", "/v1/programs", reg.str());
   if (!registered.ok() ||
       (registered->status != 200 && registered->status != 201)) {
     std::fprintf(stderr, "error registering program: %s\n",
@@ -195,13 +216,32 @@ int main(int argc, char** argv) {
   std::string program_id = id_field->string_value();
   std::printf("registered program %s\n", program_id.c_str());
 
+  const bool fleet = !opts.fleet_workers.empty();
   gdlog::JsonWriter query;
   query.BeginObject();
   query.KV("program_id", program_id);
   if (opts.include_outcomes) query.KV("include_outcomes", true);
   if (opts.include_events) query.KV("include_events", true);
+  if (fleet) {
+    query.Key("workers").BeginArray();
+    std::string worker;
+    for (const char* p = opts.fleet_workers.c_str();; ++p) {
+      if (*p == ',' || *p == '\0') {
+        if (!worker.empty()) query.String(worker);
+        worker.clear();
+        if (*p == '\0') break;
+      } else {
+        worker.push_back(*p);
+      }
+    }
+    query.EndArray();
+    if (opts.shards > 0) {
+      query.KV("shards", static_cast<long long>(opts.shards));
+    }
+  }
   query.EndObject();
   const std::string query_body = query.str();
+  const char* query_target = fleet ? "/v1/jobs" : "/v1/query";
 
   std::atomic<size_t> next{0};
   std::atomic<size_t> failures{0};
@@ -219,7 +259,7 @@ int main(int argc, char** argv) {
     }
     while (next.fetch_add(1) < opts.requests) {
       auto start = std::chrono::steady_clock::now();
-      auto response = conn->Request("POST", "/query", query_body);
+      auto response = conn->Request("POST", query_target, query_body);
       double ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - start)
                       .count();
@@ -278,6 +318,18 @@ int main(int argc, char** argv) {
                           CacheCounter(*stats_before, "coalesced");
   std::printf("cache deltas: misses=%lld hits=%lld coalesced=%lld\n",
               d_misses, d_hits, d_coalesced);
+  if (fleet) {
+    auto fleet_delta = [&](const char* field) {
+      return StatsCounter(*stats_after, "fleet", field) -
+             StatsCounter(*stats_before, "fleet", field);
+    };
+    std::printf(
+        "fleet deltas: jobs=%lld dispatches=%lld retries=%lld "
+        "worker_failures=%lld partials_merged=%lld\n",
+        fleet_delta("jobs"), fleet_delta("dispatches"),
+        fleet_delta("retries"), fleet_delta("worker_failures"),
+        fleet_delta("partials_merged"));
+  }
 
   if (mismatch) std::fprintf(stderr, "FAIL: response bodies differ\n");
   bool ok = !mismatch && failures.load() == 0;
@@ -299,7 +351,7 @@ int main(int argc, char** argv) {
     patch.KV("delta", ReadFile(opts.delta_path));
     patch.EndObject();
     auto patched = client->Request(
-        "PATCH", "/programs/" + program_id + "/db", patch.str());
+        "PATCH", "/v1/programs/" + program_id + "/db", patch.str());
     if (!patched.ok() || patched->status != 200) {
       std::fprintf(stderr, "FAIL: PATCH /db: %s\n",
                    patched.ok() ? patched->body.c_str()
@@ -324,7 +376,7 @@ int main(int argc, char** argv) {
         delta_counter("rows_appended"), delta_counter("rules_refired"),
         revalidated, delta_counter("spaces_evicted"));
 
-    auto after_query = client->Request("POST", "/query", query_body);
+    auto after_query = client->Request("POST", query_target, query_body);
     if (!after_query.ok() || after_query->status != 200) {
       std::fprintf(stderr, "FAIL: post-delta query failed\n");
       std::printf("FAIL\n");

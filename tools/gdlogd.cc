@@ -17,16 +17,25 @@
 //   --max-body-mb N       request-body cap in MiB         (default 32)
 //   --idle-timeout-ms N   keep-alive idle timeout         (default 30000)
 //   --max-samples N       per-request /sample cap         (default 10^7)
+//   --fleet-workers LIST  comma-separated "host:port" worker addresses;
+//                         becomes the default worker set for /v1/jobs,
+//                         turning this daemon into a fleet coordinator
+//   --fleet-deadline-ms N per-exchange worker deadline    (default 60000)
 //
-// Endpoints: POST /programs, GET|DELETE /programs/<id>, PUT
-// /programs/<id>/db, POST /query, POST /sample, GET /healthz, GET /stats
-// (see src/server/service.h). SIGTERM/SIGINT drain gracefully: in-flight
-// requests finish, then the process exits 0.
+// Endpoints (all under /v1/, with deprecated unversioned aliases): POST
+// /v1/programs, GET|DELETE /v1/programs/<id>, PUT|PATCH
+// /v1/programs/<id>/db, POST /v1/query, POST /v1/sample, POST /v1/shards,
+// POST /v1/jobs, GET /v1/healthz, GET /v1/stats (see src/server/service.h
+// and docs/API.md). Every gdlogd serves /v1/shards, so any instance can be
+// a fleet worker; --fleet-workers only seeds the coordinator's default
+// worker list. SIGTERM/SIGINT drain gracefully: in-flight requests
+// finish, then the process exits 0.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "server/http.h"
 #include "server/service.h"
@@ -46,9 +55,27 @@ void HandleSignal(int /*sig*/) {
                "usage: %s [--host H] [--port P] [--http-threads N]\n"
                "          [--chase-threads N] [--cache-mb N]\n"
                "          [--max-body-mb N] [--idle-timeout-ms N]\n"
-               "          [--max-samples N]\n",
+               "          [--max-samples N] [--fleet-workers H:P,H:P,...]\n"
+               "          [--fleet-deadline-ms N]\n",
                argv0);
   std::exit(2);
+}
+
+// Splits a comma-separated worker list, dropping empty segments (so a
+// trailing comma is harmless).
+std::vector<std::string> SplitWorkers(const char* list) {
+  std::vector<std::string> workers;
+  std::string current;
+  for (const char* p = list;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!current.empty()) workers.push_back(current);
+      current.clear();
+      if (*p == '\0') break;
+    } else {
+      current.push_back(*p);
+    }
+  }
+  return workers;
 }
 
 }  // namespace
@@ -86,6 +113,11 @@ int main(int argc, char** argv) {
           static_cast<int>(std::strtol(need_value(i), nullptr, 10));
     } else if (!std::strcmp(arg, "--max-samples")) {
       service_options.max_samples = std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--fleet-workers")) {
+      service_options.fleet_workers = SplitWorkers(need_value(i));
+    } else if (!std::strcmp(arg, "--fleet-deadline-ms")) {
+      service_options.fleet_deadline_ms =
+          static_cast<int>(std::strtol(need_value(i), nullptr, 10));
     } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
       Usage(argv[0]);
     } else {
