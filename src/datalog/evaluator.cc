@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "ast/parser.h"
+#include "obs/histogram.h"
+#include "obs/profile.h"
 
 namespace gdlog {
 
@@ -24,6 +26,7 @@ Result<DatalogEvaluator> DatalogEvaluator::Create(Program pi) {
   eval.compiled_.reserve(eval.pi_.rules().size());
   for (const Rule& rule : eval.pi_.rules()) {
     eval.compiled_.push_back(CompileRule(rule));
+    eval.compiled_.back().profile_index = eval.compiled_.size() - 1;
   }
   eval.stratum_rules_.assign(eval.dg_->Components().size(), {});
   for (const CompiledRule& compiled : eval.compiled_) {
@@ -63,6 +66,7 @@ Result<DatalogEvaluator::Model> DatalogEvaluator::Materialize(
     opt_compiled.reserve(opt_rules.size());
     for (const Rule& rule : opt_rules) {
       opt_compiled.push_back(CompileRule(rule));
+      opt_compiled.back().profile_index = opt_compiled.size() - 1;
     }
     opt_strata.assign(dg_->Components().size(), {});
     for (const CompiledRule& compiled : opt_compiled) {
@@ -81,6 +85,21 @@ Result<DatalogEvaluator::Model> DatalogEvaluator::Materialize(
   JoinPlanCache plans(&model.facts);
   JoinExecutor exec;
   GroundAtom neg_scratch;
+
+  // Per-rule profiling, attributed by position in the rule list actually
+  // executed (the optimized recompilation when the pipeline ran, the
+  // Create()-time rules otherwise). Null sink — the default — costs one
+  // branch per rule invocation.
+  ChaseProfile* const prof = ProfileScope::Current();
+  auto profiled_rule = [&](const CompiledRule* rule, uint64_t start_ns,
+                           uint64_t bindings_before, size_t derived_before,
+                           size_t derived_now) {
+    RuleProfile& rp = prof->Rule(rule->profile_index);
+    ++rp.calls;
+    rp.bindings += local.match.bindings - bindings_before;
+    rp.derivations += derived_now - derived_before;
+    rp.time_ns += MonotonicNanos() - start_ns;
+  };
 
   for (const std::vector<const CompiledRule*>& stratum : *strata) {
     if (stratum.empty()) continue;
@@ -126,12 +145,19 @@ Result<DatalogEvaluator::Model> DatalogEvaluator::Materialize(
     ++local.rounds;
     std::vector<GroundAtom> derived;
     for (const CompiledRule* rule : stratum) {
+      const uint64_t start_ns = prof != nullptr ? MonotonicNanos() : 0;
+      const uint64_t bindings_before = local.match.bindings;
+      const size_t derived_before = derived.size();
       const JoinPlan& plan =
           plans.Get(*rule, JoinPlan::kNoPivot, &local.match);
       exec.Execute(plan, &local.match, [&](const BindingFrame& frame) {
         fire(rule, frame, &derived);
         return true;
       });
+      if (prof != nullptr) {
+        profiled_rule(rule, start_ns, bindings_before, derived_before,
+                      derived.size());
+      }
     }
     snapshot_old();
     for (GroundAtom& atom : derived) {
@@ -157,6 +183,9 @@ Result<DatalogEvaluator::Model> DatalogEvaluator::Materialize(
         for (size_t pivot = 0; pivot < rule->positive.size(); ++pivot) {
           auto hit = batch.find(rule->positive[pivot].predicate);
           if (hit == batch.end()) continue;
+          const uint64_t start_ns = prof != nullptr ? MonotonicNanos() : 0;
+          const uint64_t bindings_before = local.match.bindings;
+          const size_t derived_before = derived.size();
           const JoinPlan& plan = plans.Get(*rule, pivot, &local.match);
           exec.ExecuteWithPivot(
               plan, hit->second, &local.match,
@@ -165,6 +194,10 @@ Result<DatalogEvaluator::Model> DatalogEvaluator::Materialize(
                 return true;
               },
               &old_counts);
+          if (prof != nullptr) {
+            profiled_rule(rule, start_ns, bindings_before, derived_before,
+                          derived.size());
+          }
         }
       }
       snapshot_old();

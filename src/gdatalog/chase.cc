@@ -6,6 +6,8 @@
 
 #include "gdatalog/chase_internal.h"
 #include "gdatalog/shard.h"
+#include "obs/histogram.h"
+#include "obs/profile.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
 
@@ -102,6 +104,21 @@ void ChaseEngine::ProcessNode(ExploreState& state, WorkItem item,
     return;
   }
 
+  // Profiling (options.profile): this worker's accumulator doubles as the
+  // thread-local sink the grounding fixpoint attributes per-rule work to.
+  // Safe because ProcessNode runs entirely on one thread, in the serial
+  // and the pooled drain alike. state.profiles is empty when profiling is
+  // off, so the disabled path takes one branch here and none below.
+  ChaseProfile* const prof =
+      worker < state.profiles.size() ? &state.profiles[worker] : nullptr;
+  ProfileScope profile_scope(prof);
+  uint64_t ground_start_ns = 0;
+  if (prof != nullptr) {
+    ++prof->nodes;
+    ++prof->Depth(item.depth).nodes;
+    ground_start_ns = MonotonicNanos();
+  }
+
   auto grounding = std::make_shared<GroundRuleSet>();
   Status ground_status;
   if (state.incremental && item.parent_grounding != nullptr) {
@@ -114,6 +131,12 @@ void ChaseEngine::ProcessNode(ExploreState& state, WorkItem item,
                                       grounding.get());
   } else {
     ground_status = grounder_->Ground(item.choices, grounding.get());
+  }
+  if (prof != nullptr) {
+    const uint64_t elapsed = MonotonicNanos() - ground_start_ns;
+    ++prof->ground_calls;
+    prof->ground_time_ns += elapsed;
+    prof->Depth(item.depth).ground_time_ns += elapsed;
   }
   if (!ground_status.ok()) {
     state.RecordError(ground_status);
@@ -147,8 +170,16 @@ void ChaseEngine::ProcessNode(ExploreState& state, WorkItem item,
     PossibleOutcome outcome;
     outcome.prob = item.path_prob;
     if (options.compute_models) {
+      const uint64_t solve_start_ns =
+          prof != nullptr ? MonotonicNanos() : 0;
       auto models =
           SolveOutcome(item.choices, *grounding, options.solver_max_nodes);
+      if (prof != nullptr) {
+        const uint64_t elapsed = MonotonicNanos() - solve_start_ns;
+        ++prof->solve_calls;
+        prof->solve_time_ns += elapsed;
+        prof->Depth(item.depth).solve_time_ns += elapsed;
+      }
       if (!models.ok()) {
         state.RecordError(models.status());
         return;
@@ -259,7 +290,8 @@ void ChaseEngine::DrainFrontier(ExploreState& state,
   pool.WaitIdle();
 }
 
-Result<OutcomeSpace> ChaseEngine::Explore(const ChaseOptions& options) const {
+Result<OutcomeSpace> ChaseEngine::Explore(const ChaseOptions& options,
+                                          ChaseProfile* profile) const {
   ExploreState state;
   state.options = &options;
   state.incremental =
@@ -270,9 +302,17 @@ Result<OutcomeSpace> ChaseEngine::Explore(const ChaseOptions& options) const {
                        : ThreadPool::DefaultWorkerCount();
   if (workers < 1) workers = 1;
   state.partials.resize(workers);
+  if (options.profile && profile != nullptr) state.profiles.resize(workers);
 
   std::vector<WorkItem> roots(1);
   DrainFrontier(state, std::move(roots));
+
+  // Worker-index order keeps the merged counts identical for every
+  // schedule (each count is schedule-independent per worker-set already;
+  // the order only matters for the transient stratum stamps).
+  if (options.profile && profile != nullptr) {
+    for (const ChaseProfile& p : state.profiles) profile->Merge(p);
+  }
 
   if (!state.first_error.ok()) return state.first_error;
 

@@ -13,6 +13,7 @@ namespace gdlog {
 
 struct ShardPlan;
 struct PartialSpace;
+struct ChaseProfile;
 enum class ShardAssignment;
 
 /// Budgets and knobs for chase-tree exploration (§4). The chase tree of a
@@ -59,6 +60,13 @@ struct ChaseOptions {
   /// max_outcomes does bind, *which* outcomes are enumerated depends on
   /// scheduling (their count still respects the budget).
   size_t num_threads = 0;
+  /// Collect the per-rule/per-stratum/per-depth chase profile
+  /// (obs/profile.h) into the ChaseProfile* passed to Explore. Off by
+  /// default; the disabled path costs a null check per (rule, pivot) pair.
+  /// Profile counts are deterministic across thread counts; timings are
+  /// not. Never part of a result — excluded from the serving layer's cache
+  /// fingerprint like num_threads.
+  bool profile = false;
 };
 
 /// Drives the chase of Definition 4.2: iteratively grounds the program
@@ -75,8 +83,12 @@ class ChaseEngine {
   /// Exhaustively explores the chase tree under the given budgets and
   /// returns the resulting outcome space. With options.num_threads != 1
   /// the frontier is chased in parallel; results are deterministic as
-  /// described on ChaseOptions::num_threads.
-  Result<OutcomeSpace> Explore(const ChaseOptions& options) const;
+  /// described on ChaseOptions::num_threads. When options.profile is set
+  /// and `profile` is non-null, the per-worker chase profiles are merged
+  /// into *profile in worker-index order (counts deterministic, times
+  /// not).
+  Result<OutcomeSpace> Explore(const ChaseOptions& options,
+                               ChaseProfile* profile = nullptr) const;
 
   /// Plans a decomposition of the chase tree into `num_shards` shards by
   /// expanding the first `prefix_depth` choice levels serially and
@@ -96,7 +108,8 @@ class ChaseEngine {
   /// count). Shard 0 additionally carries the plan-level accounting.
   /// Recombine with MergePartialSpaces (shard.h).
   Result<PartialSpace> ExploreShard(const ShardPlan& plan, size_t shard_index,
-                                    const ChaseOptions& options) const;
+                                    const ChaseOptions& options,
+                                    ChaseProfile* profile = nullptr) const;
 
   /// One random maximal path: every trigger is resolved by sampling the
   /// distribution. `truncated` is set when the depth budget aborted the

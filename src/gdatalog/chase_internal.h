@@ -12,6 +12,7 @@
 
 #include "gdatalog/chase.h"
 #include "gdatalog/shard.h"
+#include "obs/profile.h"
 
 namespace gdlog {
 
@@ -57,6 +58,11 @@ struct ChaseEngine::ExploreState {
   /// path). The budget_hit member of each partial stays false here — the
   /// global flag above is folded in when the partials are collected.
   std::vector<PartialSpace> partials;
+
+  /// Per-worker chase profiles, parallel to `partials`. Empty unless
+  /// options->profile: ProcessNode checks size() to decide whether to
+  /// install a profile sink, so the disabled path records nothing.
+  std::vector<ChaseProfile> profiles;
 
   void RecordError(const Status& status) {
     std::lock_guard<std::mutex> lock(error_mu);

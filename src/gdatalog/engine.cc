@@ -292,6 +292,25 @@ Result<OutcomeSpace> GDatalog::Infer(const ChaseOptions& options) const {
   return state_->chase->Explore(options);
 }
 
+Result<OutcomeSpace> GDatalog::Infer(const ChaseOptions& options,
+                                     ChaseProfile* profile) const {
+  return state_->chase->Explore(options, profile);
+}
+
+std::vector<std::string> GDatalog::SigmaRuleLabels() const {
+  const Program& sigma = state_->translated.sigma();
+  std::vector<std::string> labels;
+  labels.reserve(sigma.rules().size());
+  for (size_t i = 0; i < sigma.rules().size(); ++i) {
+    const Rule& rule = sigma.rules()[i];
+    std::string label = "r" + std::to_string(i) + ":";
+    label += rule.is_constraint ? "constraint"
+                                : rule.head.ToString(sigma.interner());
+    labels.push_back(std::move(label));
+  }
+  return labels;
+}
+
 Result<GroundAtom> GDatalog::ParseGroundAtom(std::string_view text) const {
   std::string rule_text = std::string(text);
   if (rule_text.empty() || rule_text.back() != '.') rule_text += ".";

@@ -145,6 +145,17 @@ class GDatalog {
   /// across thread counts whenever no budget binds.
   Result<OutcomeSpace> Infer(const ChaseOptions& options = ChaseOptions{}) const;
 
+  /// Like Infer(), additionally merging the chase profile into *profile
+  /// when options.profile is set (see ChaseEngine::Explore). Counts in the
+  /// profile are deterministic across thread counts; timings are not.
+  Result<OutcomeSpace> Infer(const ChaseOptions& options,
+                             ChaseProfile* profile) const;
+
+  /// Display labels for Σ_Π's rules, indexed like ChaseProfile::rules:
+  /// "r<i>:<head atom>" ("r<i>:constraint" for constraints). Stable for a
+  /// given engine — the profiler's join key between runs.
+  std::vector<std::string> SigmaRuleLabels() const;
+
   /// Parses a ground atom in surface syntax ("infected(2, 1)") against this
   /// engine's interner, for use with OutcomeSpace::Marginal. Interns names
   /// the program never mentioned, so it must not run concurrently with

@@ -4,6 +4,9 @@
 #include <functional>
 #include <unordered_map>
 
+#include "obs/histogram.h"
+#include "obs/profile.h"
+
 namespace gdlog {
 
 namespace {
@@ -61,6 +64,7 @@ std::vector<GroundRule> DeltaFactRules(const FactStore& db,
 /// emit their pre-rewrite body so G(Σ) is unchanged).
 CompiledRule CompileSigmaRule(const TranslatedProgram& translated, size_t i) {
   CompiledRule out = CompileRule(translated.sigma().rules()[i]);
+  out.profile_index = i;
   if (i < translated.exec_info().size()) {
     const RuleExecInfo& info = translated.exec_info()[i];
     out.aux_head = info.aux_head;
@@ -163,6 +167,12 @@ Status RunGroundingFixpoint(const TranslatedProgram& translated,
   MatchStats local;
   BindingFrame empty_frame;
 
+  // The per-rule profiler's sink for this thread, if the caller installed
+  // one (ProcessNode does, per worker, when ChaseOptions::profile is on).
+  // One thread-local read per fixpoint; with no sink the hot loop pays a
+  // null check per (rule, pivot) pair and nothing else.
+  ChaseProfile* const prof = ProfileScope::Current();
+
   // Rules with an empty positive body fire unconditionally (modulo the
   // Perfect negative check); on resumed runs they already fired.
   if (!resume) {
@@ -171,6 +181,12 @@ Status RunGroundingFixpoint(const TranslatedProgram& translated,
       empty_frame.Reset(rule->num_slots);
       GroundRule gr = InstantiateRule(*rule, empty_frame);
       if (check_negative && NegativeBodyHits(gr, *heads)) continue;
+      if (prof != nullptr && rule->profile_index != static_cast<size_t>(-1)) {
+        RuleProfile& rp = prof->Rule(rule->profile_index);
+        ++rp.calls;
+        ++rp.derivations;
+        rp.stratum = prof->current_stratum;
+      }
       add_ground_rule(std::move(gr));
     }
   }
@@ -211,6 +227,11 @@ Status RunGroundingFixpoint(const TranslatedProgram& translated,
         size_t begin = it == old_counts.end() ? 0 : it->second;
         const std::vector<Tuple>& rows = heads->Rows(pred);
         if (begin >= rows.size()) continue;
+        const bool profiled =
+            prof != nullptr && rule->profile_index != static_cast<size_t>(-1);
+        const uint64_t start_ns = profiled ? MonotonicNanos() : 0;
+        const uint64_t bindings_before = local.bindings;
+        const size_t derived_before = derived.size() + derived_aux.size();
         const JoinPlan& plan = plans.Get(*rule, pivot, &local);
         exec.ExecuteWithPivotRange(
             plan, rows, begin, rows.size(), &local,
@@ -227,6 +248,15 @@ Status RunGroundingFixpoint(const TranslatedProgram& translated,
               return true;
             },
             &old_counts);
+        if (profiled) {
+          RuleProfile& rp = prof->Rule(rule->profile_index);
+          ++rp.calls;
+          rp.bindings += local.bindings - bindings_before;
+          rp.derivations += derived.size() + derived_aux.size() -
+                            derived_before;
+          rp.time_ns += MonotonicNanos() - start_ns;
+          rp.stratum = prof->current_stratum;
+        }
       }
     }
     snapshot_old();
@@ -425,6 +455,11 @@ Status PerfectGrounder::Ground(const ChoiceSet& choices, GroundRuleSet* out,
   *out = db_base_->Clone();
   for (const GroundRule& fact : db_tail_) out->Add(fact);
 
+  // Stratum attribution for the per-rule profiler: the fixpoint stamps
+  // each rule with the sink's current_stratum. Rule→stratum is a static
+  // property of Π, so re-stamping across calls is idempotent.
+  ChaseProfile* const prof = ProfileScope::Current();
+
   for (size_t si = 0; si < stratum_rules_.size(); ++si) {
     const std::vector<const CompiledRule*>& stratum = stratum_rules_[si];
     // AtR_Σ ↪ Σ↑C_{i-1}: grounding stalls until every Active atom produced
@@ -432,16 +467,20 @@ Status PerfectGrounder::Ground(const ChoiceSet& choices, GroundRuleSet* out,
     for (const DeltaSignature& sig : translated_->signatures()) {
       for (const Tuple& row : out->heads().Rows(sig.active_pred)) {
         if (!choices.Defined(GroundAtom{sig.active_pred, row})) {
+          if (prof != nullptr) prof->current_stratum = -1;
           return Status::OK();  // Σ↑C_i = Σ↑C_{i-1} for all later strata.
         }
       }
     }
     if (stratum.empty()) continue;
-    GDLOG_RETURN_IF_ERROR(RunGroundingFixpoint(*translated_, stratum,
-                                               stratum_body_preds_[si],
-                                               choices,
-                                               /*check_negative=*/true, out,
-                                               /*resume=*/false, stats));
+    if (prof != nullptr) prof->current_stratum = static_cast<int>(si);
+    Status stratum_status = RunGroundingFixpoint(*translated_, stratum,
+                                                 stratum_body_preds_[si],
+                                                 choices,
+                                                 /*check_negative=*/true, out,
+                                                 /*resume=*/false, stats);
+    if (prof != nullptr) prof->current_stratum = -1;
+    GDLOG_RETURN_IF_ERROR(stratum_status);
   }
   if (!constraint_rules_.empty()) {
     GDLOG_RETURN_IF_ERROR(RunGroundingFixpoint(*translated_, constraint_rules_,

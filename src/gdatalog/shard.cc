@@ -156,7 +156,7 @@ Result<ShardPlan> ChaseEngine::PlanShards(const ChaseOptions& options,
 
 Result<PartialSpace> ChaseEngine::ExploreShard(
     const ShardPlan& plan, size_t shard_index,
-    const ChaseOptions& options) const {
+    const ChaseOptions& options, ChaseProfile* profile) const {
   if (shard_index >= plan.num_shards) {
     return Status::InvalidArgument("shard index out of range");
   }
@@ -169,6 +169,7 @@ Result<PartialSpace> ChaseEngine::ExploreShard(
                        : ThreadPool::DefaultWorkerCount();
   if (workers < 1) workers = 1;
   state.partials.resize(workers);
+  if (options.profile && profile != nullptr) state.profiles.resize(workers);
 
   // Hand-assembled plans (deserialized, or pre-assignment ones) may lack
   // the explicit map; they mean PR 3's round-robin.
@@ -189,6 +190,9 @@ Result<PartialSpace> ChaseEngine::ExploreShard(
     roots.push_back(std::move(root));
   }
   DrainFrontier(state, std::move(roots));
+  if (options.profile && profile != nullptr) {
+    for (const ChaseProfile& p : state.profiles) profile->Merge(p);
+  }
   if (!state.first_error.ok()) return state.first_error;
 
   PartialSpace out;

@@ -143,6 +143,11 @@ struct CompiledRule {
   bool has_emit = false;
   std::vector<CompiledAtom> emit_positive;
   std::vector<CompiledAtom> emit_negative;
+
+  /// Stable index for the per-rule profiler (obs/profile.h): the rule's
+  /// position in its source program (Σ_Π for the grounders, Π for the
+  /// Datalog evaluator). SIZE_MAX = not attributed.
+  size_t profile_index = static_cast<size_t>(-1);
 };
 
 /// Compiles a rule with a plain (Δ-free) head; the rule must outlive the

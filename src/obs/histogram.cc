@@ -1,0 +1,32 @@
+#include "obs/histogram.h"
+
+#include <chrono>
+
+namespace gdlog {
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void LatencyHistogram::RecordSeconds(double seconds) {
+  if (seconds <= 0.0) {
+    RecordNanos(0);
+    return;
+  }
+  RecordNanos(static_cast<uint64_t>(seconds * 1e9));
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
+  Snapshot snap;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+}  // namespace gdlog

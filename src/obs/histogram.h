@@ -1,0 +1,66 @@
+#ifndef GDLOG_OBS_HISTOGRAM_H_
+#define GDLOG_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace gdlog {
+
+/// The observability clock: monotonic wall-clock nanoseconds. Readings are
+/// only ever subtracted from each other; the epoch is unspecified.
+uint64_t MonotonicNanos();
+
+/// A fixed-boundary log-scale latency histogram. The boundaries double from
+/// 100µs up to ~210s (22 finite buckets) plus one +Inf overflow bucket —
+/// wide enough to cover a cache hit and a multi-minute fleet job on the
+/// same scale. Recording is wait-free and allocation-free: one relaxed
+/// fetch_add on the bucket, the count, and the nanosecond sum. Relaxed
+/// ordering means a concurrent snapshot may observe a record's count
+/// without its sum (or vice versa) — fine for monitoring, which only ever
+/// reads monotone totals.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kFiniteBuckets = 22;
+  static constexpr size_t kBuckets = kFiniteBuckets + 1;  ///< last = +Inf
+
+  /// Upper bound (inclusive, Prometheus `le`) of finite bucket i.
+  static constexpr uint64_t UpperBoundNanos(size_t i) {
+    return 100'000ull << i;
+  }
+
+  void RecordNanos(uint64_t ns) {
+    buckets_[BucketIndex(ns)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  /// Negative durations (a clock hiccup) clamp to zero.
+  void RecordSeconds(double seconds);
+
+  /// Which bucket a duration lands in: the smallest bound >= ns, or the
+  /// overflow bucket.
+  static size_t BucketIndex(uint64_t ns) {
+    for (size_t i = 0; i < kFiniteBuckets; ++i) {
+      if (ns <= UpperBoundNanos(i)) return i;
+    }
+    return kFiniteBuckets;
+  }
+
+  /// One coherent-enough view (see class comment) of the counters.
+  struct Snapshot {
+    std::array<uint64_t, kBuckets> buckets{};  ///< per-bucket, NOT cumulative
+    uint64_t count = 0;
+    uint64_t sum_ns = 0;
+  };
+  Snapshot TakeSnapshot() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ns_{0};
+};
+
+}  // namespace gdlog
+
+#endif  // GDLOG_OBS_HISTOGRAM_H_

@@ -1,0 +1,120 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace gdlog {
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatSecondsFromNanos(uint64_t ns) {
+  char buf[48];
+  const uint64_t kNanos = 1000000000;
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%09" PRIu64, ns / kNanos,
+                ns % kNanos);
+  std::string out(buf);
+  size_t last = out.find_last_not_of('0');
+  if (out[last] == '.') last += 1;  // keep one digit after the point
+  out.erase(last + 1);
+  return out;
+}
+
+void MetricsWriter::Header(std::string_view name, std::string_view help,
+                           std::string_view type) {
+  if (declared_.find(name) != declared_.end()) return;
+  declared_.emplace(name);
+  out_ += "# HELP ";
+  out_ += name;
+  out_ += ' ';
+  out_ += help;
+  out_ += "\n# TYPE ";
+  out_ += name;
+  out_ += ' ';
+  out_ += type;
+  out_ += '\n';
+}
+
+void MetricsWriter::Sample(std::string_view name, std::string_view suffix,
+                           std::string_view labels, std::string_view value) {
+  out_ += name;
+  out_ += suffix;
+  if (!labels.empty()) {
+    out_ += '{';
+    out_ += labels;
+    out_ += '}';
+  }
+  out_ += ' ';
+  out_ += value;
+  out_ += '\n';
+}
+
+void MetricsWriter::Counter(std::string_view name, std::string_view help,
+                            std::string_view labels, uint64_t value) {
+  Header(name, help, "counter");
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  Sample(name, "", labels, buf);
+}
+
+void MetricsWriter::CounterSeconds(std::string_view name,
+                                   std::string_view help,
+                                   std::string_view labels, uint64_t nanos) {
+  Header(name, help, "counter");
+  Sample(name, "", labels, FormatSecondsFromNanos(nanos));
+}
+
+void MetricsWriter::Gauge(std::string_view name, std::string_view help,
+                          std::string_view labels, double value) {
+  Header(name, help, "gauge");
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  Sample(name, "", labels, buf);
+}
+
+void MetricsWriter::Histogram(std::string_view name, std::string_view help,
+                              std::string_view labels,
+                              const LatencyHistogram::Snapshot& snapshot) {
+  Header(name, help, "histogram");
+  std::string bucket_labels;
+  uint64_t cumulative = 0;
+  char buf[24];
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    cumulative += snapshot.buckets[i];
+    bucket_labels.assign(labels);
+    if (!bucket_labels.empty()) bucket_labels += ',';
+    bucket_labels += "le=\"";
+    if (i < LatencyHistogram::kFiniteBuckets) {
+      bucket_labels +=
+          FormatSecondsFromNanos(LatencyHistogram::UpperBoundNanos(i));
+    } else {
+      bucket_labels += "+Inf";
+    }
+    bucket_labels += '"';
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, cumulative);
+    Sample(name, "_bucket", bucket_labels, buf);
+  }
+  Sample(name, "_sum", labels, FormatSecondsFromNanos(snapshot.sum_ns));
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, snapshot.count);
+  Sample(name, "_count", labels, buf);
+}
+
+}  // namespace gdlog

@@ -1,0 +1,66 @@
+#ifndef GDLOG_OBS_METRICS_H_
+#define GDLOG_OBS_METRICS_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "obs/histogram.h"
+
+namespace gdlog {
+
+/// The Prometheus text-exposition content type.
+inline constexpr char kMetricsContentType[] =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+/// Builds one Prometheus text-exposition payload
+/// (https://prometheus.io/docs/instrumenting/exposition_formats/): every
+/// line is `# HELP name help`, `# TYPE name type`, or
+/// `name{labels} value`. The `# HELP`/`# TYPE` pair is emitted once per
+/// metric family, on first use, so a labeled family declared once may add
+/// any number of samples. Emission order is the call order — callers keep
+/// it deterministic by iterating sorted containers.
+class MetricsWriter {
+ public:
+  /// `labels` is the preformatted inner label list (`a="x",b="y"`), empty
+  /// for none; build values with EscapeLabelValue.
+  void Counter(std::string_view name, std::string_view help,
+               std::string_view labels, uint64_t value);
+  /// A counter whose unit is seconds, fed from an integer nanosecond total
+  /// (rule/chase time accumulators) — rendered exactly, like `_sum`.
+  void CounterSeconds(std::string_view name, std::string_view help,
+                      std::string_view labels, uint64_t nanos);
+  void Gauge(std::string_view name, std::string_view help,
+             std::string_view labels, double value);
+  /// Emits the full histogram family: cumulative `_bucket{le=...}` samples
+  /// (including `le="+Inf"`), `_sum` in seconds, and `_count`.
+  void Histogram(std::string_view name, std::string_view help,
+                 std::string_view labels,
+                 const LatencyHistogram::Snapshot& snapshot);
+
+  const std::string& text() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Header(std::string_view name, std::string_view help,
+              std::string_view type);
+  void Sample(std::string_view name, std::string_view suffix,
+              std::string_view labels, std::string_view value);
+
+  std::string out_;
+  std::set<std::string, std::less<>> declared_;
+};
+
+/// A label value with `\`, `"`, and newlines escaped per the exposition
+/// format.
+std::string EscapeLabelValue(std::string_view value);
+
+/// An exact decimal rendering of a nanosecond count as seconds
+/// ("0.0001", "209.7152"), trailing zeros trimmed — used for `le` bounds
+/// and `_sum` values so the exposition is deterministic.
+std::string FormatSecondsFromNanos(uint64_t ns);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_OBS_METRICS_H_

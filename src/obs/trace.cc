@@ -1,0 +1,47 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/histogram.h"
+
+#include <unistd.h>
+
+namespace gdlog {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string GenerateTraceId() {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t mix = SplitMix64(MonotonicNanos() ^
+                            (static_cast<uint64_t>(getpid()) << 32) ^
+                            counter.fetch_add(1, std::memory_order_relaxed));
+  char buf[17];
+  static const char* hex = "0123456789abcdef";
+  for (int i = 0; i < 16; ++i) {
+    buf[i] = hex[(mix >> (60 - 4 * i)) & 0xf];
+  }
+  buf[16] = '\0';
+  return std::string(buf, 16);
+}
+
+bool IsValidTraceId(std::string_view id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (char c : id) {
+    bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+              (c >= 'A' && c <= 'Z') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace gdlog

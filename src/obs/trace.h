@@ -1,0 +1,26 @@
+#ifndef GDLOG_OBS_TRACE_H_
+#define GDLOG_OBS_TRACE_H_
+
+#include <string>
+#include <string_view>
+
+namespace gdlog {
+
+/// The header that carries a request's trace id through the serving layer
+/// and across fleet dispatches.
+inline constexpr char kTraceHeader[] = "X-Gdlog-Trace";
+
+/// A fresh process-unique trace id: 16 lowercase hex characters mixed from
+/// a monotonic counter, the clock, and the pid. Not cryptographic — just
+/// collision-resistant enough to join one request's log lines across a
+/// fleet.
+std::string GenerateTraceId();
+
+/// Whether a client-supplied trace id is safe to echo and forward: 1–64
+/// characters of [A-Za-z0-9_-]. Anything else (header injection, binary
+/// junk) is replaced by a generated id.
+bool IsValidTraceId(std::string_view id);
+
+}  // namespace gdlog
+
+#endif  // GDLOG_OBS_TRACE_H_

@@ -1,0 +1,11 @@
+#include "obs/version.h"
+
+#ifndef GDLOG_BUILD_VERSION
+#define GDLOG_BUILD_VERSION "unknown"
+#endif
+
+namespace gdlog {
+
+const char* GdlogVersion() { return GDLOG_BUILD_VERSION; }
+
+}  // namespace gdlog

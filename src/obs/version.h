@@ -1,0 +1,15 @@
+#ifndef GDLOG_OBS_VERSION_H_
+#define GDLOG_OBS_VERSION_H_
+
+namespace gdlog {
+
+/// The build's version string: `git describe --tags --always --dirty`
+/// captured at configure time (src/CMakeLists.txt bakes it into
+/// version.cc's compile definitions), or "unknown" outside a git checkout.
+/// Surfaced on GET /v1/healthz, /v1/metrics (gdlog_build_info), and
+/// `gdlogd --version`.
+const char* GdlogVersion();
+
+}  // namespace gdlog
+
+#endif  // GDLOG_OBS_VERSION_H_

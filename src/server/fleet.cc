@@ -1,6 +1,7 @@
 #include "server/fleet.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <thread>
@@ -8,6 +9,7 @@
 
 #include "gdatalog/export.h"
 #include "gdatalog/shard.h"
+#include "obs/trace.h"
 #include "server/options.h"
 #include "util/json.h"
 
@@ -107,15 +109,17 @@ struct FetchedPartial {
 Result<std::vector<FetchedPartial>> FetchGroup(
     const std::string& address, const std::string& request_body,
     const std::vector<size_t>& indices, int deadline_ms,
-    const Interner& interner) {
+    const std::string& trace, const Interner& interner) {
   GDLOG_ASSIGN_OR_RETURN(auto host_port, ParseHostPort(address));
   GDLOG_ASSIGN_OR_RETURN(
       HttpClient client,
       HttpClient::Connect(host_port.first, host_port.second, deadline_ms));
+  HttpClient::HeaderList extra_headers;
+  if (!trace.empty()) extra_headers.emplace_back(kTraceHeader, trace);
   GDLOG_ASSIGN_OR_RETURN(
       HttpResponse response,
       client.RequestWithDeadline("POST", "/v1/shards", request_body,
-                                 deadline_ms));
+                                 deadline_ms, extra_headers));
   if (response.status != 200) {
     return Status::Internal("worker " + address + " returned HTTP " +
                             std::to_string(response.status));
@@ -261,7 +265,8 @@ HttpResponse FleetService::HandleShards(const HttpRequest& request) {
   return response;
 }
 
-HttpResponse FleetService::HandleJobs(const HttpRequest& request) {
+HttpResponse FleetService::HandleJobs(const HttpRequest& request,
+                                      const std::string& trace) {
   jobs_.fetch_add(1, std::memory_order_relaxed);
   auto fail = [&](const Status& status) {
     jobs_failed_.fetch_add(1, std::memory_order_relaxed);
@@ -315,21 +320,37 @@ HttpResponse FleetService::HandleJobs(const HttpRequest& request) {
   auto include_outcomes = OptionalBool(*body, "include_outcomes", false);
   auto include_models = OptionalBool(*body, "include_models", false);
   auto include_events = OptionalBool(*body, "include_events", false);
+  auto include_spans = OptionalBool(*body, "spans", false);
   if (!include_outcomes.ok()) return fail(include_outcomes.status());
   if (!include_models.ok()) return fail(include_models.status());
   if (!include_events.ok()) return fail(include_events.status());
+  if (!include_spans.ok()) return fail(include_spans.status());
 
   // The merged space is bit-identical to a single-process run, so the job
   // shares the *same* fingerprint — and hence cache entries — with /query:
   // a job warms the cache for queries and vice versa.
   std::string key = InferenceCache::Fingerprint(
       entry->id, entry->revision, entry->lineage_digest, *chase);
+  JobSpans spans;
+  bool computed = false;
   auto space = cache_->LookupOrCompute(key, [&]() {
+    computed = true;
     return RunJob(*entry, *chase, plan_coords->shards,
                   plan_coords->prefix_depth, plan_coords->assignment,
-                  workers, deadline_ms);
+                  workers, deadline_ms, trace, &spans);
   });
   if (!space.ok()) return fail(space.status());
+  if (computed) {
+    // One line per computed job stitches the coordinator's view to the
+    // workers' access logs via the shared trace id. Timings are wall time
+    // — diagnostics, not results.
+    std::fprintf(stderr,
+                 "gdlogd: job trace=%s plan_ms=%.3f dispatch_ms=%.3f "
+                 "merge_ms=%.3f groups=%zu\n",
+                 trace.empty() ? "-" : trace.c_str(), spans.plan_ns / 1e6,
+                 spans.dispatch_ns / 1e6, spans.merge_ns / 1e6,
+                 spans.groups.size());
+  }
 
   JsonExportOptions json_options;
   json_options.include_outcomes = *include_outcomes;
@@ -337,21 +358,47 @@ HttpResponse FleetService::HandleJobs(const HttpRequest& request) {
   json_options.include_events = *include_events;
   // Byte-identical to /query's full-document body (and so to
   // `gdlog_cli --json`) for the same program/DB/options.
-  return JsonResponse(
-      200, OutcomeSpaceToJson(**space, entry->engine.translated(),
-                              entry->engine.program().interner(),
-                              json_options) +
-               "\n");
+  std::string doc = OutcomeSpaceToJson(**space, entry->engine.translated(),
+                                       entry->engine.program().interner(),
+                                       json_options);
+  // The span block is strictly opt-in ("spans": true) and only exists when
+  // this request actually computed the job (a cache hit ran nothing), so
+  // the default body keeps the byte-identity contract above.
+  if (*include_spans && computed) {
+    JsonWriter json;
+    json.BeginObject();
+    if (!trace.empty()) json.KV("trace", trace);
+    json.KV("plan_ms", spans.plan_ns / 1e6);
+    json.KV("dispatch_ms", spans.dispatch_ns / 1e6);
+    json.KV("merge_ms", spans.merge_ns / 1e6);
+    json.Key("groups").BeginArray();
+    for (const JobSpans::Group& group : spans.groups) {
+      json.BeginObject();
+      json.KV("group", static_cast<long long>(group.group));
+      json.KV("shards", static_cast<long long>(group.shards));
+      json.KV("worker", group.worker);
+      json.KV("attempts", static_cast<long long>(group.attempts));
+      json.KV("time_ms", group.time_ns / 1e6);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+    doc.insert(doc.size() - 1, ",\"spans\":" + json.str());
+  }
+  return JsonResponse(200, doc + "\n");
 }
 
 Result<OutcomeSpace> FleetService::RunJob(
     const ProgramRegistry::Entry& entry, const ChaseOptions& chase,
     size_t num_shards, size_t prefix_depth, ShardAssignment assignment,
-    const std::vector<std::string>& workers, int deadline_ms) {
+    const std::vector<std::string>& workers, int deadline_ms,
+    const std::string& trace, JobSpans* spans) {
+  const uint64_t plan_start_ns = MonotonicNanos();
   GDLOG_ASSIGN_OR_RETURN(
       ShardPlan plan,
       entry.engine.chase().PlanShards(chase, num_shards, prefix_depth,
                                       assignment));
+  if (spans != nullptr) spans->plan_ns = MonotonicNanos() - plan_start_ns;
   const Interner& interner = *entry.engine.program().interner();
 
   // Shard groups, one per worker (modular when shards outnumber workers).
@@ -380,20 +427,30 @@ Result<OutcomeSpace> FleetService::RunJob(
     bool done = false;
     std::vector<FetchedPartial> partials;
     Status last_error = Status::OK();
+    size_t attempts = 0;
+    size_t final_worker = 0;
+    uint64_t time_ns = 0;
   };
   std::vector<GroupState> states(num_groups);
   std::vector<char> healthy(workers.size(), 1);
+  const uint64_t dispatch_start_ns = MonotonicNanos();
 
   auto attempt = [&](size_t group, size_t worker) {
     dispatches_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t start_ns = MonotonicNanos();
     auto fetched = FetchGroup(workers[worker], bodies[group], groups[group],
-                              deadline_ms, interner);
+                              deadline_ms, trace, interner);
+    const uint64_t elapsed_ns = MonotonicNanos() - start_ns;
+    dispatch_hist_.RecordNanos(elapsed_ns);
+    states[group].attempts += 1;
+    states[group].time_ns += elapsed_ns;
     if (!fetched.ok()) {
       worker_failures_.fetch_add(1, std::memory_order_relaxed);
       healthy[worker] = 0;
       states[group].last_error = fetched.status();
       return;
     }
+    states[group].final_worker = worker;
     states[group].partials = std::move(*fetched);
     states[group].done = true;
   };
@@ -428,6 +485,20 @@ Result<OutcomeSpace> FleetService::RunJob(
           states[group].last_error.message() + ")");
     }
   }
+  const uint64_t merge_start_ns = MonotonicNanos();
+  if (spans != nullptr) {
+    spans->dispatch_ns = merge_start_ns - dispatch_start_ns;
+    spans->groups.reserve(num_groups);
+    for (size_t group = 0; group < num_groups; ++group) {
+      JobSpans::Group span;
+      span.group = group;
+      span.shards = groups[group].size();
+      span.worker = workers[states[group].final_worker];
+      span.attempts = states[group].attempts;
+      span.time_ns = states[group].time_ns;
+      spans->groups.push_back(std::move(span));
+    }
+  }
 
   // Coverage + compatibility: every shard exactly once, every partial
   // produced under this exact plan and these exact budgets. A mismatch
@@ -460,7 +531,9 @@ Result<OutcomeSpace> FleetService::RunJob(
     }
   }
   partials_merged_.fetch_add(plan.num_shards, std::memory_order_relaxed);
-  return MergePartialSpaces(std::move(partials), chase.max_outcomes);
+  auto merged = MergePartialSpaces(std::move(partials), chase.max_outcomes);
+  if (spans != nullptr) spans->merge_ns = MonotonicNanos() - merge_start_ns;
+  return merged;
 }
 
 FleetService::Counters FleetService::counters() const {

@@ -9,6 +9,7 @@
 
 #include "gdatalog/chase.h"
 #include "gdatalog/shard.h"
+#include "obs/histogram.h"
 #include "server/cache.h"
 #include "server/http.h"
 #include "server/registry.h"
@@ -64,6 +65,25 @@ class FleetService {
     ChaseOptions default_chase;
   };
 
+  /// Wall-time span breakdown of one *computed* job (a cache hit computes
+  /// nothing, so it has no spans). Every duration here is wall time —
+  /// non-deterministic, reported only through the opt-in "spans" response
+  /// block and the coordinator's log line, never through byte-identity
+  /// surfaces.
+  struct JobSpans {
+    uint64_t plan_ns = 0;      ///< shard planning
+    uint64_t dispatch_ns = 0;  ///< first wave + re-dispatch, end to end
+    uint64_t merge_ns = 0;     ///< coverage check + partial merge
+    struct Group {
+      size_t group = 0;     ///< shard-group index
+      size_t shards = 0;    ///< shard indices in the group
+      std::string worker;   ///< worker that finally delivered the group
+      size_t attempts = 0;  ///< exchanges tried (1 = no re-dispatch)
+      uint64_t time_ns = 0; ///< total exchange wall time across attempts
+    };
+    std::vector<Group> groups;
+  };
+
   /// Aggregated fleet counters for /v1/stats (monotonic totals).
   struct Counters {
     uint64_t shard_requests = 0;   ///< /v1/shards requests served.
@@ -83,20 +103,32 @@ class FleetService {
       : registry_(registry), cache_(cache), options_(std::move(options)) {}
 
   HttpResponse HandleShards(const HttpRequest& request);
-  HttpResponse HandleJobs(const HttpRequest& request);
+  /// `trace` is the coordinator request's trace id; it is forwarded to
+  /// every worker exchange on X-Gdlog-Trace, so one id stitches the whole
+  /// fan-out together across the fleet's access logs.
+  HttpResponse HandleJobs(const HttpRequest& request,
+                          const std::string& trace = "");
 
   Counters counters() const;
+
+  /// Latency of individual worker exchanges (each dispatch attempt, both
+  /// waves), for /v1/metrics.
+  const LatencyHistogram& dispatch_histogram() const {
+    return dispatch_hist_;
+  }
 
  private:
   /// The dispatch loop behind /v1/jobs: plans, fans the shard groups out
   /// to the workers concurrently, re-dispatches failed groups to healthy
   /// workers, validates coverage and merges. Pure with respect to the
-  /// cache (the caller feeds the result through LookupOrCompute).
+  /// cache (the caller feeds the result through LookupOrCompute); `spans`
+  /// (optional) receives the wall-time breakdown of this run.
   Result<OutcomeSpace> RunJob(const ProgramRegistry::Entry& entry,
                               const ChaseOptions& chase, size_t num_shards,
                               size_t prefix_depth, ShardAssignment assignment,
                               const std::vector<std::string>& workers,
-                              int deadline_ms);
+                              int deadline_ms, const std::string& trace,
+                              JobSpans* spans);
 
   ProgramRegistry* registry_;
   InferenceCache* cache_;
@@ -110,6 +142,7 @@ class FleetService {
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> worker_failures_{0};
   std::atomic<uint64_t> partials_merged_{0};
+  LatencyHistogram dispatch_hist_;
 };
 
 /// Splits "host:port" (the worker-list wire format). The port must be a

@@ -408,24 +408,23 @@ Result<HttpClient> HttpClient::Connect(const std::string& host, int port,
 Result<HttpResponse> HttpClient::Request(std::string_view method,
                                          std::string_view target,
                                          std::string_view body,
-                                         std::string_view content_type) {
+                                         std::string_view content_type,
+                                         const HeaderList& extra_headers) {
   return RequestInternal(method, target, body, content_type,
-                         /*deadline_ms=*/-1);
+                         /*deadline_ms=*/-1, extra_headers);
 }
 
-Result<HttpResponse> HttpClient::RequestWithDeadline(std::string_view method,
-                                                     std::string_view target,
-                                                     std::string_view body,
-                                                     int deadline_ms) {
+Result<HttpResponse> HttpClient::RequestWithDeadline(
+    std::string_view method, std::string_view target, std::string_view body,
+    int deadline_ms, const HeaderList& extra_headers) {
   return RequestInternal(method, target, body, "application/json",
-                         deadline_ms);
+                         deadline_ms, extra_headers);
 }
 
-Result<HttpResponse> HttpClient::RequestInternal(std::string_view method,
-                                                 std::string_view target,
-                                                 std::string_view body,
-                                                 std::string_view content_type,
-                                                 int deadline_ms) {
+Result<HttpResponse> HttpClient::RequestInternal(
+    std::string_view method, std::string_view target, std::string_view body,
+    std::string_view content_type, int deadline_ms,
+    const HeaderList& extra_headers) {
   if (closed_) {
     return Status::Internal("connection closed by server; reconnect");
   }
@@ -449,6 +448,12 @@ Result<HttpResponse> HttpClient::RequestInternal(std::string_view method,
   request += ' ';
   request += target;
   request += " HTTP/1.1\r\nHost: gdlog\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    request += name;
+    request += ": ";
+    request += value;
+    request += "\r\n";
+  }
   if (!body.empty()) {
     request += "Content-Type: ";
     request += content_type;

@@ -121,6 +121,10 @@ class HttpClient {
   HttpClient(HttpClient&&) noexcept = default;
   HttpClient& operator=(HttpClient&&) noexcept = default;
 
+  /// Extra request headers ({name, value} pairs, written verbatim) — how a
+  /// coordinator forwards X-Gdlog-Trace to its workers.
+  using HeaderList = std::vector<std::pair<std::string, std::string>>;
+
   /// Sends one request and reads the response. `status` comes back in
   /// HttpResponse::status, the payload in body. After a response carrying
   /// "Connection: close" the client is dead; reconnect to continue.
@@ -128,7 +132,8 @@ class HttpClient {
                                std::string_view target,
                                std::string_view body = {},
                                std::string_view content_type =
-                                   "application/json");
+                                   "application/json",
+                               const HeaderList& extra_headers = {});
 
   /// Like Request(), but bounds the *whole* exchange by `deadline_ms`:
   /// every socket wait gets only the remaining budget, so a trickling
@@ -138,7 +143,9 @@ class HttpClient {
   Result<HttpResponse> RequestWithDeadline(std::string_view method,
                                            std::string_view target,
                                            std::string_view body,
-                                           int deadline_ms);
+                                           int deadline_ms,
+                                           const HeaderList& extra_headers =
+                                               {});
 
  private:
   HttpClient(Connection conn, int timeout_ms)
@@ -148,7 +155,8 @@ class HttpClient {
                                        std::string_view target,
                                        std::string_view body,
                                        std::string_view content_type,
-                                       int deadline_ms);
+                                       int deadline_ms,
+                                       const HeaderList& extra_headers);
 
   Connection conn_;
   int timeout_ms_;

@@ -143,6 +143,8 @@ Result<ChaseOptions> ReadChaseOptions(const JsonValue& body,
     GDLOG_ASSIGN_OR_RETURN(uint64_t threads,
                            OptionalU64(*obj, "num_threads",
                                        chase.num_threads));
+    GDLOG_ASSIGN_OR_RETURN(bool profile,
+                           OptionalBool(*obj, "profile", chase.profile));
     if (!(mpp >= 0.0) || mpp > 1.0) {
       return Status::InvalidArgument("min_path_prob must be in [0, 1]");
     }
@@ -157,6 +159,9 @@ Result<ChaseOptions> ReadChaseOptions(const JsonValue& body,
     // the hardware; thread count never changes results, only speed.
     chase.num_threads = static_cast<size_t>(
         std::min<uint64_t>(threads, ThreadPool::DefaultWorkerCount()));
+    // Profiling never changes results (the flag is excluded from the cache
+    // fingerprint), it only asks the engine to collect rule timings.
+    chase.profile = profile;
   }
   chase.compute_models = true;
   chase.keep_groundings = false;

@@ -1,11 +1,16 @@
 #include "server/service.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <utility>
 #include <vector>
 
 #include "gdatalog/export.h"
 #include "gdatalog/sampler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/version.h"
 #include "server/options.h"
 #include "util/json.h"
 #include "util/thread_pool.h"
@@ -56,6 +61,7 @@ InferenceService::InferenceService(Options options)
                                    options_.default_chase}) {}
 
 HttpResponse InferenceService::Handle(const HttpRequest& request) {
+  const uint64_t start_ns = MonotonicNanos();
   requests_.fetch_add(1, std::memory_order_relaxed);
   // The API surface lives under /v1/; the original unversioned paths stay
   // routable as deprecated aliases, marked with a Deprecation header (RFC
@@ -66,25 +72,74 @@ HttpResponse InferenceService::Handle(const HttpRequest& request) {
     versioned = true;
     target = target.substr(3);
   }
-  HttpResponse response = Route(request, target);
+  // Trace propagation: adopt the caller's well-formed id (so a multi-hop
+  // request keeps one id end to end), mint one otherwise. Every response —
+  // error envelopes included — echoes it.
+  std::string trace;
+  if (const std::string* header = request.FindHeader(kTraceHeader);
+      header != nullptr && IsValidTraceId(*header)) {
+    trace = *header;
+  } else {
+    trace = GenerateTraceId();
+  }
+  HttpResponse response = Route(request, target, trace);
   if (!versioned) {
     response.headers.emplace_back("Deprecation", "true");
     response.headers.emplace_back("Link",
                                   "</v1" + target +
                                       ">; rel=\"successor-version\"");
   }
+  response.headers.emplace_back(kTraceHeader, trace);
+  request_hist_[EndpointFor(target)].RecordNanos(MonotonicNanos() -
+                                                 start_ns);
   return response;
 }
 
+InferenceService::Endpoint InferenceService::EndpointFor(
+    const std::string& target) {
+  if (target == "/healthz") return kHealthz;
+  if (target == "/stats") return kStats;
+  if (target == "/metrics") return kMetrics;
+  if (target == "/programs") return kPrograms;
+  if (target.rfind("/programs/", 0) == 0) return kProgram;
+  if (target == "/query") return kQuery;
+  if (target == "/sample") return kSample;
+  if (target == "/shards") return kShards;
+  if (target == "/jobs") return kJobs;
+  return kOther;
+}
+
+const char* InferenceService::EndpointName(Endpoint endpoint) {
+  switch (endpoint) {
+    case kHealthz: return "healthz";
+    case kStats: return "stats";
+    case kMetrics: return "metrics";
+    case kPrograms: return "programs";
+    case kProgram: return "program";
+    case kQuery: return "query";
+    case kSample: return "sample";
+    case kShards: return "shards";
+    case kJobs: return "jobs";
+    case kOther: return "other";
+    case kEndpointCount: break;
+  }
+  return "other";
+}
+
 HttpResponse InferenceService::Route(const HttpRequest& request,
-                                     const std::string& target) {
+                                     const std::string& target,
+                                     const std::string& trace) {
   if (target == "/healthz") {
     if (request.method != "GET") return MethodNotAllowed("GET");
-    return JsonResponse(200, "{\"status\":\"ok\"}\n");
+    return HandleHealthz();
   }
   if (target == "/stats") {
     if (request.method != "GET") return MethodNotAllowed("GET");
     return HandleStats();
+  }
+  if (target == "/metrics") {
+    if (request.method != "GET") return MethodNotAllowed("GET");
+    return HandleMetrics();
   }
   if (target == "/programs") {
     if (request.method != "POST") return MethodNotAllowed("POST");
@@ -121,7 +176,7 @@ HttpResponse InferenceService::Route(const HttpRequest& request,
   }
   if (target == "/jobs") {
     if (request.method != "POST") return MethodNotAllowed("POST");
-    return fleet_.HandleJobs(request);
+    return fleet_.HandleJobs(request, trace);
   }
   return ErrorResponse(Status::NotFound("no such resource: " + target));
 }
@@ -291,8 +346,30 @@ HttpResponse InferenceService::HandleQuery(const HttpRequest& request) {
       InferenceCache::Fingerprint(entry->id, entry->revision,
                                   entry->lineage_digest, *chase) +
       demand_suffix;
-  auto space = cache_.LookupOrCompute(
-      key, [&]() { return engine->Infer(*chase); });
+  // The chase histogram sees only cache-miss computes; the lookup
+  // histogram sees LookupOrCompute's own overhead (total minus compute),
+  // so a hot cache shows up as microsecond lookups, not zero-cost chases.
+  uint64_t compute_ns = 0;
+  const uint64_t lookup_start_ns = MonotonicNanos();
+  auto space = cache_.LookupOrCompute(key, [&]() -> Result<OutcomeSpace> {
+    const uint64_t chase_start_ns = MonotonicNanos();
+    if (chase->profile) {
+      ChaseProfile profile;
+      Result<OutcomeSpace> result = engine->Infer(*chase, &profile);
+      if (result.ok()) {
+        RecordRuleProfiles(entry->id, engine->SigmaRuleLabels(), profile);
+      }
+      compute_ns = MonotonicNanos() - chase_start_ns;
+      return result;
+    }
+    Result<OutcomeSpace> result = engine->Infer(*chase);
+    compute_ns = MonotonicNanos() - chase_start_ns;
+    return result;
+  });
+  const uint64_t lookup_ns = MonotonicNanos() - lookup_start_ns;
+  cache_lookup_hist_.RecordNanos(
+      lookup_ns >= compute_ns ? lookup_ns - compute_ns : 0);
+  if (compute_ns != 0) chase_hist_.RecordNanos(compute_ns);
   if (!space.ok()) return ErrorResponse(space.status());
   if (queries == nullptr) {
     auto include_outcomes = OptionalBool(*body, "include_outcomes", false);
@@ -466,8 +543,61 @@ HttpResponse InferenceService::HandleSample(const HttpRequest& request) {
   return JsonResponse(200, json.str() + "\n");
 }
 
+HttpResponse InferenceService::HandleHealthz() {
+  double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("status", "ok");
+  json.KV("version", GdlogVersion());
+  json.KV("uptime_s", uptime);
+  json.KV("pid", static_cast<long long>(::getpid()));
+  json.EndObject();
+  return JsonResponse(200, json.str() + "\n");
+}
+
+InferenceService::ServiceCounters InferenceService::SnapshotCounters() const {
+  ServiceCounters counters;
+  counters.requests = requests_.load(std::memory_order_relaxed);
+  counters.queries = queries_.load(std::memory_order_relaxed);
+  counters.samples = samples_.load(std::memory_order_relaxed);
+  counters.demand_queries =
+      demand_queries_.load(std::memory_order_relaxed);
+  counters.delta_patches = delta_patches_.load(std::memory_order_relaxed);
+  counters.spaces_revalidated =
+      spaces_revalidated_.load(std::memory_order_relaxed);
+  counters.spaces_evicted =
+      spaces_evicted_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void InferenceService::RecordRuleProfiles(
+    const std::string& program_id,
+    const std::vector<std::string>& rule_labels,
+    const ChaseProfile& profile) {
+  std::lock_guard<std::mutex> lock(profile_mu_);
+  std::map<std::string, RuleProfile>& rules = rule_profiles_[program_id];
+  for (size_t i = 0; i < profile.rules.size(); ++i) {
+    const RuleProfile& rp = profile.rules[i];
+    if (rp.calls == 0 && rp.derivations == 0) continue;
+    std::string label =
+        i < rule_labels.size() ? rule_labels[i] : "r" + std::to_string(i);
+    rules[label].Add(rp);
+  }
+}
+
 HttpResponse InferenceService::HandleStats() {
+  // All subsystem snapshots are taken up front, before any serialization:
+  // each is internally coherent (one load per counter, under the
+  // subsystem's own discipline), so no sum in the document mixes two
+  // points in time.
+  ServiceCounters server = SnapshotCounters();
   InferenceCache::Stats cache_stats = cache_.stats();
+  ProgramRegistry::OptCounters opt = registry_.opt_counters();
+  ProgramRegistry::DeltaCounters delta = registry_.delta_counters();
+  FleetService::Counters fleet = fleet_.counters();
+  size_t programs = registry_.size();
   double uptime =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
@@ -479,16 +609,13 @@ HttpResponse InferenceService::HandleStats() {
   json.Key("server").BeginObject();
   json.KV("uptime_seconds", uptime);
   json.Key("requests").BeginObject();
-  json.KV("total", static_cast<long long>(
-                       requests_.load(std::memory_order_relaxed)));
-  json.KV("queries", static_cast<long long>(
-                         queries_.load(std::memory_order_relaxed)));
-  json.KV("samples", static_cast<long long>(
-                         samples_.load(std::memory_order_relaxed)));
+  json.KV("total", static_cast<long long>(server.requests));
+  json.KV("queries", static_cast<long long>(server.queries));
+  json.KV("samples", static_cast<long long>(server.samples));
   json.EndObject();
   json.EndObject();
   json.Key("registry").BeginObject();
-  json.KV("programs", static_cast<long long>(registry_.size()));
+  json.KV("programs", static_cast<long long>(programs));
   json.EndObject();
   json.Key("cache").BeginObject();
   json.KV("hits", static_cast<long long>(cache_stats.hits));
@@ -502,7 +629,6 @@ HttpResponse InferenceService::HandleStats() {
   json.KV("capacity_bytes",
           static_cast<long long>(cache_stats.capacity_bytes));
   json.EndObject();
-  ProgramRegistry::OptCounters opt = registry_.opt_counters();
   json.Key("opt").BeginObject();
   json.KV("db_replacements", static_cast<long long>(opt.db_replacements));
   json.KV("pipeline_reuses", static_cast<long long>(opt.pipeline_reuses));
@@ -511,23 +637,18 @@ HttpResponse InferenceService::HandleStats() {
   json.KV("demand_cache_hits",
           static_cast<long long>(opt.demand_cache_hits));
   json.KV("demand_queries",
-          static_cast<long long>(
-              demand_queries_.load(std::memory_order_relaxed)));
+          static_cast<long long>(server.demand_queries));
   json.EndObject();
-  ProgramRegistry::DeltaCounters delta = registry_.delta_counters();
   json.Key("delta").BeginObject();
   json.KV("patches", static_cast<long long>(delta.deltas_applied));
   json.KV("rows_appended", static_cast<long long>(delta.rows_appended));
   json.KV("rules_refired", static_cast<long long>(delta.rules_refired));
   json.KV("pipeline_reuses", static_cast<long long>(delta.pipeline_reuses));
   json.KV("spaces_revalidated",
-          static_cast<long long>(
-              spaces_revalidated_.load(std::memory_order_relaxed)));
+          static_cast<long long>(server.spaces_revalidated));
   json.KV("spaces_evicted",
-          static_cast<long long>(
-              spaces_evicted_.load(std::memory_order_relaxed)));
+          static_cast<long long>(server.spaces_evicted));
   json.EndObject();
-  FleetService::Counters fleet = fleet_.counters();
   json.Key("fleet").BeginObject();
   json.KV("shard_requests", static_cast<long long>(fleet.shard_requests));
   json.KV("shards_explored", static_cast<long long>(fleet.shards_explored));
@@ -540,6 +661,165 @@ HttpResponse InferenceService::HandleStats() {
   json.EndObject();
   json.EndObject();
   return JsonResponse(200, json.str() + "\n");
+}
+
+HttpResponse InferenceService::HandleMetrics() {
+  // Same snapshot-first discipline as /v1/stats: every family renders from
+  // one point-in-time view per subsystem.
+  ServiceCounters server = SnapshotCounters();
+  InferenceCache::Stats cache_stats = cache_.stats();
+  ProgramRegistry::OptCounters opt = registry_.opt_counters();
+  ProgramRegistry::DeltaCounters delta = registry_.delta_counters();
+  FleetService::Counters fleet = fleet_.counters();
+  size_t programs = registry_.size();
+  double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+
+  MetricsWriter metrics;
+  metrics.Gauge("gdlog_build_info",
+                "Build metadata; the value is always 1.",
+                "version=\"" + EscapeLabelValue(GdlogVersion()) + "\"", 1.0);
+  metrics.Gauge("gdlog_uptime_seconds",
+                "Seconds since the service started.", "", uptime);
+  metrics.Gauge("gdlog_registry_programs",
+                "Programs currently registered.",
+                "", static_cast<double>(programs));
+
+  metrics.Counter("gdlog_http_requests_total",
+                  "HTTP requests routed (all endpoints).", "",
+                  server.requests);
+  metrics.Counter("gdlog_queries_total", "POST /v1/query requests.", "",
+                  server.queries);
+  metrics.Counter("gdlog_samples_total", "POST /v1/sample requests.", "",
+                  server.samples);
+  metrics.Counter("gdlog_demand_queries_total",
+                  "Marginal queries served through a demand-transformed "
+                  "engine.",
+                  "", server.demand_queries);
+
+  metrics.Counter("gdlog_cache_hits_total",
+                  "Inference cache lookups served from memory.", "",
+                  cache_stats.hits);
+  metrics.Counter("gdlog_cache_misses_total",
+                  "Inference cache lookups that computed.", "",
+                  cache_stats.misses);
+  metrics.Counter("gdlog_cache_coalesced_total",
+                  "Lookups that waited on another thread's compute.", "",
+                  cache_stats.coalesced);
+  metrics.Counter("gdlog_cache_evictions_total",
+                  "Cache entries evicted (LRU or invalidation).", "",
+                  cache_stats.evictions);
+  metrics.Counter("gdlog_cache_inserts_total",
+                  "Cache entries inserted.", "", cache_stats.inserts);
+  metrics.Counter("gdlog_cache_revalidated_total",
+                  "Cache entries carried across a database delta.", "",
+                  cache_stats.revalidated);
+  metrics.Gauge("gdlog_cache_entries", "Cache entries resident.", "",
+                static_cast<double>(cache_stats.entries));
+  metrics.Gauge("gdlog_cache_bytes", "Approximate cache bytes resident.",
+                "", static_cast<double>(cache_stats.bytes));
+  metrics.Gauge("gdlog_cache_capacity_bytes", "Cache byte capacity.", "",
+                static_cast<double>(cache_stats.capacity_bytes));
+
+  metrics.Counter("gdlog_opt_db_replacements_total",
+                  "PUT /db database replacements.", "",
+                  opt.db_replacements);
+  metrics.Counter("gdlog_opt_pipeline_reuses_total",
+                  "Optimization pipelines reused across revisions.", "",
+                  opt.pipeline_reuses);
+  metrics.Counter("gdlog_opt_demand_engines_built_total",
+                  "Demand-transformed engines built.", "",
+                  opt.demand_engines_built);
+  metrics.Counter("gdlog_opt_demand_cache_hits_total",
+                  "Demand-engine cache hits.", "", opt.demand_cache_hits);
+
+  metrics.Counter("gdlog_delta_patches_total",
+                  "PATCH /db deltas applied.", "", delta.deltas_applied);
+  metrics.Counter("gdlog_delta_rows_appended_total",
+                  "Facts appended by deltas.", "", delta.rows_appended);
+  metrics.Counter("gdlog_delta_rules_refired_total",
+                  "Rules re-fired by incremental re-grounding.", "",
+                  delta.rules_refired);
+  metrics.Counter("gdlog_delta_pipeline_reuses_total",
+                  "Grounding pipelines reused across deltas.", "",
+                  delta.pipeline_reuses);
+  metrics.Counter("gdlog_delta_spaces_revalidated_total",
+                  "Cached outcome spaces revalidated across a delta.", "",
+                  server.spaces_revalidated);
+  metrics.Counter("gdlog_delta_spaces_evicted_total",
+                  "Cached outcome spaces evicted by a delta.", "",
+                  server.spaces_evicted);
+
+  metrics.Counter("gdlog_fleet_shard_requests_total",
+                  "POST /v1/shards requests served.", "",
+                  fleet.shard_requests);
+  metrics.Counter("gdlog_fleet_shards_explored_total",
+                  "Shard indices explored locally.", "",
+                  fleet.shards_explored);
+  metrics.Counter("gdlog_fleet_jobs_total", "POST /v1/jobs requests.", "",
+                  fleet.jobs);
+  metrics.Counter("gdlog_fleet_jobs_failed_total",
+                  "Jobs that returned non-2xx.", "", fleet.jobs_failed);
+  metrics.Counter("gdlog_fleet_dispatches_total",
+                  "Worker exchanges attempted.", "", fleet.dispatches);
+  metrics.Counter("gdlog_fleet_retries_total",
+                  "Shard groups re-dispatched.", "", fleet.retries);
+  metrics.Counter("gdlog_fleet_worker_failures_total",
+                  "Worker exchanges that failed.", "",
+                  fleet.worker_failures);
+  metrics.Counter("gdlog_fleet_partials_merged_total",
+                  "Partials merged into job results.", "",
+                  fleet.partials_merged);
+
+  for (size_t i = 0; i < kEndpointCount; ++i) {
+    metrics.Histogram(
+        "gdlog_request_duration_seconds",
+        "Request latency by endpoint.",
+        std::string("endpoint=\"") +
+            EndpointName(static_cast<Endpoint>(i)) + "\"",
+        request_hist_[i].TakeSnapshot());
+  }
+  metrics.Histogram("gdlog_chase_duration_seconds",
+                    "Chase wall time of cache-miss query computes.", "",
+                    chase_hist_.TakeSnapshot());
+  metrics.Histogram("gdlog_cache_lookup_duration_seconds",
+                    "Inference-cache lookup overhead (compute excluded).",
+                    "", cache_lookup_hist_.TakeSnapshot());
+  metrics.Histogram("gdlog_fleet_dispatch_duration_seconds",
+                    "Per-group worker exchange latency (each attempt).",
+                    "", fleet_.dispatch_histogram().TakeSnapshot());
+
+  {
+    // Per-rule chase-profile totals, fed by profiled queries
+    // ("profile": true). std::map iteration keeps label order — and hence
+    // the exposition — deterministic for a given counter state.
+    std::lock_guard<std::mutex> lock(profile_mu_);
+    for (const auto& [program_id, rules] : rule_profiles_) {
+      std::string program_label =
+          "program=\"" + EscapeLabelValue(program_id) + "\",rule=\"";
+      for (const auto& [rule_label, rp] : rules) {
+        std::string labels =
+            program_label + EscapeLabelValue(rule_label) + "\"";
+        metrics.Counter("gdlog_rule_calls_total",
+                        "Profiled (rule, pivot) executor invocations.",
+                        labels, rp.calls);
+        metrics.Counter("gdlog_rule_bindings_total",
+                        "Profiled join rows enumerated.", labels,
+                        rp.bindings);
+        metrics.Counter("gdlog_rule_derivations_total",
+                        "Profiled ground instances derived (pre-dedup).",
+                        labels, rp.derivations);
+        metrics.CounterSeconds("gdlog_rule_time_seconds_total",
+                               "Profiled wall time in the join executor.",
+                               labels, rp.time_ns);
+      }
+    }
+  }
+
+  HttpResponse response = JsonResponse(200, metrics.Take());
+  response.content_type = kMetricsContentType;
+  return response;
 }
 
 }  // namespace gdlog

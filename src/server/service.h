@@ -1,12 +1,17 @@
 #ifndef GDLOG_SERVER_SERVICE_H_
 #define GDLOG_SERVER_SERVICE_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 
 #include "gdatalog/chase.h"
+#include "obs/histogram.h"
+#include "obs/profile.h"
 #include "server/cache.h"
 #include "server/fleet.h"
 #include "server/http.h"
@@ -57,9 +62,18 @@ namespace gdlog {
 ///                                a deterministic shard plan (fleet.h)
 ///   POST   /v1/jobs              fleet coordinator: distribute a query
 ///                                across workers and merge (fleet.h)
-///   GET    /v1/healthz           liveness: {"status":"ok"}
+///   GET    /v1/healthz           liveness: {"status":"ok", version,
+///                                uptime_s, pid}
 ///   GET    /v1/stats             per-subsystem counters: {server,
 ///                                registry, cache, opt, delta, fleet}
+///   GET    /v1/metrics           Prometheus text exposition: every /stats
+///                                counter plus latency histograms and
+///                                per-rule chase-profile totals
+///
+/// Every response (errors included) echoes a request trace id on the
+/// X-Gdlog-Trace header: the caller's value when it sent a well-formed
+/// one, a freshly minted id otherwise. /v1/jobs forwards the id to every
+/// worker exchange, so one id follows a query across the whole fleet.
 class InferenceService {
  public:
   struct Options {
@@ -87,15 +101,59 @@ class InferenceService {
   const FleetService& fleet() const { return fleet_; }
 
  private:
+  /// The per-endpoint request-latency histogram family. kOther covers
+  /// unroutable targets (404s); /programs/<id>[/db] maps to kProgram.
+  enum Endpoint : size_t {
+    kHealthz,
+    kStats,
+    kMetrics,
+    kPrograms,
+    kProgram,
+    kQuery,
+    kSample,
+    kShards,
+    kJobs,
+    kOther,
+    kEndpointCount,
+  };
+  static Endpoint EndpointFor(const std::string& target);
+  static const char* EndpointName(Endpoint endpoint);
+
+  /// One coherent load of the service-owned atomics (each subsystem's
+  /// counters() snapshot plays the same role), so /v1/stats and
+  /// /v1/metrics render from a single point-in-time view instead of
+  /// re-reading atomics mid-serialization.
+  struct ServiceCounters {
+    uint64_t requests = 0;
+    uint64_t queries = 0;
+    uint64_t samples = 0;
+    uint64_t demand_queries = 0;
+    uint64_t delta_patches = 0;
+    uint64_t spaces_revalidated = 0;
+    uint64_t spaces_evicted = 0;
+  };
+  ServiceCounters SnapshotCounters() const;
+
   /// Routes a version-stripped target ("/query" for both /query and
-  /// /v1/query).
-  HttpResponse Route(const HttpRequest& request, const std::string& target);
+  /// /v1/query). `trace` is the request's trace id (already validated or
+  /// minted by Handle); handlers that fan out forward it.
+  HttpResponse Route(const HttpRequest& request, const std::string& target,
+                     const std::string& trace);
   HttpResponse HandleRegister(const HttpRequest& request);
   HttpResponse HandleProgram(const HttpRequest& request,
                              const std::string& id, bool db_subresource);
   HttpResponse HandleQuery(const HttpRequest& request);
   HttpResponse HandleSample(const HttpRequest& request);
+  HttpResponse HandleHealthz();
   HttpResponse HandleStats();
+  HttpResponse HandleMetrics();
+
+  /// Folds one profiled chase into the per-program rule totals exported by
+  /// /v1/metrics. Labels come from the engine that actually ran (base or
+  /// demand-transformed), indexed like profile.rules.
+  void RecordRuleProfiles(const std::string& program_id,
+                          const std::vector<std::string>& rule_labels,
+                          const ChaseProfile& profile);
 
   Options options_;
   ProgramRegistry registry_;
@@ -114,6 +172,19 @@ class InferenceService {
   /// versus dropped because the delta touched rule bodies.
   std::atomic<uint64_t> spaces_revalidated_{0};
   std::atomic<uint64_t> spaces_evicted_{0};
+
+  /// Request latency per endpoint, plus the two /query-internal phases:
+  /// chase wall time (cache-miss computes only) and cache lookup overhead
+  /// (LookupOrCompute time minus compute time).
+  std::array<LatencyHistogram, kEndpointCount> request_hist_;
+  LatencyHistogram chase_hist_;
+  LatencyHistogram cache_lookup_hist_;
+
+  /// Per-program, per-rule chase-profile totals (only fed by profiled
+  /// queries — "profile": true). Keyed program id → rule label; registry
+  /// entries are immutable snapshots, so the accumulation lives here.
+  std::mutex profile_mu_;
+  std::map<std::string, std::map<std::string, RuleProfile>> rule_profiles_;
 };
 
 }  // namespace gdlog

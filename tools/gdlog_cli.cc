@@ -59,6 +59,14 @@
 //                         exploration to the queried predicates' dependency
 //                         cone: marginals and P(consistent) are exact,
 //                         the outcome count may coarsen
+//   --profile             exact mode: collect the per-rule chase profile
+//                         (calls, bindings, derivations, stratum, wall
+//                         time per Σ_Π rule; per-depth node/ground/solve
+//                         accounting) and print it after the report
+//                         (stderr with --json, so the JSON stream — which
+//                         stays byte-identical to a run without
+//                         --profile — is unaffected). Counts are exactly
+//                         reproducible for any --threads; times are not
 //   --stats               print optimization-pass and grounding statistics
 //                         for G(∅) — per-pass rewrites and wall time,
 //                         ground rules, complete bindings, index /
@@ -86,6 +94,7 @@
 #include "gdatalog/sampler.h"
 #include "gdatalog/shard.h"
 #include "ground/dependency_graph.h"
+#include "obs/profile.h"
 #include "util/subprocess.h"
 
 namespace {
@@ -104,6 +113,7 @@ struct CliOptions {
   bool dot = false;
   bool json = false;
   bool stats = false;
+  bool profile = false;
   bool extensions = false;
   bool optimize = true;
   bool dump_ir = false;
@@ -133,7 +143,7 @@ struct CliOptions {
                "          [--shard-prefix-depth K] [--merge FILE]...\n"
                "          [--extensions] [--normalgrid-max-cells K]\n"
                "          [--opt | --no-opt] [--dump-ir]\n"
-               "          [--stats] [--json] [--dot]\n",
+               "          [--profile] [--stats] [--json] [--dot]\n",
                argv0);
   std::exit(2);
 }
@@ -179,6 +189,8 @@ CliOptions ParseArgs(int argc, char** argv) {
       opts.json = true;
     } else if (!std::strcmp(arg, "--stats")) {
       opts.stats = true;
+    } else if (!std::strcmp(arg, "--profile")) {
+      opts.profile = true;
     } else if (!std::strcmp(arg, "--mc")) {
       opts.mc_samples = std::strtoull(need_value(i), nullptr, 10);
     } else if (!std::strcmp(arg, "--seed")) {
@@ -240,6 +252,7 @@ gdlog::ChaseOptions MakeChaseOptions(const CliOptions& opts) {
   chase.max_depth = opts.max_depth;
   chase.support_limit = opts.support_limit;
   chase.num_threads = opts.threads;
+  chase.profile = opts.profile;
   return chase;
 }
 
@@ -347,13 +360,25 @@ void PrintDeltaStats(const gdlog::GDatalog& engine, const CliOptions& opts) {
 }
 
 int RunExact(const gdlog::GDatalog& engine, const CliOptions& opts) {
-  auto space = engine.Infer(MakeChaseOptions(opts));
+  gdlog::ChaseOptions chase = MakeChaseOptions(opts);
+  gdlog::ChaseProfile profile;
+  auto space = opts.profile ? engine.Infer(chase, &profile)
+                            : engine.Infer(chase);
   if (!space.ok()) {
     std::fprintf(stderr, "inference error: %s\n",
                  space.status().ToString().c_str());
     return 1;
   }
   int code = ReportSpace(engine, *space, opts);
+  if (code == 0 && opts.profile) {
+    // To stderr under --json so the JSON document on stdout stays
+    // byte-identical to a run without --profile.
+    std::FILE* dst = opts.json ? stderr : stdout;
+    std::fputs(
+        gdlog::FormatChaseProfileTable(profile, engine.SigmaRuleLabels())
+            .c_str(),
+        dst);
+  }
   if (code == 0 && opts.stats) {
     PrintOptStats(engine, opts);
     PrintDeltaStats(engine, opts);

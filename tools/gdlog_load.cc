@@ -299,9 +299,9 @@ int main(int argc, char** argv) {
   if (!latencies_ms.empty()) mean /= double(latencies_ms.size());
   std::printf(
       "requests=%zu ok=%zu failed=%zu concurrency=%zu\n"
-      "latency ms: mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
+      "latency ms: mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
       opts.requests, latencies_ms.size(), failures.load(), opts.concurrency,
-      mean, percentile(0.50), percentile(0.90), percentile(0.99),
+      mean, percentile(0.50), percentile(0.95), percentile(0.99),
       percentile(1.0));
 
   auto stats_after = FetchStats(opts.host, opts.port);

@@ -21,6 +21,13 @@
 //                         becomes the default worker set for /v1/jobs,
 //                         turning this daemon into a fleet coordinator
 //   --fleet-deadline-ms N per-exchange worker deadline    (default 60000)
+//   --version             print the build version (git describe) and exit
+//
+// Every request is access-logged to stderr as
+//   gdlogd: METHOD TARGET status=N trace=ID
+// where ID is the request's X-Gdlog-Trace id (caller-supplied or minted);
+// a coordinator forwards its id to workers, so grepping one id across the
+// fleet's logs reconstructs a whole distributed job.
 //
 // Endpoints (all under /v1/, with deprecated unversioned aliases): POST
 // /v1/programs, GET|DELETE /v1/programs/<id>, PUT|PATCH
@@ -37,6 +44,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
+#include "obs/version.h"
 #include "server/http.h"
 #include "server/service.h"
 
@@ -56,7 +65,7 @@ void HandleSignal(int /*sig*/) {
                "          [--chase-threads N] [--cache-mb N]\n"
                "          [--max-body-mb N] [--idle-timeout-ms N]\n"
                "          [--max-samples N] [--fleet-workers H:P,H:P,...]\n"
-               "          [--fleet-deadline-ms N]\n",
+               "          [--fleet-deadline-ms N] [--version]\n",
                argv0);
   std::exit(2);
 }
@@ -118,6 +127,10 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(arg, "--fleet-deadline-ms")) {
       service_options.fleet_deadline_ms =
           static_cast<int>(std::strtol(need_value(i), nullptr, 10));
+    } else if (!std::strcmp(arg, "--version")) {
+      // The same string /v1/healthz reports as "version".
+      std::printf("gdlogd %s\n", gdlog::GdlogVersion());
+      return 0;
     } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
       Usage(argv[0]);
     } else {
@@ -129,7 +142,13 @@ int main(int argc, char** argv) {
   auto server = gdlog::HttpServer::Create(
       http_options,
       [&service](const gdlog::HttpRequest& request) {
-        return service.Handle(request);
+        gdlog::HttpResponse response = service.Handle(request);
+        const std::string* trace = response.FindHeader(gdlog::kTraceHeader);
+        std::fprintf(stderr, "gdlogd: %s %s status=%d trace=%s\n",
+                     request.method.c_str(), request.target.c_str(),
+                     response.status,
+                     trace != nullptr ? trace->c_str() : "-");
+        return response;
       });
   if (!server.ok()) {
     std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
