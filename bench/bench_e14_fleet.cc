@@ -11,15 +11,25 @@
 // The assignment is part of the pure plan function, so both policies
 // stay zero-coordination: every worker recomputes the same partition
 // from the same coordinates.
+// Two live-fleet scenarios ride along (printed before the benchmark
+// table): a SLEEPING STRAGGLER worker, where mid-job shard stealing must
+// beat the no-steal makespan by well over 1.5x, and a REPEATED JOB, where
+// the worker-side partial cache must serve the second coordinator's whole
+// job with zero additional chases.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "gdatalog/shard.h"
+#include "server/http.h"
+#include "server/service.h"
+#include "util/json.h"
 
 namespace {
 
@@ -124,6 +134,147 @@ void VerificationTable() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Live-fleet scenarios: straggler stealing and the worker partial cache
+// ---------------------------------------------------------------------------
+
+/// A real gdlogd worker on a loopback port; `shard_delay_ms` > 0 turns it
+/// into a straggler that sleeps before serving each /v1/shards request.
+class BenchWorker {
+ public:
+  explicit BenchWorker(int shard_delay_ms = 0) {
+    gdlog::InferenceService::Options options;
+    options.default_chase.num_threads = 1;
+    service_ = std::make_unique<gdlog::InferenceService>(options);
+    gdlog::HttpServerOptions http;
+    http.workers = 4;
+    auto server = gdlog::HttpServer::Create(
+        http, [this, shard_delay_ms](const gdlog::HttpRequest& request) {
+          if (shard_delay_ms > 0 && request.target == "/v1/shards") {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(shard_delay_ms));
+          }
+          return service_->Handle(request);
+        });
+    if (!server.ok()) std::abort();
+    server_ = std::make_unique<gdlog::HttpServer>(std::move(*server));
+    thread_ = std::thread([this] { (void)server_->Serve(); });
+  }
+
+  ~BenchWorker() {
+    server_->Shutdown();
+    thread_.join();
+  }
+
+  std::string address() const {
+    return "127.0.0.1:" + std::to_string(server_->port());
+  }
+  gdlog::InferenceService& service() { return *service_; }
+
+ private:
+  std::unique_ptr<gdlog::InferenceService> service_;
+  std::unique_ptr<gdlog::HttpServer> server_;
+  std::thread thread_;
+};
+
+/// Registers the skewed program on `coordinator` and runs one /v1/jobs
+/// against `workers`, returning the job wall time in ms.
+double RunFleetJob(gdlog::InferenceService& coordinator,
+                   const std::vector<std::string>& workers, bool steal,
+                   int steal_after_ms, size_t shards) {
+  gdlog::JsonWriter reg;
+  reg.BeginObject().KV("program", SkewedProgram()).KV("db", SkewedDb())
+      .EndObject();
+  gdlog::HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/programs";
+  request.body = reg.str();
+  gdlog::HttpResponse registered = coordinator.Handle(request);
+  if (registered.status != 200 && registered.status != 201) std::abort();
+  auto doc = gdlog::JsonValue::Parse(registered.body);
+  const gdlog::JsonValue* id = doc.ok() ? doc->Find("id") : nullptr;
+  if (id == nullptr) std::abort();
+
+  gdlog::JsonWriter job;
+  job.BeginObject();
+  job.KV("program_id", id->string_value());
+  job.KV("shards", static_cast<long long>(shards));
+  if (!steal) job.KV("steal", false);
+  job.KV("steal_after_ms", static_cast<long long>(steal_after_ms));
+  job.Key("workers").BeginArray();
+  for (const std::string& worker : workers) job.String(worker);
+  job.EndArray();
+  job.EndObject();
+  request.target = "/v1/jobs";
+  request.body = job.str();
+  auto start = std::chrono::steady_clock::now();
+  gdlog::HttpResponse response = coordinator.Handle(request);
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  if (response.status != 200) {
+    std::fprintf(stderr, "bench job failed: %s\n", response.body.c_str());
+    std::abort();
+  }
+  return ms;
+}
+
+void StragglerScenario() {
+  std::printf("=== straggler: mid-job stealing vs waiting ===\n");
+  // One worker sleeps 900 ms before every shard exchange; the other is
+  // healthy. Fresh coordinators per run (the job cache would otherwise
+  // serve the second run for free).
+  BenchWorker straggler(/*shard_delay_ms=*/900);
+  BenchWorker healthy;
+  std::vector<std::string> workers = {straggler.address(),
+                                      healthy.address()};
+  gdlog::InferenceService::Options options;
+  options.default_chase.num_threads = 1;
+
+  gdlog::InferenceService no_steal_coord(options);
+  double no_steal_ms = RunFleetJob(no_steal_coord, workers,
+                                   /*steal=*/false,
+                                   /*steal_after_ms=*/100, kShards);
+  gdlog::InferenceService steal_coord(options);
+  double steal_ms = RunFleetJob(steal_coord, workers, /*steal=*/true,
+                                /*steal_after_ms=*/100, kShards);
+  uint64_t steals = steal_coord.fleet().counters().steals;
+  double ratio = steal_ms > 0 ? no_steal_ms / steal_ms : 0;
+  std::printf("no-steal makespan=%.1fms  steal makespan=%.1fms  "
+              "speedup=%.2fx (target >= 1.5x)  steals=%llu  %s\n\n",
+              no_steal_ms, steal_ms, ratio,
+              static_cast<unsigned long long>(steals),
+              ratio >= 1.5 && steals >= 1 ? "OK" : "MISS");
+}
+
+void RepeatedJobScenario() {
+  std::printf("=== repeated job: worker partial cache ===\n");
+  // The same job from two fresh coordinators: the second is served wholly
+  // out of the worker's partial cache — zero additional chases.
+  BenchWorker worker;
+  std::vector<std::string> workers = {worker.address()};
+  gdlog::InferenceService::Options options;
+  options.default_chase.num_threads = 1;
+
+  gdlog::InferenceService cold_coord(options);
+  double cold_ms = RunFleetJob(cold_coord, workers, /*steal=*/true,
+                               /*steal_after_ms=*/250, kShards);
+  uint64_t explored_after_cold =
+      worker.service().fleet().counters().shards_explored;
+  gdlog::InferenceService warm_coord(options);
+  double warm_ms = RunFleetJob(warm_coord, workers, /*steal=*/true,
+                               /*steal_after_ms=*/250, kShards);
+  gdlog::FleetService::Counters after =
+      worker.service().fleet().counters();
+  uint64_t extra_chases = after.shards_explored - explored_after_cold;
+  std::printf("cold=%.1fms warm=%.1fms  partial_cache_hits=%llu  "
+              "extra_chases=%llu (target 0)  %s\n\n",
+              cold_ms, warm_ms,
+              static_cast<unsigned long long>(after.partial_cache_hits),
+              static_cast<unsigned long long>(extra_chases),
+              extra_chases == 0 ? "OK" : "MISS");
+}
+
 /// The fleet wall-clock proxy: exploring the heaviest shard of the plan.
 /// Weighted keeps it near total/kShards; round-robin's carries roughly
 /// half the tree.
@@ -149,6 +300,8 @@ BENCHMARK(BM_Fleet_WorstShard)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   VerificationTable();
+  StragglerScenario();
+  RepeatedJobScenario();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

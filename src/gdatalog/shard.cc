@@ -1,6 +1,7 @@
 #include "gdatalog/shard.h"
 
 #include <algorithm>
+#include <iterator>
 #include <string>
 #include <utility>
 
@@ -242,28 +243,42 @@ ShardPartialMeta MakeShardPartialMeta(const ShardPlan& plan,
   return meta;
 }
 
-OutcomeSpace MergePartialSpaces(std::vector<PartialSpace> partials,
-                                size_t max_outcomes) {
+void StreamingMerger::Add(PartialSpace partial) {
+  // Workers emit canonically-sorted partials; re-sort only when handed an
+  // unsorted one (deserialized bytes are trusted but not assumed sorted).
+  if (!std::is_sorted(partial.outcomes.begin(), partial.outcomes.end(),
+                      OutcomeBefore) ||
+      !std::is_sorted(partial.truncations.begin(), partial.truncations.end(),
+                      TruncationBefore)) {
+    SortCanonically(&partial);
+  }
+  size_t outcome_mid = accum_.outcomes.size();
+  accum_.outcomes.insert(accum_.outcomes.end(),
+                         std::make_move_iterator(partial.outcomes.begin()),
+                         std::make_move_iterator(partial.outcomes.end()));
+  std::inplace_merge(accum_.outcomes.begin(),
+                     accum_.outcomes.begin() + outcome_mid,
+                     accum_.outcomes.end(), OutcomeBefore);
+  size_t truncation_mid = accum_.truncations.size();
+  accum_.truncations.insert(
+      accum_.truncations.end(),
+      std::make_move_iterator(partial.truncations.begin()),
+      std::make_move_iterator(partial.truncations.end()));
+  std::inplace_merge(accum_.truncations.begin(),
+                     accum_.truncations.begin() + truncation_mid,
+                     accum_.truncations.end(), TruncationBefore);
+  accum_.depth_truncated_paths += partial.depth_truncated_paths;
+  accum_.pruned_paths += partial.pruned_paths;
+  accum_.budget_hit = accum_.budget_hit || partial.budget_hit;
+  ++folded_;
+}
+
+OutcomeSpace StreamingMerger::Finish(size_t max_outcomes) {
   OutcomeSpace space;
-  bool budget_hit = false;
-  size_t total_outcomes = 0;
-  for (const PartialSpace& partial : partials) {
-    total_outcomes += partial.outcomes.size();
-  }
-  space.outcomes.reserve(total_outcomes);
-  std::vector<std::pair<ChoiceSet, Prob>> truncations;
-  for (PartialSpace& partial : partials) {
-    for (PossibleOutcome& outcome : partial.outcomes) {
-      space.outcomes.push_back(std::move(outcome));
-    }
-    for (auto& truncation : partial.truncations) {
-      truncations.push_back(std::move(truncation));
-    }
-    space.depth_truncated_paths += partial.depth_truncated_paths;
-    space.pruned_paths += partial.pruned_paths;
-    budget_hit = budget_hit || partial.budget_hit;
-  }
-  std::sort(space.outcomes.begin(), space.outcomes.end(), OutcomeBefore);
+  bool budget_hit = accum_.budget_hit;
+  space.outcomes = std::move(accum_.outcomes);
+  space.depth_truncated_paths = accum_.depth_truncated_paths;
+  space.pruned_paths = accum_.pruned_paths;
   // Per-shard outcome budgets can overshoot the global one; keep the
   // canonically-first max_outcomes (a single process keeps a
   // schedule-dependent subset instead — only count and flag compare).
@@ -271,16 +286,30 @@ OutcomeSpace MergePartialSpaces(std::vector<PartialSpace> partials,
     space.outcomes.resize(max_outcomes);
     budget_hit = true;
   }
+  // Masses are summed only now, after every partial folded in, so the
+  // addition order is the global canonical order — the same order the
+  // buffered merge sums in, which is what makes the two byte-identical
+  // (double addition is order-sensitive).
   for (const PossibleOutcome& outcome : space.outcomes) {
     space.finite_mass = space.finite_mass + outcome.prob;
   }
-  std::sort(truncations.begin(), truncations.end(), TruncationBefore);
-  for (const auto& [choices, tail] : truncations) {
+  for (const auto& [choices, tail] : accum_.truncations) {
     (void)choices;
     space.support_truncation_mass = space.support_truncation_mass + tail;
   }
   space.complete = !budget_hit;
+  accum_ = PartialSpace();
+  folded_ = 0;
   return space;
+}
+
+OutcomeSpace MergePartialSpaces(std::vector<PartialSpace> partials,
+                                size_t max_outcomes) {
+  StreamingMerger merger;
+  for (PartialSpace& partial : partials) {
+    merger.Add(std::move(partial));
+  }
+  return merger.Finish(max_outcomes);
 }
 
 Result<OutcomeSpace> ShardedExplore(const ChaseEngine& engine,

@@ -133,6 +133,30 @@ ShardPartialMeta MakeShardPartialMeta(const ShardPlan& plan,
 OutcomeSpace MergePartialSpaces(std::vector<PartialSpace> partials,
                                 size_t max_outcomes);
 
+/// Streaming equivalent of MergePartialSpaces: folds per-shard partials
+/// into one canonical-order accumulator one at a time, in any arrival
+/// order, so a coordinator holds O(1) partials resident instead of all of
+/// them. Add() consumes its argument immediately (ordered merge into the
+/// accumulator); Finish() runs the exact buffered tail — truncate to
+/// `max_outcomes`, then sum masses in global canonical order. Because
+/// choice sets are unique across shards the merged sequence is the unique
+/// canonical order regardless of fold order, so the result is
+/// byte-identical to `MergePartialSpaces` over the same partials.
+class StreamingMerger {
+ public:
+  /// Folds one partial into the accumulator and discards it.
+  void Add(PartialSpace partial);
+
+  /// Completes the merge; the merger is spent afterwards.
+  OutcomeSpace Finish(size_t max_outcomes);
+
+  size_t partials_folded() const { return folded_; }
+
+ private:
+  PartialSpace accum_;
+  size_t folded_ = 0;
+};
+
 /// Convenience in-process driver: plans `num_shards` shards, explores each
 /// one (sequentially, in this process) and merges. Used by tests and as a
 /// reference for the subprocess orchestration in gdlog_cli.

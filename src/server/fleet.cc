@@ -1,8 +1,11 @@
 #include "server/fleet.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <memory>
 #include <thread>
 #include <utility>
@@ -95,63 +98,7 @@ std::string ShardRequestBody(const ProgramSpec& spec,
   return json.str();
 }
 
-struct FetchedPartial {
-  PartialSpace partial;
-  ShardPartialMeta meta;
-};
-
-/// One worker exchange: POST the shard group, bounded as a whole by
-/// `deadline_ms`, and parse the NDJSON partial per requested index. Any
-/// failure — refused connection, non-200, deadline expiry (the straggler
-/// case: the per-wait budget shrinks as the deadline nears, so a trickling
-/// worker cannot stretch the exchange), short or malformed response —
-/// surfaces as a non-OK Status and the caller re-dispatches the group.
-Result<std::vector<FetchedPartial>> FetchGroup(
-    const std::string& address, const std::string& request_body,
-    const std::vector<size_t>& indices, int deadline_ms,
-    const std::string& trace, const Interner& interner) {
-  GDLOG_ASSIGN_OR_RETURN(auto host_port, ParseHostPort(address));
-  GDLOG_ASSIGN_OR_RETURN(
-      HttpClient client,
-      HttpClient::Connect(host_port.first, host_port.second, deadline_ms));
-  HttpClient::HeaderList extra_headers;
-  if (!trace.empty()) extra_headers.emplace_back(kTraceHeader, trace);
-  GDLOG_ASSIGN_OR_RETURN(
-      HttpResponse response,
-      client.RequestWithDeadline("POST", "/v1/shards", request_body,
-                                 deadline_ms, extra_headers));
-  if (response.status != 200) {
-    return Status::Internal("worker " + address + " returned HTTP " +
-                            std::to_string(response.status));
-  }
-  std::vector<FetchedPartial> fetched;
-  fetched.reserve(indices.size());
-  size_t pos = 0;
-  while (pos < response.body.size()) {
-    size_t eol = response.body.find('\n', pos);
-    if (eol == std::string::npos) eol = response.body.size();
-    std::string_view line(response.body.data() + pos, eol - pos);
-    pos = eol + 1;
-    if (line.empty()) continue;
-    FetchedPartial one;
-    GDLOG_ASSIGN_OR_RETURN(one.partial,
-                           PartialSpaceFromJson(line, interner, &one.meta));
-    fetched.push_back(std::move(one));
-  }
-  if (fetched.size() != indices.size()) {
-    return Status::Internal("worker " + address + " returned " +
-                            std::to_string(fetched.size()) +
-                            " partials for " +
-                            std::to_string(indices.size()) + " shards");
-  }
-  for (size_t i = 0; i < fetched.size(); ++i) {
-    if (fetched[i].meta.shard_index != indices[i]) {
-      return Status::Internal("worker " + address +
-                              " returned partials out of order");
-    }
-  }
-  return fetched;
-}
+constexpr size_t kNoWorker = static_cast<size_t>(-1);
 
 }  // namespace
 
@@ -174,6 +121,59 @@ Result<std::pair<std::string, int>> ParseHostPort(
   }
   return std::make_pair(address.substr(0, colon), port);
 }
+
+// ---------------------------------------------------------------------------
+// PartialCache
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> FleetService::PartialCache::Lookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->line;
+}
+
+void FleetService::PartialCache::Insert(const std::string& key,
+                                        const std::string& line) {
+  size_t entry_bytes = key.size() + line.size();
+  if (capacity_ == 0 || entry_bytes > capacity_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Deterministic chase: a re-insert carries identical bytes; just
+    // refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (bytes_ + entry_bytes > capacity_ && !lru_.empty()) {
+    Entry& victim = lru_.back();
+    bytes_ -= victim.key.size() + victim.line.size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{key, line});
+  index_[key] = lru_.begin();
+  bytes_ += entry_bytes;
+}
+
+void FleetService::PartialCache::ErasePrefix(std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.compare(0, prefix.size(), prefix) == 0) {
+      bytes_ -= it->key.size() + it->line.size();
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker half: POST /v1/shards
+// ---------------------------------------------------------------------------
 
 HttpResponse FleetService::HandleShards(const HttpRequest& request) {
   shard_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -250,24 +250,89 @@ HttpResponse FleetService::HandleShards(const HttpRequest& request) {
       plan_coords->assignment);
   if (!plan.ok()) return ErrorResponse(plan.status());
 
-  std::string ndjson;
-  for (size_t index : indices) {
-    auto partial = entry->engine.chase().ExploreShard(*plan, index, *chase);
-    if (!partial.ok()) return ErrorResponse(partial.status());
-    ShardPartialMeta meta = MakeShardPartialMeta(*plan, index, *chase);
-    ndjson += PartialSpaceToJson(*partial, meta,
-                                 entry->engine.program().interner());
-    ndjson += '\n';
+  // Shared with the streaming closure, which outlives this frame.
+  struct StreamState {
+    std::shared_ptr<const ProgramRegistry::Entry> entry;
+    ShardPlan plan;
+    ChaseOptions chase;
+    std::vector<size_t> indices;
+    std::string key_prefix;
+  };
+  auto state = std::make_shared<StreamState>();
+  state->entry = entry;
+  state->plan = std::move(*plan);
+  state->chase = *chase;
+  state->indices = std::move(indices);
+  // The partial-cache key: the /query fingerprint (id, revision, lineage,
+  // result-affecting options) plus the *resolved* plan coordinates — so an
+  // auto prefix depth and its resolved value share one entry — plus the
+  // shard index. Prefix-invalidated by id on any db change.
+  state->key_prefix =
+      InferenceCache::Fingerprint(state->entry->id, state->entry->revision,
+                                  state->entry->lineage_digest,
+                                  state->chase) +
+      "|plan=" + std::to_string(state->plan.num_shards) + "," +
+      std::to_string(state->plan.prefix_depth) + "," +
+      ShardAssignmentName(state->plan.assignment);
+
+  auto produce = [this, state](size_t index) -> Result<std::string> {
+    std::string key = state->key_prefix + "|shard=" + std::to_string(index);
+    if (auto cached = partial_cache_.Lookup(key)) {
+      partial_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return std::move(*cached);
+    }
+    partial_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    auto partial = state->entry->engine.chase().ExploreShard(
+        state->plan, index, state->chase);
+    if (!partial.ok()) return partial.status();
     shards_explored_.fetch_add(1, std::memory_order_relaxed);
-  }
-  HttpResponse response = JsonResponse(200, std::move(ndjson));
+    ShardPartialMeta meta =
+        MakeShardPartialMeta(state->plan, index, state->chase);
+    std::string line =
+        PartialSpaceToJson(*partial, meta,
+                           state->entry->engine.program().interner()) +
+        "\n";
+    partial_cache_.Insert(key, line);
+    return line;
+  };
+
+  // The first line is produced synchronously so early failures (an engine
+  // error on the first index) still get a proper error envelope instead of
+  // a truncated 200.
+  auto first = produce(state->indices[0]);
+  if (!first.ok()) return ErrorResponse(first.status());
+
+  HttpResponse response;
+  response.status = 200;
   response.content_type = "application/x-ndjson";
+  response.stream = [state, produce, first_line = std::move(*first)](
+                        const HttpResponse::ChunkSink& emit) -> Status {
+    GDLOG_RETURN_IF_ERROR(emit(first_line));
+    for (size_t i = 1; i < state->indices.size(); ++i) {
+      auto line = produce(state->indices[i]);
+      // A mid-stream failure aborts the chunked stream before the
+      // terminal chunk: the coordinator sees a truncated, retryable
+      // exchange — never a complete-looking short response.
+      if (!line.ok()) return line.status();
+      GDLOG_RETURN_IF_ERROR(emit(*line));
+    }
+    return Status::OK();
+  };
   return response;
 }
+
+// ---------------------------------------------------------------------------
+// Coordinator half: POST /v1/jobs
+// ---------------------------------------------------------------------------
 
 HttpResponse FleetService::HandleJobs(const HttpRequest& request,
                                       const std::string& trace) {
   jobs_.fetch_add(1, std::memory_order_relaxed);
+  jobs_in_flight_.fetch_add(1, std::memory_order_relaxed);
+  struct InFlightGuard {
+    std::atomic<uint64_t>* gauge;
+    ~InFlightGuard() { gauge->fetch_sub(1, std::memory_order_relaxed); }
+  } in_flight_guard{&jobs_in_flight_};
   auto fail = [&](const Status& status) {
     jobs_failed_.fetch_add(1, std::memory_order_relaxed);
     return ErrorResponse(status);
@@ -316,6 +381,15 @@ HttpResponse FleetService::HandleJobs(const HttpRequest& request,
   int deadline_ms =
       static_cast<int>(std::min<uint64_t>(*deadline, 3'600'000));
   if (deadline_ms < 1) deadline_ms = 1;
+  auto steal = OptionalBool(*body, "steal", true);
+  if (!steal.ok()) return fail(steal.status());
+  auto steal_after =
+      OptionalU64(*body, "steal_after_ms",
+                  static_cast<uint64_t>(options_.steal_after_ms));
+  if (!steal_after.ok()) return fail(steal_after.status());
+  int steal_after_ms =
+      static_cast<int>(std::min<uint64_t>(*steal_after, 3'600'000));
+  if (steal_after_ms < 1) steal_after_ms = 1;
 
   auto include_outcomes = OptionalBool(*body, "include_outcomes", false);
   auto include_models = OptionalBool(*body, "include_models", false);
@@ -337,7 +411,8 @@ HttpResponse FleetService::HandleJobs(const HttpRequest& request,
     computed = true;
     return RunJob(*entry, *chase, plan_coords->shards,
                   plan_coords->prefix_depth, plan_coords->assignment,
-                  workers, deadline_ms, trace, &spans);
+                  workers, deadline_ms, *steal, steal_after_ms, trace,
+                  &spans);
   });
   if (!space.ok()) return fail(space.status());
   if (computed) {
@@ -346,10 +421,10 @@ HttpResponse FleetService::HandleJobs(const HttpRequest& request,
     // — diagnostics, not results.
     std::fprintf(stderr,
                  "gdlogd: job trace=%s plan_ms=%.3f dispatch_ms=%.3f "
-                 "merge_ms=%.3f groups=%zu\n",
+                 "merge_ms=%.3f exchanges=%zu\n",
                  trace.empty() ? "-" : trace.c_str(), spans.plan_ns / 1e6,
                  spans.dispatch_ns / 1e6, spans.merge_ns / 1e6,
-                 spans.groups.size());
+                 spans.exchanges.size());
   }
 
   JsonExportOptions json_options;
@@ -371,14 +446,15 @@ HttpResponse FleetService::HandleJobs(const HttpRequest& request,
     json.KV("plan_ms", spans.plan_ns / 1e6);
     json.KV("dispatch_ms", spans.dispatch_ns / 1e6);
     json.KV("merge_ms", spans.merge_ns / 1e6);
-    json.Key("groups").BeginArray();
-    for (const JobSpans::Group& group : spans.groups) {
+    json.Key("exchanges").BeginArray();
+    for (const JobSpans::Exchange& exchange : spans.exchanges) {
       json.BeginObject();
-      json.KV("group", static_cast<long long>(group.group));
-      json.KV("shards", static_cast<long long>(group.shards));
-      json.KV("worker", group.worker);
-      json.KV("attempts", static_cast<long long>(group.attempts));
-      json.KV("time_ms", group.time_ns / 1e6);
+      json.KV("exchange", static_cast<long long>(exchange.exchange));
+      json.KV("shards", static_cast<long long>(exchange.shards));
+      json.KV("worker", exchange.worker);
+      json.KV("kind", exchange.kind);
+      json.KV("ok", exchange.ok);
+      json.KV("time_ms", exchange.time_ns / 1e6);
       json.EndObject();
     }
     json.EndArray();
@@ -388,11 +464,15 @@ HttpResponse FleetService::HandleJobs(const HttpRequest& request,
   return JsonResponse(200, doc + "\n");
 }
 
+// ---------------------------------------------------------------------------
+// The dispatch loop
+// ---------------------------------------------------------------------------
+
 Result<OutcomeSpace> FleetService::RunJob(
     const ProgramRegistry::Entry& entry, const ChaseOptions& chase,
     size_t num_shards, size_t prefix_depth, ShardAssignment assignment,
-    const std::vector<std::string>& workers, int deadline_ms,
-    const std::string& trace, JobSpans* spans) {
+    const std::vector<std::string>& workers, int deadline_ms, bool steal,
+    int steal_after_ms, const std::string& trace, JobSpans* spans) {
   const uint64_t plan_start_ns = MonotonicNanos();
   GDLOG_ASSIGN_OR_RETURN(
       ShardPlan plan,
@@ -417,123 +497,405 @@ Result<OutcomeSpace> FleetService::RunJob(
   coords.shards = plan.num_shards;
   coords.prefix_depth = plan.prefix_depth;
   coords.assignment = plan.assignment;
-  std::vector<std::string> bodies(num_groups);
+
+  const ShardPartialMeta expected = MakeShardPartialMeta(plan, 0, chase);
+
+  // --- shared job state -----------------------------------------------
+  // All dispatch decisions happen under one mutex; the exchanges
+  // themselves (network + parse) run outside it. Invariant: every
+  // unmerged shard index lives in `pending` or in some active flight.
+  struct PendingGroup {
+    std::vector<size_t> indices;
+    /// First-wave seed owner, or kNoWorker once the group returned to the
+    /// common pool after a failure.
+    size_t preferred = kNoWorker;
+    bool is_retry = false;
+  };
+  struct Flight {
+    bool active = false;
+    std::vector<size_t> indices;
+    uint64_t start_ns = 0;
+    /// A steal already duplicated this flight's undelivered indices; one
+    /// steal per flight keeps speculation bounded.
+    bool steal_target = false;
+  };
+  struct JobState {
+    std::mutex mu;
+    std::condition_variable cv;
+    StreamingMerger merger;
+    std::vector<char> merged;
+    size_t remaining = 0;
+    std::vector<std::vector<char>> attempted;  ///< [worker][shard]
+    std::deque<PendingGroup> pending;
+    std::vector<Flight> flights;  ///< [worker]
+    std::vector<char> healthy;
+    size_t active_workers = 0;
+    size_t next_exchange = 0;
+    Status last_error = Status::OK();
+  } st;
+  st.merged.assign(plan.num_shards, 0);
+  st.remaining = plan.num_shards;
+  st.attempted.assign(workers.size(),
+                      std::vector<char>(plan.num_shards, 0));
+  st.flights.resize(workers.size());
+  st.healthy.assign(workers.size(), 1);
+  st.active_workers = workers.size();
   for (size_t group = 0; group < num_groups; ++group) {
-    bodies[group] =
-        ShardRequestBody(entry.spec, chase, coords, groups[group]);
+    PendingGroup seed;
+    seed.indices = groups[group];
+    seed.preferred = group;
+    st.pending.push_back(std::move(seed));
   }
 
-  struct GroupState {
-    bool done = false;
-    std::vector<FetchedPartial> partials;
-    Status last_error = Status::OK();
-    size_t attempts = 0;
-    size_t final_worker = 0;
-    uint64_t time_ns = 0;
-  };
-  std::vector<GroupState> states(num_groups);
-  std::vector<char> healthy(workers.size(), 1);
+  std::atomic<bool> job_done{false};
+  // Resident-partials accounting: parsed-but-not-yet-folded partials. The
+  // streaming merge keeps this bounded by the worker count — never by the
+  // shard count.
+  std::atomic<uint64_t> resident{0};
+
   const uint64_t dispatch_start_ns = MonotonicNanos();
 
-  auto attempt = [&](size_t group, size_t worker) {
-    dispatches_.fetch_add(1, std::memory_order_relaxed);
-    const uint64_t start_ns = MonotonicNanos();
-    auto fetched = FetchGroup(workers[worker], bodies[group], groups[group],
-                              deadline_ms, trace, interner);
-    const uint64_t elapsed_ns = MonotonicNanos() - start_ns;
-    dispatch_hist_.RecordNanos(elapsed_ns);
-    states[group].attempts += 1;
-    states[group].time_ns += elapsed_ns;
-    if (!fetched.ok()) {
-      worker_failures_.fetch_add(1, std::memory_order_relaxed);
-      healthy[worker] = 0;
-      states[group].last_error = fetched.status();
-      return;
+  // Folds one delivered NDJSON line. `position` is the line's ordinal
+  // within its exchange (workers answer in request order, dedup or not).
+  auto deliver_line = [&](const std::vector<size_t>& want, size_t position,
+                          std::string_view line) -> Status {
+    ShardPartialMeta meta;
+    auto partial = PartialSpaceFromJson(line, interner, &meta);
+    if (!partial.ok()) return partial.status();
+    if (!meta.SamePlanAndBudgets(expected) ||
+        meta.shard_index >= plan.num_shards) {
+      return Status::Internal(
+          "worker partial was produced under a different shard plan or "
+          "different budgets");
     }
-    states[group].final_worker = worker;
-    states[group].partials = std::move(*fetched);
-    states[group].done = true;
+    if (position >= want.size() || meta.shard_index != want[position]) {
+      return Status::Internal("worker returned partials out of order");
+    }
+    partials_streamed_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t now_resident =
+        resident.fetch_add(1, std::memory_order_relaxed) + 1;
+    uint64_t peak =
+        peak_resident_partials_.load(std::memory_order_relaxed);
+    while (now_resident > peak &&
+           !peak_resident_partials_.compare_exchange_weak(
+               peak, now_resident, std::memory_order_relaxed)) {
+    }
+    std::lock_guard<std::mutex> lock(st.mu);
+    if (st.merged[meta.shard_index]) {
+      // A stolen (or re-dispatched) duplicate lost the race: the first
+      // delivered copy won, this one is discarded. Deterministic because
+      // identical plans produce identical partials — which copy merged
+      // never changes the bytes.
+      duplicate_partials_.fetch_add(1, std::memory_order_relaxed);
+      resident.fetch_sub(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    st.merger.Add(std::move(*partial));
+    resident.fetch_sub(1, std::memory_order_relaxed);
+    st.merged[meta.shard_index] = 1;
+    --st.remaining;
+    partials_merged_.fetch_add(1, std::memory_order_relaxed);
+    if (st.remaining == 0) {
+      job_done.store(true, std::memory_order_release);
+      st.cv.notify_all();
+    }
+    return Status::OK();
   };
 
-  // First wave: every group to its own worker, concurrently. Threads touch
-  // disjoint states[group]/healthy[worker] slots, so no locking is needed.
+  // One worker exchange, end to end: POST the indices, fold lines as they
+  // stream in, then settle the flight under the lock.
+  auto dispatch = [&](size_t worker, std::vector<size_t> indices,
+                      const char* kind, size_t exchange_ordinal) {
+    dispatches_.fetch_add(1, std::memory_order_relaxed);
+    std::string request_body =
+        ShardRequestBody(entry.spec, chase, coords, indices);
+    const uint64_t start_ns = MonotonicNanos();
+    size_t delivered = 0;
+    Status result = Status::OK();
+    auto host_port = ParseHostPort(workers[worker]);
+    if (!host_port.ok()) {
+      result = host_port.status();
+    } else {
+      auto client = HttpClient::Connect(host_port->first, host_port->second,
+                                        deadline_ms);
+      if (!client.ok()) {
+        result = client.status();
+      } else {
+        HttpClient::HeaderList extra_headers;
+        if (!trace.empty()) extra_headers.emplace_back(kTraceHeader, trace);
+        auto on_line = [&](std::string_view line) -> Status {
+          GDLOG_RETURN_IF_ERROR(deliver_line(indices, delivered, line));
+          ++delivered;
+          return Status::OK();
+        };
+        auto response = client->RequestStreamingLines(
+            "POST", "/v1/shards", request_body, deadline_ms, extra_headers,
+            on_line, &job_done);
+        if (!response.ok()) {
+          result = response.status();
+        } else if (response->status != 200) {
+          result = Status::Internal(
+              "worker " + workers[worker] + " returned HTTP " +
+              std::to_string(response->status));
+        } else if (delivered != indices.size()) {
+          result = Status::Internal(
+              "worker " + workers[worker] + " returned " +
+              std::to_string(delivered) + " partials for " +
+              std::to_string(indices.size()) + " shards");
+        }
+      }
+    }
+    const uint64_t elapsed_ns = MonotonicNanos() - start_ns;
+    dispatch_hist_.RecordNanos(elapsed_ns);
+    RecordWorkerDispatch(workers[worker], elapsed_ns);
+
+    std::lock_guard<std::mutex> lock(st.mu);
+    if (spans != nullptr) {
+      JobSpans::Exchange span;
+      span.exchange = exchange_ordinal;
+      span.shards = indices.size();
+      span.worker = workers[worker];
+      span.kind = kind;
+      span.ok = result.ok();
+      span.time_ns = elapsed_ns;
+      spans->exchanges.push_back(std::move(span));
+    }
+    st.flights[worker].active = false;
+    // Attempt-at-most-once per (worker, shard): the monotone set that
+    // guarantees the dispatch loop terminates.
+    for (size_t index : indices) st.attempted[worker][index] = 1;
+    if (!result.ok() && !job_done.load(std::memory_order_acquire)) {
+      // A genuine failure — not the deliberate cancel of a straggler
+      // exchange after the job completed. The worker is abandoned and the
+      // undelivered indices return to the common pool.
+      worker_failures_.fetch_add(1, std::memory_order_relaxed);
+      st.healthy[worker] = 0;
+      st.last_error = result;
+      std::vector<size_t> undelivered;
+      for (size_t index : indices) {
+        if (!st.merged[index]) undelivered.push_back(index);
+      }
+      if (!undelivered.empty()) {
+        PendingGroup regroup;
+        regroup.indices = std::move(undelivered);
+        regroup.is_retry = true;
+        st.pending.push_back(std::move(regroup));
+      }
+    }
+    st.cv.notify_all();
+  };
+
+  // Per-worker dispatch loop over the shared pool: own seeded group
+  // first, then orphaned pending work, then — once idle and past the
+  // steal threshold — a straggler's undelivered indices.
+  auto worker_loop = [&](size_t w) {
+    std::unique_lock<std::mutex> lock(st.mu);
+    for (;;) {
+      if (st.remaining == 0 || !st.healthy[w]) break;
+      // Monotone exit: a worker that has attempted every still-unmerged
+      // index can never contribute again.
+      bool can_contribute = false;
+      for (size_t index = 0; index < plan.num_shards; ++index) {
+        if (!st.merged[index] && !st.attempted[w][index]) {
+          can_contribute = true;
+          break;
+        }
+      }
+      if (!can_contribute) break;
+
+      // Prune pending: drop merged indices, erase emptied groups.
+      for (auto it = st.pending.begin(); it != st.pending.end();) {
+        std::vector<size_t> unmerged;
+        for (size_t index : it->indices) {
+          if (!st.merged[index]) unmerged.push_back(index);
+        }
+        if (unmerged.empty()) {
+          it = st.pending.erase(it);
+        } else {
+          it->indices = std::move(unmerged);
+          ++it;
+        }
+      }
+
+      std::vector<size_t> take;
+      const char* kind = "dispatch";
+      // 1) Pending work. Own seed wins outright; a foreign seed is only
+      // up for grabs once its owner is unhealthy (the owner claims it
+      // first otherwise); failure re-groups (preferred == kNoWorker) go
+      // to whoever is free. Indices this worker already attempted stay
+      // pending for someone else — that split is what lets a group
+      // bounce between workers without ever losing an index.
+      auto chosen = st.pending.end();
+      for (auto it = st.pending.begin(); it != st.pending.end(); ++it) {
+        bool claimable = it->preferred == w ||
+                         it->preferred == kNoWorker ||
+                         !st.healthy[it->preferred];
+        if (!claimable) continue;
+        bool has_untried = false;
+        for (size_t index : it->indices) {
+          if (!st.attempted[w][index]) {
+            has_untried = true;
+            break;
+          }
+        }
+        if (!has_untried) continue;
+        if (it->preferred == w) {
+          chosen = it;
+          break;
+        }
+        if (chosen == st.pending.end()) chosen = it;
+      }
+      if (chosen != st.pending.end()) {
+        std::vector<size_t> leftover;
+        for (size_t index : chosen->indices) {
+          (st.attempted[w][index] ? leftover : take).push_back(index);
+        }
+        kind = chosen->is_retry ? "retry" : "dispatch";
+        if (chosen->is_retry) {
+          retries_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (leftover.empty()) {
+          st.pending.erase(chosen);
+        } else {
+          chosen->indices = std::move(leftover);
+        }
+      }
+
+      // 2) Steal: duplicate the undelivered indices of the oldest-past-
+      // threshold straggler flight. Safe because any re-assignment of the
+      // pure plan is valid; the first delivered copy wins.
+      if (take.empty() && steal) {
+        uint64_t now_ns = MonotonicNanos();
+        size_t best = kNoWorker;
+        size_t best_count = 0;
+        for (size_t v = 0; v < workers.size(); ++v) {
+          if (v == w) continue;
+          const Flight& flight = st.flights[v];
+          if (!flight.active || flight.steal_target) continue;
+          if (now_ns - flight.start_ns <
+              static_cast<uint64_t>(steal_after_ms) * 1'000'000ull) {
+            continue;
+          }
+          size_t count = 0;
+          for (size_t index : flight.indices) {
+            if (!st.merged[index] && !st.attempted[w][index]) ++count;
+          }
+          if (count > best_count) {
+            best_count = count;
+            best = v;
+          }
+        }
+        if (best != kNoWorker) {
+          Flight& victim = st.flights[best];
+          for (size_t index : victim.indices) {
+            if (!st.merged[index] && !st.attempted[w][index]) {
+              take.push_back(index);
+            }
+          }
+          victim.steal_target = true;
+          kind = "steal";
+          steals_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+
+      if (!take.empty()) {
+        Flight& mine = st.flights[w];
+        mine.active = true;
+        mine.indices = take;
+        mine.start_ns = MonotonicNanos();
+        mine.steal_target = false;
+        size_t ordinal = st.next_exchange++;
+        // A newly activated flight changes every idle worker's steal
+        // horizon — without this wake, a worker that scanned before the
+        // flight existed would sleep with no bound until the flight
+        // settles (lost-wakeup: only settles and folds notify).
+        st.cv.notify_all();
+        lock.unlock();
+        dispatch(w, std::move(take), kind, ordinal);
+        lock.lock();
+        continue;
+      }
+
+      // Nothing claimable right now. Every state change (line folded,
+      // flight settled) notifies the cv; the only silent transition is a
+      // flight aging past the steal threshold, so bound the wait by the
+      // soonest such moment.
+      long long wait_ms = -1;
+      if (steal) {
+        uint64_t now_ns = MonotonicNanos();
+        for (size_t v = 0; v < workers.size(); ++v) {
+          if (v == w) continue;
+          const Flight& flight = st.flights[v];
+          if (!flight.active || flight.steal_target) continue;
+          uint64_t age_ms = (now_ns - flight.start_ns) / 1'000'000ull;
+          long long remain =
+              static_cast<long long>(steal_after_ms) -
+              static_cast<long long>(age_ms) + 1;
+          if (remain < 1) remain = 1;
+          if (wait_ms < 0 || remain < wait_ms) wait_ms = remain;
+        }
+      }
+      if (wait_ms < 0) {
+        st.cv.wait(lock);
+      } else {
+        st.cv.wait_for(lock, std::chrono::milliseconds(wait_ms));
+      }
+    }
+    --st.active_workers;
+    st.cv.notify_all();
+  };
+
   {
     std::vector<std::thread> threads;
-    threads.reserve(num_groups);
-    for (size_t group = 0; group < num_groups; ++group) {
-      threads.emplace_back([&, group]() { attempt(group, group); });
+    threads.reserve(workers.size());
+    for (size_t w = 0; w < workers.size(); ++w) {
+      threads.emplace_back([&worker_loop, w]() { worker_loop(w); });
     }
     for (std::thread& thread : threads) thread.join();
   }
 
-  // Re-dispatch failed groups — dead workers, 5xx, stragglers past the
-  // deadline — to the remaining healthy workers (including any spares the
-  // first wave never used), each worker at most once per group.
-  for (size_t group = 0; group < num_groups; ++group) {
-    if (states[group].done) continue;
-    for (size_t offset = 1; offset <= workers.size() && !states[group].done;
-         ++offset) {
-      size_t worker = (group + offset) % workers.size();
-      if (!healthy[worker]) continue;
-      retries_.fetch_add(1, std::memory_order_relaxed);
-      attempt(group, worker);
-    }
-    if (!states[group].done) {
-      return Status::BudgetExhausted(
-          "fleet job failed: no healthy worker left for shard group " +
-          std::to_string(group) + " (last error: " +
-          states[group].last_error.message() + ")");
-    }
-  }
-  const uint64_t merge_start_ns = MonotonicNanos();
+  const uint64_t merge_finish_ns = MonotonicNanos();
   if (spans != nullptr) {
-    spans->dispatch_ns = merge_start_ns - dispatch_start_ns;
-    spans->groups.reserve(num_groups);
-    for (size_t group = 0; group < num_groups; ++group) {
-      JobSpans::Group span;
-      span.group = group;
-      span.shards = groups[group].size();
-      span.worker = workers[states[group].final_worker];
-      span.attempts = states[group].attempts;
-      span.time_ns = states[group].time_ns;
-      spans->groups.push_back(std::move(span));
-    }
+    spans->dispatch_ns = merge_finish_ns - dispatch_start_ns;
   }
-
-  // Coverage + compatibility: every shard exactly once, every partial
-  // produced under this exact plan and these exact budgets. A mismatch
-  // means a worker disagreed about the pure plan function — merging would
-  // silently double- or under-count mass.
-  ShardPartialMeta expected = MakeShardPartialMeta(plan, 0, chase);
-  std::vector<PartialSpace> partials(plan.num_shards);
-  std::vector<char> seen(plan.num_shards, 0);
-  for (GroupState& state : states) {
-    for (FetchedPartial& fetched : state.partials) {
-      const ShardPartialMeta& meta = fetched.meta;
-      if (!meta.SamePlanAndBudgets(expected) ||
-          meta.shard_index >= plan.num_shards) {
-        return Status::Internal(
-            "worker partial was produced under a different shard plan or "
-            "different budgets");
-      }
-      if (seen[meta.shard_index]) {
-        return Status::Internal("duplicate partial for shard " +
-                                std::to_string(meta.shard_index));
-      }
-      seen[meta.shard_index] = 1;
-      partials[meta.shard_index] = std::move(fetched.partial);
-    }
+  if (st.remaining != 0) {
+    return Status::BudgetExhausted(
+        "fleet job failed: no healthy worker left for " +
+        std::to_string(st.remaining) + " shard(s) (last error: " +
+        st.last_error.message() + ")");
   }
-  for (size_t shard = 0; shard < plan.num_shards; ++shard) {
-    if (!seen[shard]) {
-      return Status::Internal("missing partial for shard " +
-                              std::to_string(shard));
-    }
+  // Coverage held line by line: every shard folded exactly once
+  // (st.merged), every partial validated against the expected plan and
+  // budgets before folding. Finish() sums masses in global canonical
+  // order — byte-identical to the buffered merge.
+  auto merged = st.merger.Finish(chase.max_outcomes);
+  if (spans != nullptr) {
+    spans->merge_ns = MonotonicNanos() - merge_finish_ns;
   }
-  partials_merged_.fetch_add(plan.num_shards, std::memory_order_relaxed);
-  auto merged = MergePartialSpaces(std::move(partials), chase.max_outcomes);
-  if (spans != nullptr) spans->merge_ns = MonotonicNanos() - merge_start_ns;
   return merged;
+}
+
+void FleetService::RecordWorkerDispatch(const std::string& worker,
+                                        uint64_t ns) {
+  std::lock_guard<std::mutex> lock(worker_mu_);
+  WorkerStats& stats = worker_stats_[worker];
+  stats.hist.RecordNanos(ns);
+  stats.dispatches += 1;
+  if (ns > stats.max_ns) stats.max_ns = ns;
+}
+
+std::map<std::string, FleetService::WorkerDispatchStats>
+FleetService::WorkerDispatches() const {
+  std::lock_guard<std::mutex> lock(worker_mu_);
+  std::map<std::string, WorkerDispatchStats> out;
+  for (const auto& [worker, stats] : worker_stats_) {
+    WorkerDispatchStats snapshot;
+    snapshot.dispatches = stats.dispatches;
+    snapshot.max_ns = stats.max_ns;
+    snapshot.hist = stats.hist.TakeSnapshot();
+    out.emplace(worker, std::move(snapshot));
+  }
+  return out;
 }
 
 FleetService::Counters FleetService::counters() const {
@@ -546,10 +908,23 @@ FleetService::Counters FleetService::counters() const {
   counters.jobs_failed = jobs_failed_.load(std::memory_order_relaxed);
   counters.dispatches = dispatches_.load(std::memory_order_relaxed);
   counters.retries = retries_.load(std::memory_order_relaxed);
+  counters.steals = steals_.load(std::memory_order_relaxed);
   counters.worker_failures =
       worker_failures_.load(std::memory_order_relaxed);
   counters.partials_merged =
       partials_merged_.load(std::memory_order_relaxed);
+  counters.partials_streamed =
+      partials_streamed_.load(std::memory_order_relaxed);
+  counters.duplicate_partials =
+      duplicate_partials_.load(std::memory_order_relaxed);
+  counters.partial_cache_hits =
+      partial_cache_hits_.load(std::memory_order_relaxed);
+  counters.partial_cache_misses =
+      partial_cache_misses_.load(std::memory_order_relaxed);
+  counters.jobs_in_flight =
+      jobs_in_flight_.load(std::memory_order_relaxed);
+  counters.peak_resident_partials =
+      peak_resident_partials_.load(std::memory_order_relaxed);
   return counters;
 }
 

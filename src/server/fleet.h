@@ -3,7 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -37,21 +42,31 @@ namespace gdlog {
 ///     distributes a program to workers that have never seen it; the
 ///     registry keeps db_text current across deltas, so a shipped spec
 ///     always reproduces the coordinator's database. Response 200 is
-///     application/x-ndjson: one PartialSpaceToJson line per requested
-///     index, in request order.
+///     application/x-ndjson, Transfer-Encoding: chunked: one
+///     PartialSpaceToJson line per requested index, in request order, each
+///     emitted as soon as that shard finishes. Lines are served from the
+///     worker-side partial cache when the same (fingerprint, plan
+///     coordinates, index) was explored before, so retries, steals, and
+///     repeated jobs skip the chase.
 ///
 ///   POST /v1/jobs     (coordinator) — run a query across a worker fleet.
 ///     Request: {program_id, options?, workers?: ["host:port"...],
 ///               shards?, prefix_depth?, assignment?, deadline_ms?,
-///               include_outcomes?, include_models?, include_events?}
+///               steal?, steal_after_ms?, include_outcomes?,
+///               include_models?, include_events?}
 ///     Plans shards (default: one per worker), dispatches shard groups
-///     concurrently over HttpClient with a whole-request deadline, retries
-///     a failed or straggling worker's indices on the remaining healthy
-///     workers, merges the partials via MergePartialSpaces, and serves the
-///     result through the normal InferenceCache fingerprint — the merged
-///     space is bit-identical to a single-process run, so jobs and /query
-///     share cache entries. The 200 body is the same OutcomeSpaceToJson
-///     document /query produces (byte-identical to `gdlog_cli --json`).
+///     concurrently, and folds each partial line into a streaming merge
+///     accumulator the moment it arrives — the coordinator holds O(1)
+///     partials resident, not O(shards). A failed worker's undelivered
+///     indices are re-dispatched to the remaining healthy workers; an
+///     *idle* worker additionally steals the undelivered indices of a
+///     straggler's in-flight exchange once it is `steal_after_ms` old
+///     (any re-assignment of the pure plan is valid), with the first
+///     delivered copy of a shard winning and late duplicates discarded
+///     deterministically. The merged space is bit-identical to a
+///     single-process run, so jobs and /query share cache entries. The
+///     200 body is the same OutcomeSpaceToJson document /query produces
+///     (byte-identical to `gdlog_cli --json`).
 class FleetService {
  public:
   struct Options {
@@ -61,6 +76,15 @@ class FleetService {
     /// cannot deliver its partials within it — dead, wedged, or trickling
     /// — is abandoned and its shard indices are re-dispatched.
     int deadline_ms = 60'000;
+    /// How long a dispatch must have been in flight before an idle worker
+    /// may steal its undelivered shard indices (request override:
+    /// "steal_after_ms"). High enough that healthy same-speed workers
+    /// never duplicate work, low enough that one wedged worker cannot
+    /// gate the makespan.
+    int steal_after_ms = 250;
+    /// Capacity of the worker-side partial cache (serialized NDJSON
+    /// lines). 0 disables caching.
+    size_t partial_cache_bytes = 64ull * 1024 * 1024;
     /// Baseline ChaseOptions (same as the service's /query defaults).
     ChaseOptions default_chase;
   };
@@ -73,34 +97,61 @@ class FleetService {
   struct JobSpans {
     uint64_t plan_ns = 0;      ///< shard planning
     uint64_t dispatch_ns = 0;  ///< first wave + re-dispatch, end to end
-    uint64_t merge_ns = 0;     ///< coverage check + partial merge
-    struct Group {
-      size_t group = 0;     ///< shard-group index
-      size_t shards = 0;    ///< shard indices in the group
-      std::string worker;   ///< worker that finally delivered the group
-      size_t attempts = 0;  ///< exchanges tried (1 = no re-dispatch)
-      uint64_t time_ns = 0; ///< total exchange wall time across attempts
+    uint64_t merge_ns = 0;     ///< streaming-merge finish
+    /// One entry per worker exchange the job dispatched, in completion
+    /// order.
+    struct Exchange {
+      size_t exchange = 0;  ///< dispatch ordinal within the job
+      size_t shards = 0;    ///< shard indices requested
+      std::string worker;
+      /// "dispatch" (first wave), "retry" (re-dispatch of a failed
+      /// exchange's undelivered indices), or "steal" (speculative
+      /// duplicate of a straggler's undelivered indices).
+      const char* kind = "dispatch";
+      bool ok = false;  ///< the exchange delivered every requested line
+      uint64_t time_ns = 0;
     };
-    std::vector<Group> groups;
+    std::vector<Exchange> exchanges;
   };
 
-  /// Aggregated fleet counters for /v1/stats (monotonic totals).
+  /// Aggregated fleet counters for /v1/stats. All monotonic totals except
+  /// the two gauges called out below.
   struct Counters {
     uint64_t shard_requests = 0;   ///< /v1/shards requests served.
     uint64_t shards_explored = 0;  ///< Shard indices explored locally.
     uint64_t jobs = 0;             ///< /v1/jobs requests served.
     uint64_t jobs_failed = 0;      ///< Jobs that returned non-2xx.
     uint64_t dispatches = 0;       ///< Worker exchanges attempted.
-    uint64_t retries = 0;          ///< Shard groups re-dispatched.
+    uint64_t retries = 0;          ///< Failed groups re-dispatched.
+    uint64_t steals = 0;           ///< Straggler exchanges duplicated.
     uint64_t worker_failures = 0;  ///< Worker exchanges that failed.
-    uint64_t partials_merged = 0;  ///< Partials merged into job results.
+    uint64_t partials_merged = 0;  ///< Partials folded into job results.
+    uint64_t partials_streamed = 0;  ///< Partial lines received mid-flight.
+    uint64_t duplicate_partials = 0;  ///< Late duplicate lines discarded.
+    uint64_t partial_cache_hits = 0;    ///< Worker cache served the line.
+    uint64_t partial_cache_misses = 0;  ///< Worker cache had to chase.
+    uint64_t jobs_in_flight = 0;  ///< GAUGE: jobs currently dispatching.
+    /// GAUGE (high-water): most partials ever resident at once on the
+    /// coordinator — bounded by the worker count, not the shard count,
+    /// thanks to the streaming merge.
+    uint64_t peak_resident_partials = 0;
+  };
+
+  /// Per-worker dispatch latency, keyed by "host:port".
+  struct WorkerDispatchStats {
+    uint64_t dispatches = 0;
+    uint64_t max_ns = 0;
+    LatencyHistogram::Snapshot hist;
   };
 
   /// Both pointees must outlive the service (the owning InferenceService
   /// guarantees this).
   FleetService(ProgramRegistry* registry, InferenceCache* cache,
                Options options)
-      : registry_(registry), cache_(cache), options_(std::move(options)) {}
+      : registry_(registry),
+        cache_(cache),
+        options_(std::move(options)),
+        partial_cache_(options_.partial_cache_bytes) {}
 
   HttpResponse HandleShards(const HttpRequest& request);
   /// `trace` is the coordinator request's trace id; it is forwarded to
@@ -111,24 +162,63 @@ class FleetService {
 
   Counters counters() const;
 
-  /// Latency of individual worker exchanges (each dispatch attempt, both
-  /// waves), for /v1/metrics.
+  /// Latency of individual worker exchanges (every dispatch, retry, and
+  /// steal), for /v1/metrics.
   const LatencyHistogram& dispatch_histogram() const {
     return dispatch_hist_;
   }
 
+  /// Per-worker view of the same exchanges, keyed by worker address.
+  std::map<std::string, WorkerDispatchStats> WorkerDispatches() const;
+
+  /// Drops worker-side cached partial lines whose key starts with
+  /// `prefix` (the program id + '|') — called on db replacement, delta,
+  /// and unregister, mirroring the inference cache's invalidation.
+  void InvalidatePartials(std::string_view prefix) {
+    partial_cache_.ErasePrefix(prefix);
+  }
+
  private:
-  /// The dispatch loop behind /v1/jobs: plans, fans the shard groups out
-  /// to the workers concurrently, re-dispatches failed groups to healthy
-  /// workers, validates coverage and merges. Pure with respect to the
-  /// cache (the caller feeds the result through LookupOrCompute); `spans`
+  /// Worker-side cache of serialized partial NDJSON lines, keyed by the
+  /// inference fingerprint + resolved plan coordinates + shard index.
+  /// Byte-bounded LRU; a hit streams the stored line without re-running
+  /// the chase.
+  class PartialCache {
+   public:
+    explicit PartialCache(size_t capacity_bytes)
+        : capacity_(capacity_bytes) {}
+
+    std::optional<std::string> Lookup(const std::string& key);
+    void Insert(const std::string& key, const std::string& line);
+    void ErasePrefix(std::string_view prefix);
+
+   private:
+    struct Entry {
+      std::string key;
+      std::string line;
+    };
+    std::mutex mu_;
+    std::list<Entry> lru_;  ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+    size_t bytes_ = 0;
+    size_t capacity_ = 0;
+  };
+
+  /// The dispatch loop behind /v1/jobs: plans, runs one dispatch thread
+  /// per worker over a shared work pool (seeded groups, failure
+  /// re-dispatch, mid-job steals), folds every delivered partial line
+  /// into a StreamingMerger on arrival, and finishes the merge once every
+  /// shard was delivered exactly once. Pure with respect to the cache
+  /// (the caller feeds the result through LookupOrCompute); `spans`
   /// (optional) receives the wall-time breakdown of this run.
   Result<OutcomeSpace> RunJob(const ProgramRegistry::Entry& entry,
                               const ChaseOptions& chase, size_t num_shards,
                               size_t prefix_depth, ShardAssignment assignment,
                               const std::vector<std::string>& workers,
-                              int deadline_ms, const std::string& trace,
-                              JobSpans* spans);
+                              int deadline_ms, bool steal, int steal_after_ms,
+                              const std::string& trace, JobSpans* spans);
+
+  void RecordWorkerDispatch(const std::string& worker, uint64_t ns);
 
   ProgramRegistry* registry_;
   InferenceCache* cache_;
@@ -140,9 +230,28 @@ class FleetService {
   std::atomic<uint64_t> jobs_failed_{0};
   std::atomic<uint64_t> dispatches_{0};
   std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> steals_{0};
   std::atomic<uint64_t> worker_failures_{0};
   std::atomic<uint64_t> partials_merged_{0};
+  std::atomic<uint64_t> partials_streamed_{0};
+  std::atomic<uint64_t> duplicate_partials_{0};
+  std::atomic<uint64_t> partial_cache_hits_{0};
+  std::atomic<uint64_t> partial_cache_misses_{0};
+  std::atomic<uint64_t> jobs_in_flight_{0};
+  std::atomic<uint64_t> peak_resident_partials_{0};
   LatencyHistogram dispatch_hist_;
+
+  struct WorkerStats {
+    LatencyHistogram hist;
+    uint64_t dispatches = 0;
+    uint64_t max_ns = 0;
+  };
+  mutable std::mutex worker_mu_;
+  /// std::map for node stability (LatencyHistogram holds atomics and can
+  /// never move) and sorted, deterministic /stats and /metrics emission.
+  std::map<std::string, WorkerStats> worker_stats_;
+
+  PartialCache partial_cache_;
 };
 
 /// Splits "host:port" (the worker-list wire format). The port must be a

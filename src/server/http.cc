@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cstdio>
 
 #include "util/json.h"
 #include "util/thread_pool.h"
@@ -54,6 +55,19 @@ const std::string* HttpResponse::FindHeader(std::string_view name) const {
     if (IEquals(key, name)) return &value;
   }
   return nullptr;
+}
+
+Status HttpResponse::Drain() {
+  if (!stream) return Status::OK();
+  std::string collected;
+  Status status = stream([&collected](std::string_view chunk) -> Status {
+    collected.append(chunk);
+    return Status::OK();
+  });
+  stream = nullptr;
+  GDLOG_RETURN_IF_ERROR(status);
+  body = std::move(collected);
+  return Status::OK();
 }
 
 std::string HttpErrorBody(std::string_view code, std::string_view message) {
@@ -322,6 +336,48 @@ struct HttpServer::Impl {
     return conn.WriteAll(response.body, options.io_timeout_ms);
   }
 
+  /// Streams a chunked response: head, then one wire chunk per producer
+  /// emit, then the terminal chunk — which is written ONLY after the
+  /// producer completes cleanly. Any producer or write error propagates
+  /// without the terminal chunk, so the peer can always distinguish a
+  /// truncated stream from a complete one.
+  Status WriteStreamedResponse(Connection& conn, const HttpResponse& response,
+                               bool keep_alive) {
+    std::string head;
+    head.reserve(128);
+    head += "HTTP/1.1 ";
+    head += std::to_string(response.status);
+    head += ' ';
+    head += HttpStatusReason(response.status);
+    head += "\r\nContent-Type: ";
+    head += response.content_type;
+    head += "\r\nTransfer-Encoding: chunked";
+    for (const auto& [name, value] : response.headers) {
+      head += "\r\n";
+      head += name;
+      head += ": ";
+      head += value;
+    }
+    head += keep_alive ? "\r\nConnection: keep-alive\r\n\r\n"
+                       : "\r\nConnection: close\r\n\r\n";
+    GDLOG_RETURN_IF_ERROR(conn.WriteAll(head, options.io_timeout_ms));
+    auto emit = [&](std::string_view chunk) -> Status {
+      // An empty chunk would read as the terminal chunk; skip it.
+      if (chunk.empty()) return Status::OK();
+      char size_line[32];
+      int n = std::snprintf(size_line, sizeof(size_line), "%zx\r\n",
+                            chunk.size());
+      std::string frame;
+      frame.reserve(static_cast<size_t>(n) + chunk.size() + 2);
+      frame.append(size_line, static_cast<size_t>(n));
+      frame.append(chunk);
+      frame += "\r\n";
+      return conn.WriteAll(frame, options.io_timeout_ms);
+    };
+    GDLOG_RETURN_IF_ERROR(response.stream(emit));
+    return conn.WriteAll("0\r\n\r\n", options.io_timeout_ms);
+  }
+
   void ServeConnection(Connection& conn) {
     std::string buf;
     for (;;) {
@@ -336,7 +392,10 @@ struct HttpServer::Impl {
       HttpResponse response = handler(request);
       bool close = response.close || !keep_alive ||
                    stop.load(std::memory_order_relaxed);
-      if (!WriteResponse(conn, response, !close).ok()) return;
+      Status written =
+          response.stream ? WriteStreamedResponse(conn, response, !close)
+                          : WriteResponse(conn, response, !close);
+      if (!written.ok()) return;
       if (close) return;
     }
   }
@@ -421,10 +480,23 @@ Result<HttpResponse> HttpClient::RequestWithDeadline(
                          deadline_ms, extra_headers);
 }
 
+Result<HttpResponse> HttpClient::RequestStreamingLines(
+    std::string_view method, std::string_view target, std::string_view body,
+    int deadline_ms, const HeaderList& extra_headers, const LineSink& on_line,
+    const std::atomic<bool>* cancel) {
+  if (deadline_ms <= 0) {
+    return Status::InvalidArgument(
+        "streaming requests require a positive deadline");
+  }
+  return RequestInternal(method, target, body, "application/json",
+                         deadline_ms, extra_headers, &on_line, cancel);
+}
+
 Result<HttpResponse> HttpClient::RequestInternal(
     std::string_view method, std::string_view target, std::string_view body,
     std::string_view content_type, int deadline_ms,
-    const HeaderList& extra_headers) {
+    const HeaderList& extra_headers, const LineSink* on_line,
+    const std::atomic<bool>* cancel) {
   if (closed_) {
     return Status::Internal("connection closed by server; reconnect");
   }
@@ -468,17 +540,38 @@ Result<HttpResponse> HttpClient::RequestInternal(
     GDLOG_RETURN_IF_ERROR(conn_.WriteAll(request, budget));
   }
 
+  char tmp[16 * 1024];
+  // One deadline-capped read into buf_. With a cancel flag the wait is
+  // sliced (≤ kReadSliceMs) so a pending cancellation aborts promptly
+  // instead of holding the thread for the full remaining deadline.
+  auto read_more = [&]() -> Result<size_t> {
+    for (;;) {
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        closed_ = true;
+        return Status::BudgetExhausted("exchange canceled");
+      }
+      GDLOG_ASSIGN_OR_RETURN(int budget, wait_budget());
+      int slice = cancel != nullptr ? std::min(budget, kReadSliceMs) : budget;
+      auto n = conn_.ReadSome(tmp, sizeof(tmp), slice);
+      if (!n.ok()) {
+        if (cancel != nullptr &&
+            n.status().code() == StatusCode::kBudgetExhausted) {
+          continue;  // slice expired; re-check cancel and the deadline
+        }
+        return n.status();
+      }
+      if (*n > 0) buf_.append(tmp, *n);
+      return *n;
+    }
+  };
+
   // Response head.
   size_t header_end;
-  char tmp[16 * 1024];
   for (;;) {
     header_end = buf_.find("\r\n\r\n");
     if (header_end != std::string::npos) break;
-    GDLOG_ASSIGN_OR_RETURN(int budget, wait_budget());
-    GDLOG_ASSIGN_OR_RETURN(size_t n,
-                           conn_.ReadSome(tmp, sizeof(tmp), budget));
+    GDLOG_ASSIGN_OR_RETURN(size_t n, read_more());
     if (n == 0) return Status::Internal("server closed mid-response");
-    buf_.append(tmp, n);
   }
   std::string_view head(buf_);
   head = head.substr(0, header_end);
@@ -498,6 +591,7 @@ Result<HttpResponse> HttpClient::RequestInternal(
   }
   size_t content_length = 0;
   bool close_after = false;
+  bool chunked = false;
   size_t pos = line_end == std::string_view::npos ? head.size()
                                                   : line_end + 2;
   while (pos < head.size()) {
@@ -517,6 +611,11 @@ Result<HttpResponse> HttpClient::RequestInternal(
         }
         content_length = content_length * 10 + size_t(c - '0');
       }
+    } else if (IEquals(name, "transfer-encoding")) {
+      if (!IEquals(value, "chunked")) {
+        return Status::Internal("unsupported transfer-encoding");
+      }
+      chunked = true;
     } else if (IEquals(name, "content-type")) {
       response.content_type = std::string(value);
     } else if (IEquals(name, "connection")) {
@@ -525,16 +624,143 @@ Result<HttpResponse> HttpClient::RequestInternal(
       response.headers.emplace_back(std::string(name), std::string(value));
     }
   }
-  size_t total = header_end + 4 + content_length;
-  while (buf_.size() < total) {
-    GDLOG_ASSIGN_OR_RETURN(int budget, wait_budget());
-    GDLOG_ASSIGN_OR_RETURN(size_t n,
-                           conn_.ReadSome(tmp, sizeof(tmp), budget));
-    if (n == 0) return Status::Internal("server closed mid-body");
-    buf_.append(tmp, n);
+
+  // Body. `payload` holds decoded bytes; in streaming mode complete lines
+  // are delivered out of it as they arrive instead of accumulating.
+  buf_.erase(0, header_end + 4);
+  const bool streaming = on_line != nullptr && response.status == 200;
+  std::string payload;
+  auto deliver = [&]() -> Status {
+    size_t line_start = 0;
+    for (;;) {
+      size_t nl = payload.find('\n', line_start);
+      if (nl == std::string::npos) break;
+      Status s = (*on_line)(
+          std::string_view(payload).substr(line_start, nl - line_start));
+      if (!s.ok()) {
+        closed_ = true;  // mid-stream abort: framing is unrecoverable
+        return s;
+      }
+      line_start = nl + 1;
+    }
+    payload.erase(0, line_start);
+    return Status::OK();
+  };
+
+  if (chunked) {
+    // RFC 9112 §7.1 chunked framing. EOF before the terminal chunk is a
+    // truncated stream and surfaces as kBudgetExhausted — the retryable
+    // class — never as a complete-looking response.
+    auto truncated = [&]() -> Status {
+      closed_ = true;
+      return Status::BudgetExhausted(
+          "truncated chunked response: server closed before terminal chunk");
+    };
+    auto need = [&](size_t want) -> Status {
+      while (buf_.size() < want) {
+        auto n = read_more();
+        if (!n.ok()) {
+          closed_ = true;
+          return n.status();
+        }
+        if (*n == 0) return truncated();
+      }
+      return Status::OK();
+    };
+    for (;;) {
+      size_t eol;
+      for (;;) {
+        eol = buf_.find("\r\n");
+        if (eol != std::string::npos) break;
+        if (buf_.size() > 1024) {
+          closed_ = true;
+          return Status::Internal("malformed chunk size line");
+        }
+        GDLOG_RETURN_IF_ERROR(need(buf_.size() + 1));
+      }
+      size_t chunk_size = 0;
+      bool any_digit = false;
+      for (size_t i = 0; i < eol; ++i) {
+        char c = buf_[i];
+        if (c == ';') break;  // chunk extension: ignored
+        int digit;
+        if (c >= '0' && c <= '9') {
+          digit = c - '0';
+        } else if (c >= 'a' && c <= 'f') {
+          digit = c - 'a' + 10;
+        } else if (c >= 'A' && c <= 'F') {
+          digit = c - 'A' + 10;
+        } else {
+          closed_ = true;
+          return Status::Internal("malformed chunk size");
+        }
+        if (chunk_size > (size_t{1} << 40)) {
+          closed_ = true;
+          return Status::Internal("chunk size too large");
+        }
+        chunk_size = chunk_size * 16 + static_cast<size_t>(digit);
+        any_digit = true;
+      }
+      if (!any_digit) {
+        closed_ = true;
+        return Status::Internal("malformed chunk size");
+      }
+      buf_.erase(0, eol + 2);
+      if (chunk_size == 0) break;
+      GDLOG_RETURN_IF_ERROR(need(chunk_size + 2));
+      payload.append(buf_, 0, chunk_size);
+      if (buf_[chunk_size] != '\r' || buf_[chunk_size + 1] != '\n') {
+        closed_ = true;
+        return Status::Internal("malformed chunk terminator");
+      }
+      buf_.erase(0, chunk_size + 2);
+      if (streaming) GDLOG_RETURN_IF_ERROR(deliver());
+    }
+    // Trailer section: discard fields, stop at the blank line.
+    for (;;) {
+      size_t eol;
+      for (;;) {
+        eol = buf_.find("\r\n");
+        if (eol != std::string::npos) break;
+        GDLOG_RETURN_IF_ERROR(need(buf_.size() + 1));
+      }
+      bool blank = eol == 0;
+      buf_.erase(0, eol + 2);
+      if (blank) break;
+    }
+  } else {
+    size_t remaining = content_length;
+    for (;;) {
+      size_t take = std::min(remaining, buf_.size());
+      payload.append(buf_, 0, take);
+      buf_.erase(0, take);
+      remaining -= take;
+      if (streaming) GDLOG_RETURN_IF_ERROR(deliver());
+      if (remaining == 0) break;
+      auto n = read_more();
+      if (!n.ok()) {
+        closed_ = true;
+        return n.status();
+      }
+      if (*n == 0) {
+        closed_ = true;
+        return Status::Internal("server closed mid-body");
+      }
+    }
   }
-  response.body = buf_.substr(header_end + 4, content_length);
-  buf_.erase(0, total);
+
+  if (streaming) {
+    if (!payload.empty()) {
+      // Body without a trailing newline: deliver the final line as-is.
+      Status s = (*on_line)(payload);
+      if (!s.ok()) {
+        closed_ = true;
+        return s;
+      }
+    }
+  } else {
+    response.body = std::move(payload);
+  }
   if (close_after) closed_ = true;
   return response;
 }

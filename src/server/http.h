@@ -1,6 +1,7 @@
 #ifndef GDLOG_SERVER_HTTP_H_
 #define GDLOG_SERVER_HTTP_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -37,6 +38,23 @@ struct HttpResponse {
   std::vector<std::pair<std::string, std::string>> headers;
   /// Force-close the connection after this response.
   bool close = false;
+
+  /// One streamed chunk sink: each call frames one chunk on the wire.
+  using ChunkSink = std::function<Status(std::string_view chunk)>;
+  /// When set, the response body streams instead of being taken from
+  /// `body` (which is ignored): the server writes the head with
+  /// `Transfer-Encoding: chunked`, then runs this producer, framing every
+  /// emitted chunk as it is produced. A producer error — or a failed sink
+  /// write — aborts the connection WITHOUT the terminal chunk, so the
+  /// peer always sees a truncated stream rather than a complete-looking
+  /// response. Streaming responses assume an HTTP/1.1 peer (ours are).
+  std::function<Status(const ChunkSink& emit)> stream;
+
+  /// Runs `stream` to completion into `body` and clears it — for
+  /// in-process callers that bypass the socket layer. No-op when the
+  /// response is not streamed; on producer error the response is the
+  /// truncation the wire peer would have seen, i.e. unusable.
+  Status Drain();
 
   /// First extra header with the given name (case-insensitive), or
   /// nullptr. (Client side: Request() collects response headers here.)
@@ -111,8 +129,9 @@ class HttpServer {
 };
 
 /// A tiny blocking HTTP/1.1 client over one keep-alive connection — enough
-/// for the load generator (tools/gdlog_load) and the server tests. Not a
-/// general client: length-framed responses only.
+/// for the load generator (tools/gdlog_load), the fleet coordinator, and
+/// the server tests. Reads length-framed and chunked responses; requests
+/// are always length-framed.
 class HttpClient {
  public:
   static Result<HttpClient> Connect(const std::string& host, int port,
@@ -147,6 +166,27 @@ class HttpClient {
                                            const HeaderList& extra_headers =
                                                {});
 
+  /// Receives one newline-terminated body line, newline stripped, while
+  /// the exchange is still in flight. A non-OK return aborts the exchange
+  /// (the connection is dead afterwards).
+  using LineSink = std::function<Status(std::string_view line)>;
+
+  /// Like RequestWithDeadline(), but delivers a 200 response's body
+  /// incrementally: `on_line` fires once per line as bytes arrive, for
+  /// both chunked and length-framed bodies, and the returned response has
+  /// an empty `body`. Non-200 responses are buffered whole instead (the
+  /// error envelope stays intact) and `on_line` never fires. A chunked
+  /// stream the server abandons before the terminal chunk surfaces as
+  /// kBudgetExhausted — the same retryable code a deadline expiry uses —
+  /// never as a successfully completed response. A non-null `cancel` is
+  /// polled between read slices (≤ 100 ms); once set, the exchange aborts
+  /// with kBudgetExhausted("exchange canceled"). Requires a positive
+  /// deadline.
+  Result<HttpResponse> RequestStreamingLines(
+      std::string_view method, std::string_view target, std::string_view body,
+      int deadline_ms, const HeaderList& extra_headers,
+      const LineSink& on_line, const std::atomic<bool>* cancel = nullptr);
+
  private:
   HttpClient(Connection conn, int timeout_ms)
       : conn_(std::move(conn)), timeout_ms_(timeout_ms) {}
@@ -156,7 +196,10 @@ class HttpClient {
                                        std::string_view body,
                                        std::string_view content_type,
                                        int deadline_ms,
-                                       const HeaderList& extra_headers);
+                                       const HeaderList& extra_headers,
+                                       const LineSink* on_line = nullptr,
+                                       const std::atomic<bool>* cancel =
+                                           nullptr);
 
   Connection conn_;
   int timeout_ms_;

@@ -37,6 +37,32 @@ void WriteEstimate(JsonWriter& json,
   json.EndObject();
 }
 
+/// Quantile estimate from a latency-histogram snapshot: the upper bound
+/// (in ms) of the bucket where the cumulative count crosses q — the same
+/// upper-bound convention Prometheus' histogram_quantile uses. 0 when the
+/// histogram is empty; the overflow bucket reports the largest finite
+/// bound.
+double HistogramQuantileMs(const LatencyHistogram::Snapshot& snapshot,
+                           double q) {
+  if (snapshot.count == 0) return 0.0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(snapshot.count));
+  if (rank < 1) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    cumulative += snapshot.buckets[i];
+    if (cumulative >= rank) {
+      size_t bound = i < LatencyHistogram::kFiniteBuckets
+                         ? i
+                         : LatencyHistogram::kFiniteBuckets - 1;
+      return static_cast<double>(LatencyHistogram::UpperBoundNanos(bound)) /
+             1e6;
+    }
+  }
+  return static_cast<double>(LatencyHistogram::UpperBoundNanos(
+             LatencyHistogram::kFiniteBuckets - 1)) /
+         1e6;
+}
+
 /// The predicate name of a query atom in surface syntax ("infected(2, 1)"
 /// → "infected"); empty when the text has no leading name.
 std::string QueryPredicateName(const std::string& text) {
@@ -52,13 +78,24 @@ std::string QueryPredicateName(const std::string& text) {
 
 }  // namespace
 
+namespace {
+
+FleetService::Options FleetOptionsFrom(const InferenceService::Options& o) {
+  FleetService::Options fleet;
+  fleet.default_workers = o.fleet_workers;
+  fleet.deadline_ms = o.fleet_deadline_ms;
+  fleet.steal_after_ms = o.fleet_steal_after_ms;
+  fleet.partial_cache_bytes = o.fleet_partial_cache_bytes;
+  fleet.default_chase = o.default_chase;
+  return fleet;
+}
+
+}  // namespace
+
 InferenceService::InferenceService(Options options)
     : options_(std::move(options)),
       cache_(options_.cache_bytes),
-      fleet_(&registry_, &cache_,
-             FleetService::Options{options_.fleet_workers,
-                                   options_.fleet_deadline_ms,
-                                   options_.default_chase}) {}
+      fleet_(&registry_, &cache_, FleetOptionsFrom(options_)) {}
 
 HttpResponse InferenceService::Handle(const HttpRequest& request) {
   const uint64_t start_ns = MonotonicNanos();
@@ -207,7 +244,11 @@ HttpResponse InferenceService::HandleProgram(const HttpRequest& request,
       if (!info.ok()) return ErrorResponse(info.status());
       // Every cache line of the old revision is now unreachable via
       // fingerprints; drop them eagerly rather than waiting for LRU aging.
+      // Same for this node's worker-side partial lines (remote workers'
+      // caches need no invalidation — their keys pin revision + lineage,
+      // so stale entries are unreachable there too and just age out).
       cache_.ErasePrefix(id + "|");
+      fleet_.InvalidatePartials(id + "|");
       JsonWriter json;
       WriteInfo(json, *info);
       return JsonResponse(200, json.str() + "\n");
@@ -220,6 +261,9 @@ HttpResponse InferenceService::HandleProgram(const HttpRequest& request,
       auto applied = registry_.ApplyDatabaseDelta(id, *delta);
       if (!applied.ok()) return ErrorResponse(applied.status());
       delta_patches_.fetch_add(1, std::memory_order_relaxed);
+      // Partial lines always pin revision + lineage, so post-delta lookups
+      // can never hit the old entries; dropping them is eager hygiene.
+      fleet_.InvalidatePartials(id + "|");
       size_t revalidated = 0;
       size_t evicted = 0;
       if (applied->touches_rule_bodies) {
@@ -291,6 +335,7 @@ HttpResponse InferenceService::HandleProgram(const HttpRequest& request,
     Status status = registry_.Remove(id);
     if (!status.ok()) return ErrorResponse(status);
     cache_.ErasePrefix(id + "|");
+    fleet_.InvalidatePartials(id + "|");
     return JsonResponse(200, "{\"deleted\":true}\n");
   }
   return MethodNotAllowed("GET, DELETE");
@@ -553,6 +598,8 @@ HttpResponse InferenceService::HandleHealthz() {
   json.KV("version", GdlogVersion());
   json.KV("uptime_s", uptime);
   json.KV("pid", static_cast<long long>(::getpid()));
+  json.KV("fleet_workers_configured",
+          static_cast<long long>(options_.fleet_workers.size()));
   json.EndObject();
   return JsonResponse(200, json.str() + "\n");
 }
@@ -656,8 +703,33 @@ HttpResponse InferenceService::HandleStats() {
   json.KV("jobs_failed", static_cast<long long>(fleet.jobs_failed));
   json.KV("dispatches", static_cast<long long>(fleet.dispatches));
   json.KV("retries", static_cast<long long>(fleet.retries));
+  json.KV("steals", static_cast<long long>(fleet.steals));
   json.KV("worker_failures", static_cast<long long>(fleet.worker_failures));
   json.KV("partials_merged", static_cast<long long>(fleet.partials_merged));
+  json.KV("partials_streamed",
+          static_cast<long long>(fleet.partials_streamed));
+  json.KV("duplicate_partials",
+          static_cast<long long>(fleet.duplicate_partials));
+  json.KV("partial_cache_hits",
+          static_cast<long long>(fleet.partial_cache_hits));
+  json.KV("partial_cache_misses",
+          static_cast<long long>(fleet.partial_cache_misses));
+  json.KV("jobs_in_flight", static_cast<long long>(fleet.jobs_in_flight));
+  json.KV("peak_resident_partials",
+          static_cast<long long>(fleet.peak_resident_partials));
+  // Per-worker exchange latency, keyed by address. Quantiles are bucket
+  // upper bounds (log-scale histogram) — coarse but monotone, enough to
+  // single out a straggler worker at a glance.
+  json.Key("workers").BeginObject();
+  for (const auto& [worker, stats] : fleet_.WorkerDispatches()) {
+    json.Key(worker).BeginObject();
+    json.KV("dispatches", static_cast<long long>(stats.dispatches));
+    json.KV("p50_ms", HistogramQuantileMs(stats.hist, 0.50));
+    json.KV("p95_ms", HistogramQuantileMs(stats.hist, 0.95));
+    json.KV("max_ms", static_cast<double>(stats.max_ns) / 1e6);
+    json.EndObject();
+  }
+  json.EndObject();
   json.EndObject();
   json.EndObject();
   return JsonResponse(200, json.str() + "\n");
@@ -771,6 +843,27 @@ HttpResponse InferenceService::HandleMetrics() {
   metrics.Counter("gdlog_fleet_partials_merged_total",
                   "Partials merged into job results.", "",
                   fleet.partials_merged);
+  metrics.Counter("gdlog_fleet_steals_total",
+                  "Straggler exchanges stolen by idle workers.", "",
+                  fleet.steals);
+  metrics.Counter("gdlog_fleet_partials_streamed_total",
+                  "Partial lines received mid-exchange (pre-dedup).", "",
+                  fleet.partials_streamed);
+  metrics.Counter("gdlog_fleet_duplicate_partials_total",
+                  "Late duplicate partial lines discarded.", "",
+                  fleet.duplicate_partials);
+  metrics.Counter("gdlog_fleet_partial_cache_hits_total",
+                  "Worker partial-cache lines served without a chase.", "",
+                  fleet.partial_cache_hits);
+  metrics.Counter("gdlog_fleet_partial_cache_misses_total",
+                  "Worker partial-cache misses that ran the chase.", "",
+                  fleet.partial_cache_misses);
+  metrics.Gauge("gdlog_fleet_jobs_in_flight",
+                "Coordinator jobs currently dispatching.", "",
+                static_cast<double>(fleet.jobs_in_flight));
+  metrics.Gauge("gdlog_fleet_peak_resident_partials",
+                "High-water mark of partials resident on the coordinator.",
+                "", static_cast<double>(fleet.peak_resident_partials));
 
   for (size_t i = 0; i < kEndpointCount; ++i) {
     metrics.Histogram(
@@ -789,6 +882,12 @@ HttpResponse InferenceService::HandleMetrics() {
   metrics.Histogram("gdlog_fleet_dispatch_duration_seconds",
                     "Per-group worker exchange latency (each attempt).",
                     "", fleet_.dispatch_histogram().TakeSnapshot());
+  for (const auto& [worker, stats] : fleet_.WorkerDispatches()) {
+    metrics.Histogram("gdlog_fleet_worker_dispatch_duration_seconds",
+                      "Worker exchange latency by worker address.",
+                      "worker=\"" + EscapeLabelValue(worker) + "\"",
+                      stats.hist);
+  }
 
   {
     // Per-rule chase-profile totals, fed by profiled queries

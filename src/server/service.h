@@ -88,6 +88,11 @@ class InferenceService {
     std::vector<std::string> fleet_workers;
     /// Per-exchange deadline for fleet worker requests.
     int fleet_deadline_ms = 60'000;
+    /// Age an in-flight worker exchange must reach before an idle worker
+    /// may steal its undelivered shard indices.
+    int fleet_steal_after_ms = 250;
+    /// Worker-side partial cache capacity in bytes (0 disables it).
+    size_t fleet_partial_cache_bytes = 64ull * 1024 * 1024;
   };
 
   explicit InferenceService(Options options);

@@ -108,9 +108,11 @@ class LiveWorker {
 ///   kCloseAfterRead — closes the socket (a worker killed mid-exchange)
 ///   kHang           — never answers (a straggler; the coordinator's
 ///                     deadline, not this worker, ends the exchange)
+///   kTruncatedChunk — answers a chunked 200 but dies mid-chunk, before
+///                     the terminal chunk (a worker killed mid-stream)
 class FakeWorker {
  public:
-  enum class Mode { kHttp500, kCloseAfterRead, kHang };
+  enum class Mode { kHttp500, kCloseAfterRead, kHang, kTruncatedChunk };
 
   explicit FakeWorker(Mode mode) : mode_(mode) {
     auto listener = ListenSocket::BindTcp("127.0.0.1", 0);
@@ -168,6 +170,18 @@ class FakeWorker {
           if (n.ok() && *n == 0) break;
         }
         break;
+      case Mode::kTruncatedChunk: {
+        // A well-formed chunked 200 head, one declared-but-unfinished
+        // chunk, then EOF. The client must report a retryable truncation,
+        // never a complete response.
+        const std::string response =
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n\r\n"
+            "40\r\n{\"partial\":\"cut";
+        (void)conn.WriteAll(response, 1000);
+        break;
+      }
     }
   }
 
@@ -180,7 +194,8 @@ class FakeWorker {
 
 std::string JobBody(const std::string& id,
                     const std::vector<std::string>& workers,
-                    int deadline_ms = 0) {
+                    int deadline_ms = 0, bool steal = true,
+                    int shards = 0) {
   JsonWriter body;
   body.BeginObject();
   body.KV("program_id", id);
@@ -193,6 +208,8 @@ std::string JobBody(const std::string& id,
   if (deadline_ms > 0) {
     body.KV("deadline_ms", static_cast<long long>(deadline_ms));
   }
+  if (!steal) body.KV("steal", false);
+  if (shards > 0) body.KV("shards", static_cast<long long>(shards));
   body.EndObject();
   return body.str();
 }
@@ -245,11 +262,25 @@ TEST(FleetShards, ExploresRequestedIndicesAsNdjson) {
       service.Handle(MakeRequest("POST", "/v1/shards", body.str()));
   ASSERT_EQ(response.status, 200) << response.body;
   EXPECT_EQ(response.content_type, "application/x-ndjson");
+  // 200s stream chunk-by-chunk on the wire; in-process callers drain.
+  ASSERT_NE(response.stream, nullptr);
+  ASSERT_TRUE(response.Drain().ok());
   size_t lines = 0;
   for (char c : response.body) lines += c == '\n';
   EXPECT_EQ(lines, 2u);
   EXPECT_NE(response.body.find("\"gdlog.partial.v1\""), std::string::npos);
   EXPECT_EQ(service.fleet().counters().shards_explored, 2u);
+  EXPECT_EQ(service.fleet().counters().partial_cache_misses, 2u);
+
+  // The same coordinates again: both lines come out of the worker-side
+  // partial cache, byte-identical, with zero additional chases.
+  HttpResponse repeat =
+      service.Handle(MakeRequest("POST", "/v1/shards", body.str()));
+  ASSERT_EQ(repeat.status, 200) << repeat.body;
+  ASSERT_TRUE(repeat.Drain().ok());
+  EXPECT_EQ(repeat.body, response.body);
+  EXPECT_EQ(service.fleet().counters().shards_explored, 2u);
+  EXPECT_EQ(service.fleet().counters().partial_cache_hits, 2u);
 }
 
 TEST(FleetShards, RejectsBadRequests) {
@@ -372,25 +403,95 @@ TEST(FleetJobs, WorkerKilledMidShardIsRetriedOnHealthyWorker) {
   EXPECT_EQ(counters.retries, 1u);
 }
 
-TEST(FleetJobs, StragglerPastDeadlineIsRetriedElsewhere) {
+TEST(FleetJobs, StragglerIsStolenByIdleWorker) {
   FakeWorker straggler(FakeWorker::Mode::kHang);
   LiveWorker healthy;
   InferenceService coordinator(ServiceOptions());
   std::string id = RegisterNetwork(coordinator);
 
-  // The hang worker never answers; the coordinator's per-exchange
-  // deadline — not any worker-side event — must end the exchange and
-  // re-dispatch the group.
+  // The hang worker never answers. Long before the 4 s deadline the idle
+  // healthy worker steals the straggler's undelivered shard indices
+  // (default steal_after_ms = 250) and the job completes without waiting
+  // for the deadline; the straggler's exchange is then canceled because
+  // the job is done — which is not a worker failure.
   HttpResponse job = coordinator.Handle(
       MakeRequest("POST", "/v1/jobs",
                   JobBody(id, {straggler.address(), healthy.address()},
-                          /*deadline_ms=*/400)));
+                          /*deadline_ms=*/4000)));
+  ASSERT_EQ(job.status, 200) << job.body;
+  EXPECT_EQ(job.body, ReferenceBody());
+
+  FleetService::Counters counters = coordinator.fleet().counters();
+  EXPECT_EQ(counters.steals, 1u);
+  EXPECT_EQ(counters.retries, 0u);
+  EXPECT_EQ(counters.worker_failures, 0u);
+  EXPECT_EQ(counters.partials_merged, 2u);
+  EXPECT_EQ(counters.duplicate_partials, 0u);
+}
+
+TEST(FleetJobs, StragglerPastDeadlineIsRetriedWhenStealingIsOff) {
+  FakeWorker straggler(FakeWorker::Mode::kHang);
+  LiveWorker healthy;
+  InferenceService coordinator(ServiceOptions());
+  std::string id = RegisterNetwork(coordinator);
+
+  // With "steal": false the pre-v2 behavior holds: the coordinator's
+  // per-exchange deadline — not any worker-side event — ends the
+  // exchange, and the group is re-dispatched to the healthy worker.
+  HttpResponse job = coordinator.Handle(
+      MakeRequest("POST", "/v1/jobs",
+                  JobBody(id, {straggler.address(), healthy.address()},
+                          /*deadline_ms=*/400, /*steal=*/false)));
   ASSERT_EQ(job.status, 200) << job.body;
   EXPECT_EQ(job.body, ReferenceBody());
 
   FleetService::Counters counters = coordinator.fleet().counters();
   EXPECT_EQ(counters.worker_failures, 1u);
   EXPECT_EQ(counters.retries, 1u);
+  EXPECT_EQ(counters.steals, 0u);
+}
+
+TEST(FleetJobs, TruncatedChunkedStreamIsRetriedNeverPartiallyMerged) {
+  FakeWorker truncated(FakeWorker::Mode::kTruncatedChunk);
+  LiveWorker healthy;
+  InferenceService coordinator(ServiceOptions());
+  std::string id = RegisterNetwork(coordinator);
+
+  // A worker that dies mid-chunk produced a truncated stream: the client
+  // must surface a retryable failure (never fold a half-delivered body),
+  // and the coordinator re-dispatches the group.
+  HttpResponse job = coordinator.Handle(MakeRequest(
+      "POST", "/v1/jobs",
+      JobBody(id, {truncated.address(), healthy.address()})));
+  ASSERT_EQ(job.status, 200) << job.body;
+  EXPECT_EQ(job.body, ReferenceBody());
+
+  FleetService::Counters counters = coordinator.fleet().counters();
+  EXPECT_EQ(counters.worker_failures, 1u);
+  EXPECT_EQ(counters.retries, 1u);
+  EXPECT_EQ(counters.partials_merged, 2u);
+}
+
+TEST(FleetJobs, CoordinatorHoldsO1ResidentPartials) {
+  LiveWorker worker;
+  InferenceService coordinator(ServiceOptions());
+  std::string id = RegisterNetwork(coordinator);
+
+  // One worker, eight shards: the whole job streams through a single
+  // exchange. The streaming merge folds each partial before the next line
+  // is parsed, so the peak number of resident partials is 1 — bounded by
+  // the worker count, never the shard count.
+  HttpResponse job = coordinator.Handle(MakeRequest(
+      "POST", "/v1/jobs",
+      JobBody(id, {worker.address()}, /*deadline_ms=*/0, /*steal=*/true,
+              /*shards=*/8)));
+  ASSERT_EQ(job.status, 200) << job.body;
+  EXPECT_EQ(job.body, ReferenceBody());
+
+  FleetService::Counters counters = coordinator.fleet().counters();
+  EXPECT_EQ(counters.partials_merged, 8u);
+  EXPECT_EQ(counters.partials_streamed, 8u);
+  EXPECT_EQ(counters.peak_resident_partials, 1u);
 }
 
 TEST(FleetJobs, AllWorkersDeadFailsWithFleetError) {

@@ -598,12 +598,15 @@ TEST(TracePropagation, JobSpansAreOptInAndCarryTheTrace) {
   const JsonValue* trace = block->Find("trace");
   ASSERT_NE(trace, nullptr);
   EXPECT_EQ(trace->string_value(), "spantrace1");
-  const JsonValue* groups = block->Find("groups");
-  ASSERT_NE(groups, nullptr);
-  ASSERT_EQ(groups->array().size(), 1u);
-  const JsonValue* worker = groups->array()[0].Find("worker");
+  const JsonValue* exchanges = block->Find("exchanges");
+  ASSERT_NE(exchanges, nullptr);
+  ASSERT_EQ(exchanges->array().size(), 1u);
+  const JsonValue* worker = exchanges->array()[0].Find("worker");
   ASSERT_NE(worker, nullptr);
   EXPECT_EQ(worker->string_value(), w1.address());
+  const JsonValue* kind = exchanges->array()[0].Find("kind");
+  ASSERT_NE(kind, nullptr);
+  EXPECT_EQ(kind->string_value(), "dispatch");
 
   // Without the flag the body has no span block (and a repeat of the job
   // is a cache hit, whose body must stay byte-stable regardless).

@@ -782,6 +782,107 @@ TEST(HttpServer, TransferEncodingIsNotImplemented) {
   EXPECT_NE(head.find("\"error\""), std::string::npos);
 }
 
+TEST(HttpServer, ChunkedStreamingResponseDeliversLinesIncrementally) {
+  // A handler that streams three NDJSON lines chunk by chunk.
+  HttpServerOptions options;
+  options.workers = 2;
+  auto server = HttpServer::Create(
+      options, [](const HttpRequest& request) {
+        HttpResponse response;
+        if (request.target == "/boom") {
+          response.status = 500;
+          response.body = HttpErrorBody("internal", "nope");
+          return response;
+        }
+        response.content_type = "application/x-ndjson";
+        response.stream =
+            [](const HttpResponse::ChunkSink& emit) -> Status {
+          for (const char* line : {"one\n", "two\n", "three\n"}) {
+            GDLOG_RETURN_IF_ERROR(emit(line));
+          }
+          return Status::OK();
+        };
+        return response;
+      });
+  ASSERT_TRUE(server.ok());
+  std::thread serving([&server] { EXPECT_TRUE(server->Serve().ok()); });
+
+  auto client = HttpClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+  std::vector<std::string> lines;
+  auto streamed = client->RequestStreamingLines(
+      "GET", "/stream", "", /*deadline_ms=*/5000, {},
+      [&](std::string_view line) {
+        lines.emplace_back(line);
+        return Status::OK();
+      });
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  EXPECT_EQ(streamed->status, 200);
+  EXPECT_TRUE(streamed->body.empty());
+  EXPECT_EQ(lines, (std::vector<std::string>{"one", "two", "three"}));
+
+  // The buffering client decodes the same chunked response whole, and the
+  // connection stays keep-alive across both framings.
+  auto buffered = client->Request("GET", "/stream");
+  ASSERT_TRUE(buffered.ok()) << buffered.status().ToString();
+  EXPECT_EQ(buffered->body, "one\ntwo\nthree\n");
+
+  // Non-200s are never delivered line-by-line: the error envelope arrives
+  // intact in body and the sink stays silent.
+  size_t error_lines = 0;
+  auto error = client->RequestStreamingLines(
+      "GET", "/boom", "", /*deadline_ms=*/5000, {},
+      [&](std::string_view) {
+        ++error_lines;
+        return Status::OK();
+      });
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->status, 500);
+  EXPECT_EQ(error_lines, 0u);
+  EXPECT_NE(error->body.find("\"error\""), std::string::npos);
+
+  server->Shutdown();
+  serving.join();
+}
+
+TEST(HttpServer, TruncatedChunkedResponseIsBudgetExhausted) {
+  // A raw fake server: well-formed chunked head, one complete line, one
+  // declared-but-unfinished chunk, then EOF before the terminal chunk.
+  auto listener = ListenSocket::BindTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  std::thread peer([&listener] {
+    auto conn = listener->Accept(-1);
+    ASSERT_TRUE(conn.ok() && conn->has_value());
+    char buf[4096];
+    (void)(*conn)->ReadSome(buf, sizeof buf, 1000);
+    const std::string response =
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: application/x-ndjson\r\n"
+        "Transfer-Encoding: chunked\r\n\r\n"
+        "9\r\ndelivered\r\n"
+        "40\r\ncut";
+    ASSERT_TRUE((*conn)->WriteAll(response, 1000).ok());
+  });
+
+  auto client = HttpClient::Connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.ok());
+  std::vector<std::string> lines;
+  auto result = client->RequestStreamingLines(
+      "GET", "/stream", "", /*deadline_ms=*/5000, {},
+      [&](std::string_view line) {
+        lines.emplace_back(line);
+        return Status::OK();
+      });
+  peer.join();
+  // The truncation is a retryable failure — the same code a deadline
+  // expiry uses — never a complete-looking short response.
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kBudgetExhausted);
+  EXPECT_NE(result.status().message().find("truncated"), std::string::npos);
+  // Nothing was delivered: no newline ever completed a line before EOF.
+  EXPECT_TRUE(lines.empty());
+}
+
 TEST(HttpServer, ShutdownDrainsAndServeReturns) {
   auto service = std::make_unique<InferenceService>(ServiceOptions());
   HttpServerOptions options;

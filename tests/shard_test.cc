@@ -9,6 +9,8 @@
 // across process (or machine) boundaries.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
 #include <string>
 #include <utility>
 #include <vector>
@@ -290,6 +292,94 @@ TEST(ShardSerializationTest, SerializedPartialIsThreadCountInvariant) {
     EXPECT_EQ(PartialSpaceToJson(*one, meta, interner),
               PartialSpaceToJson(*four, meta, interner))
         << "shard " << shard;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MergePartialSpaces / StreamingMerger edge cases and equivalence
+// ---------------------------------------------------------------------------
+
+TEST(ShardMergeTest, MergingNoPartialsYieldsTheEmptyCompleteSpace) {
+  OutcomeSpace merged = MergePartialSpaces({}, /*max_outcomes=*/0);
+  EXPECT_TRUE(merged.outcomes.empty());
+  EXPECT_TRUE(merged.complete);
+  EXPECT_EQ(merged.depth_truncated_paths, 0u);
+  EXPECT_EQ(merged.pruned_paths, 0u);
+  EXPECT_TRUE(merged.finite_mass == Prob::Zero());
+}
+
+TEST(ShardMergeTest, ZeroOutcomeShardsFoldAsNoOps) {
+  // 64 shards over dime/quarter: most shard tasks are empty, so many
+  // partials carry zero outcomes. Folding them — in any position — must
+  // neither perturb the merge nor count toward the budget.
+  auto engine = GDatalog::Create(kDimeQuarterProgram, kDimeQuarterDb);
+  ASSERT_TRUE(engine.ok());
+  ChaseOptions options;
+  options.num_threads = 1;
+  auto base = engine->Infer(options);
+  ASSERT_TRUE(base.ok());
+  auto plan = engine->chase().PlanShards(options, 64);
+  ASSERT_TRUE(plan.ok());
+
+  size_t empty_shards = 0;
+  StreamingMerger merger;
+  for (size_t index = 0; index < plan->num_shards; ++index) {
+    auto partial = engine->chase().ExploreShard(*plan, index, options);
+    ASSERT_TRUE(partial.ok()) << index;
+    empty_shards += partial->outcomes.empty();
+    merger.Add(std::move(*partial));
+  }
+  ASSERT_GT(empty_shards, 0u) << "case no longer exercises empty shards";
+  EXPECT_EQ(merger.partials_folded(), plan->num_shards);
+  OutcomeSpace merged = merger.Finish(options.max_outcomes);
+  ExpectIdenticalSpaces(*base, merged, "64 shards, mostly empty");
+}
+
+// The tentpole equivalence: folding partials one at a time, in ANY arrival
+// order, must be byte-identical to the buffered all-at-once merge — this
+// is what lets the coordinator hold O(1) partials while stolen and
+// re-dispatched shards arrive interleaved and out of plan order.
+TEST(ShardMergeTest, StreamedMergeMatchesBufferedMergeUnderRandomOrder) {
+  struct Case {
+    const char* program;
+    std::string db;
+  };
+  for (const Case& c : {Case{kNetworkProgram, Clique(3)},
+                        Case{kDimeQuarterProgram, kDimeQuarterDb}}) {
+    auto engine = GDatalog::Create(c.program, c.db);
+    ASSERT_TRUE(engine.ok());
+    ChaseOptions options;
+    options.num_threads = 1;
+    auto plan = engine->chase().PlanShards(options, 6);
+    ASSERT_TRUE(plan.ok());
+    std::vector<PartialSpace> partials;
+    for (size_t index = 0; index < plan->num_shards; ++index) {
+      auto partial = engine->chase().ExploreShard(*plan, index, options);
+      ASSERT_TRUE(partial.ok());
+      partials.push_back(std::move(*partial));
+    }
+    std::vector<PartialSpace> buffered_input = partials;
+    OutcomeSpace buffered =
+        MergePartialSpaces(std::move(buffered_input), options.max_outcomes);
+
+    const std::string reference = OutcomeSpaceToJson(
+        buffered, engine->translated(), engine->program().interner(), {});
+    std::mt19937 rng(0xf1ee7);
+    StreamingMerger merger;  // reused across rounds: Finish() resets it
+    for (int round = 0; round < 8; ++round) {
+      std::vector<PartialSpace> shuffled = partials;
+      std::shuffle(shuffled.begin(), shuffled.end(), rng);
+      for (PartialSpace& partial : shuffled) {
+        merger.Add(std::move(partial));
+      }
+      OutcomeSpace streamed = merger.Finish(options.max_outcomes);
+      ExpectIdenticalSpaces(buffered, streamed,
+                            "round " + std::to_string(round));
+      EXPECT_EQ(reference,
+                OutcomeSpaceToJson(streamed, engine->translated(),
+                                   engine->program().interner(), {}))
+          << "round " << round;
+    }
   }
 }
 

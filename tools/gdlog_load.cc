@@ -34,7 +34,10 @@
 //                         of /v1/query. Jobs share /query's cache
 //                         fingerprint, so --check's "one chase for N
 //                         identical requests" assertion holds unchanged;
-//                         fleet counter deltas are printed alongside the
+//                         fleet counter deltas (dispatches, retries,
+//                         steals, streamed/duplicate partials, partial-
+//                         cache hits/misses) and per-worker dispatch
+//                         latency (p50/p95/max) are printed alongside the
 //                         cache deltas
 //   --shards N            fleet mode: shard count (default: worker count)
 #include <algorithm>
@@ -325,10 +328,34 @@ int main(int argc, char** argv) {
     };
     std::printf(
         "fleet deltas: jobs=%lld dispatches=%lld retries=%lld "
-        "worker_failures=%lld partials_merged=%lld\n",
+        "worker_failures=%lld partials_merged=%lld steals=%lld "
+        "partials_streamed=%lld duplicate_partials=%lld "
+        "partial_cache_hits=%lld partial_cache_misses=%lld\n",
         fleet_delta("jobs"), fleet_delta("dispatches"),
         fleet_delta("retries"), fleet_delta("worker_failures"),
-        fleet_delta("partials_merged"));
+        fleet_delta("partials_merged"), fleet_delta("steals"),
+        fleet_delta("partials_streamed"), fleet_delta("duplicate_partials"),
+        fleet_delta("partial_cache_hits"),
+        fleet_delta("partial_cache_misses"));
+    // Per-worker dispatch latency as the coordinator measured it — the
+    // outside view of which worker is the straggler.
+    const gdlog::JsonValue* fleet_obj = stats_after->Find("fleet");
+    const gdlog::JsonValue* workers_obj =
+        fleet_obj != nullptr ? fleet_obj->Find("workers") : nullptr;
+    if (workers_obj != nullptr && workers_obj->is_object()) {
+      for (const auto& [address, stats] : workers_obj->members()) {
+        auto field = [&](const char* name) {
+          const gdlog::JsonValue* value = stats.Find(name);
+          if (value == nullptr || !value->is_number()) return 0.0;
+          return value->NumberAsDouble();
+        };
+        std::printf(
+            "fleet worker %s: dispatches=%lld p50_ms=%.3f p95_ms=%.3f "
+            "max_ms=%.3f\n",
+            address.c_str(), static_cast<long long>(field("dispatches")),
+            field("p50_ms"), field("p95_ms"), field("max_ms"));
+      }
+    }
   }
 
   if (mismatch) std::fprintf(stderr, "FAIL: response bodies differ\n");

@@ -21,6 +21,11 @@
 //                         becomes the default worker set for /v1/jobs,
 //                         turning this daemon into a fleet coordinator
 //   --fleet-deadline-ms N per-exchange worker deadline    (default 60000)
+//   --fleet-steal-after-ms N  age an in-flight exchange must reach before
+//                         an idle worker steals its undelivered shards
+//                         (default 250)
+//   --fleet-partial-cache-mb N  worker-side partial cache bound in MiB;
+//                         0 disables it                   (default 64)
 //   --version             print the build version (git describe) and exit
 //
 // Every request is access-logged to stderr as
@@ -65,7 +70,8 @@ void HandleSignal(int /*sig*/) {
                "          [--chase-threads N] [--cache-mb N]\n"
                "          [--max-body-mb N] [--idle-timeout-ms N]\n"
                "          [--max-samples N] [--fleet-workers H:P,H:P,...]\n"
-               "          [--fleet-deadline-ms N] [--version]\n",
+               "          [--fleet-deadline-ms N] [--fleet-steal-after-ms N]\n"
+               "          [--fleet-partial-cache-mb N] [--version]\n",
                argv0);
   std::exit(2);
 }
@@ -127,6 +133,12 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(arg, "--fleet-deadline-ms")) {
       service_options.fleet_deadline_ms =
           static_cast<int>(std::strtol(need_value(i), nullptr, 10));
+    } else if (!std::strcmp(arg, "--fleet-steal-after-ms")) {
+      service_options.fleet_steal_after_ms =
+          static_cast<int>(std::strtol(need_value(i), nullptr, 10));
+    } else if (!std::strcmp(arg, "--fleet-partial-cache-mb")) {
+      service_options.fleet_partial_cache_bytes =
+          std::strtoull(need_value(i), nullptr, 10) * 1024 * 1024;
     } else if (!std::strcmp(arg, "--version")) {
       // The same string /v1/healthz reports as "version".
       std::printf("gdlogd %s\n", gdlog::GdlogVersion());
